@@ -1,0 +1,54 @@
+// Ablation called out in DESIGN.md: what seastar operator fusion (§6.2) and
+// materialization planning buy on their own. Runs GAT with the Seastar
+// kernels but fusion disabled (every operator its own unit, all
+// intermediates materialized) against the full system, on a fusion-rich
+// model.
+//
+//   ./bench_ablation_fusion [--dataset=amz_photo] [--epochs=10] [--scale=1]
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/models/gat.h"
+
+namespace seastar {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseBenchOptions(argc, argv);
+  const std::string dataset_name = FlagValue(argc, argv, "dataset", "amz_photo");
+  const DatasetSpec* spec = FindDataset(dataset_name);
+  Dataset data = LoadDataset(*spec, options);
+  TrainConfig train = MakeTrainConfig(options, spec->default_scale * options.scale_multiplier);
+
+  std::printf("Ablation: seastar operator fusion on/off (GAT, %s)\n\n",
+              data.graph.DebugString().c_str());
+  std::printf("%-18s %14s %14s\n", "configuration", "epoch (ms)", "peak (MB)");
+  PrintHeaderRule(50);
+
+  double fused_ms = 0.0;
+  double unfused_ms = 0.0;
+  for (Backend backend : {Backend::kSeastar, Backend::kSeastarNoFusion}) {
+    BackendConfig config;
+    config.backend = backend;
+    GatConfig gat;
+    gat.num_heads = 8;
+    gat.hidden_dim = 8;
+    Gat model(data, gat, config);
+    TrainResult result = TrainNodeClassification(model, data, train);
+    std::printf("%-18s %14.2f %14s\n", BackendName(backend), result.avg_epoch_ms,
+                MemoryCell(result).c_str());
+    (backend == Backend::kSeastar ? fused_ms : unfused_ms) = result.avg_epoch_ms;
+  }
+  if (fused_ms > 0.0) {
+    std::printf("\nfusion speedup: %.2fx\n", unfused_ms / fused_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seastar
+
+int main(int argc, char** argv) { return seastar::bench::Run(argc, argv); }

@@ -1,0 +1,19 @@
+// Reproduces paper Fig. 10(c): per-epoch time of APPNP (K=10, alpha=0.1)
+// across the 9 homogeneous datasets for DGL-like, PyG-like and Seastar
+// execution.
+#include <memory>
+
+#include "bench/fig10_common.h"
+#include "src/core/models/appnp.h"
+
+int main(int argc, char** argv) {
+  using namespace seastar;
+  return bench::RunFig10("Fig.10(c)", "APPNP", argc, argv,
+                         [](const Dataset& data, const BackendConfig& config) {
+                           AppnpConfig appnp;
+                           appnp.hidden_dim = 64;
+                           appnp.num_hops = 10;
+                           appnp.alpha = 0.1f;
+                           return std::unique_ptr<GnnModel>(new Appnp(data, appnp, config));
+                         });
+}

@@ -1,0 +1,17 @@
+// Reproduces paper Fig. 10(a): per-epoch time of GAT across the 9
+// homogeneous datasets for DGL-like, PyG-like and Seastar execution.
+#include <memory>
+
+#include "bench/fig10_common.h"
+#include "src/core/models/gat.h"
+
+int main(int argc, char** argv) {
+  using namespace seastar;
+  return bench::RunFig10("Fig.10(a)", "GAT", argc, argv,
+                         [](const Dataset& data, const BackendConfig& config) {
+                           GatConfig gat;
+                           gat.num_heads = 8;
+                           gat.hidden_dim = 8;
+                           return std::unique_ptr<GnnModel>(new Gat(data, gat, config));
+                         });
+}

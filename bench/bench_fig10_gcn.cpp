@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 10(b): per-epoch time of GCN across the 9
+// homogeneous datasets for DGL-like, PyG-like and Seastar execution.
+#include <memory>
+
+#include "bench/fig10_common.h"
+#include "src/core/models/gcn.h"
+
+int main(int argc, char** argv) {
+  using namespace seastar;
+  return bench::RunFig10("Fig.10(b)", "GCN", argc, argv,
+                         [](const Dataset& data, const BackendConfig& config) {
+                           GcnConfig gcn;
+                           gcn.hidden_dim = 16;
+                           return std::unique_ptr<GnnModel>(new Gcn(data, gcn, config));
+                         });
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Table 3: per-epoch time (ms) of R-GCN training on the
+// heterogeneous datasets (aifb / mutag / bgs) across the five execution
+// modes.
+#include "bench/table3_common.h"
+
+int main(int argc, char** argv) {
+  return seastar::bench::RunRgcnTable("Table 3", /*time_metric=*/true, argc, argv);
+}

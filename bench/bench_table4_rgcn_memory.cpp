@@ -1,0 +1,7 @@
+// Reproduces paper Table 4: peak memory (MB) of R-GCN training on the
+// heterogeneous datasets across the five execution modes.
+#include "bench/table3_common.h"
+
+int main(int argc, char** argv) {
+  return seastar::bench::RunRgcnTable("Table 4", /*time_metric=*/false, argc, argv);
+}

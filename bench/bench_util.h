@@ -1,0 +1,105 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench accepts:
+//   --scale=<f>     multiplier on each dataset's default scale (1.0 = the
+//                   catalogue's tractable default; use a large value plus
+//                   patience to approach the paper's full sizes)
+//   --epochs=<n>    timed epochs (paper: 200; default here: 10)
+//   --warmup=<n>    discarded warm-up epochs (paper and default: 3)
+//   --datasets=a,b  comma-separated subset filter
+//   --max-feat=<n>  cap on feature width (0 = uncapped)
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/core/train.h"
+#include "src/graph/datasets.h"
+
+namespace seastar {
+namespace bench {
+
+struct BenchOptions {
+  double scale_multiplier = 1.0;
+  int epochs = 10;
+  int warmup = 3;
+  int64_t max_feature_dim = 128;
+  std::vector<std::string> dataset_filter;  // Empty = all.
+  // Models the paper's 11 GB GPU, scaled with the dataset (memory use on a
+  // graph scaled by s shrinks by roughly s).
+  double memory_budget_gb = 11.0;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  options.scale_multiplier = FlagDouble(argc, argv, "scale", 1.0);
+  options.epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 4));
+  options.warmup = static_cast<int>(FlagInt(argc, argv, "warmup", 1));
+  options.max_feature_dim = FlagInt(argc, argv, "max-feat", 128);
+  options.memory_budget_gb = FlagDouble(argc, argv, "budget-gb", 11.0);
+  const std::string filter = FlagValue(argc, argv, "datasets", "");
+  if (!filter.empty()) {
+    options.dataset_filter = Split(filter, ',');
+  }
+  return options;
+}
+
+inline bool DatasetSelected(const BenchOptions& options, const std::string& name) {
+  if (options.dataset_filter.empty()) {
+    return true;
+  }
+  for (const std::string& wanted : options.dataset_filter) {
+    if (wanted == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Materializes `spec` at its default scale times the CLI multiplier.
+inline Dataset LoadDataset(const DatasetSpec& spec, const BenchOptions& options) {
+  DatasetOptions dataset_options;
+  dataset_options.scale = spec.default_scale * options.scale_multiplier;
+  dataset_options.max_feature_dim = options.max_feature_dim;
+  dataset_options.add_self_loops = spec.num_relations == 1;
+  return MakeDataset(spec, dataset_options);
+}
+
+inline TrainConfig MakeTrainConfig(const BenchOptions& options, double effective_scale) {
+  TrainConfig config;
+  config.epochs = options.epochs + options.warmup;
+  config.warmup_epochs = options.warmup;
+  config.memory_budget_bytes = static_cast<uint64_t>(
+      options.memory_budget_gb * effective_scale * 1024.0 * 1024.0 * 1024.0);
+  return config;
+}
+
+// Table cell: "12.3" or "OOM".
+inline std::string TimeCell(const TrainResult& result) {
+  if (result.oom) {
+    return "OOM";
+  }
+  return FormatDouble(result.avg_epoch_ms, 1);
+}
+
+inline std::string MemoryCell(const TrainResult& result) {
+  if (result.oom) {
+    return "OOM";
+  }
+  return FormatDouble(static_cast<double>(result.peak_bytes) / (1024.0 * 1024.0), 1);
+}
+
+inline void PrintHeaderRule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace seastar
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,52 @@
+// Quickstart: train a 2-layer GCN on a cora-sized synthetic citation graph
+// with the Seastar backend.
+//
+//   ./quickstart [--epochs=50] [--backend=seastar|dgl|pyg] [--scale=1.0]
+//
+// The model's graph kernel is the one-liner of the paper's Fig. 3:
+//
+//   return sum([u.h * u.norm for u in v.innbs])
+//
+// compiled by VertexProgram::Compile into two fused GPU-style kernels
+// (forward + backward) and differentiated automatically.
+#include <cstdio>
+
+#include "src/common/string_util.h"
+#include "src/core/models/gcn.h"
+#include "src/core/train.h"
+
+int main(int argc, char** argv) {
+  using namespace seastar;
+
+  const int64_t epochs = FlagInt(argc, argv, "epochs", 50);
+  const std::string backend_name = FlagValue(argc, argv, "backend", "seastar");
+  const double scale = FlagDouble(argc, argv, "scale", 1.0);
+
+  // 1. Data: a synthetic stand-in for cora (same |V|, |E|, feature width).
+  DatasetOptions options;
+  options.scale = scale;
+  options.max_feature_dim = 256;
+  Dataset data = MakeDatasetByName("cora", options);
+  std::printf("dataset: %s  %s\n", data.spec.name.c_str(), data.graph.DebugString().c_str());
+
+  // 2. Model: 2-layer GCN, hidden 16, on the chosen backend.
+  BackendConfig backend;
+  backend.backend = BackendFromString(backend_name);
+  GcnConfig config;
+  Gcn model(data, config, backend);
+
+  // 3. Train with the paper's protocol (cross-entropy on the train mask).
+  TrainConfig train;
+  train.epochs = static_cast<int>(epochs);
+  train.warmup_epochs = 3;
+  train.verbose = true;
+  TrainResult result = TrainNodeClassification(model, data, train);
+
+  std::printf("\nbackend           : %s\n", BackendName(backend.backend));
+  std::printf("epochs            : %d\n", result.epochs_run);
+  std::printf("avg epoch time    : %.2f ms\n", result.avg_epoch_ms);
+  std::printf("final train loss  : %.4f\n", result.final_loss);
+  std::printf("train accuracy    : %.3f\n", result.train_accuracy);
+  std::printf("peak tensor memory: %s\n", HumanBytes(result.peak_bytes).c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace seastar {
+namespace {
+
+std::atomic<int> g_min_severity{-1};  // -1 = not initialized yet.
+
+int SeverityFromEnv() {
+  const char* env = std::getenv("SEASTAR_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogSeverity::kInfo);
+  }
+  int value = std::atoi(env);
+  if (value < 0) {
+    value = 0;
+  }
+  if (value > 4) {
+    value = 4;
+  }
+  return value;
+}
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+// Serializes whole log lines so concurrent threads do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  int current = g_min_severity.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = SeverityFromEnv();
+    g_min_severity.store(current, std::memory_order_relaxed);
+  }
+  return static_cast<LogSeverity>(current);
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << SeverityName(severity) << " " << (base != nullptr ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace log_internal
+}  // namespace seastar

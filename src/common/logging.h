@@ -1,0 +1,78 @@
+// Lightweight logging and invariant-checking utilities used across the Seastar
+// codebase. Modeled on the usual LOG()/CHECK() idiom: CHECK failures denote
+// programming errors and abort with a message; they are never used for
+// recoverable conditions.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace seastar {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Returns the process-wide minimum severity that is actually emitted.
+// Controlled by the SEASTAR_LOG_LEVEL environment variable (0-4); defaults to kInfo.
+LogSeverity MinLogSeverity();
+
+// Sets the minimum emitted severity programmatically (overrides the env var).
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace log_internal {
+
+// Accumulates one log line and flushes it (to stderr) on destruction.
+// For kFatal the destructor aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+
+#define SEASTAR_LOG(severity)                                                             \
+  ::seastar::log_internal::LogMessage(::seastar::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define SEASTAR_CHECK(cond)                                                  \
+  if (cond) {                                                                \
+  } else /* NOLINT */                                                        \
+    SEASTAR_LOG(Fatal) << "Check failed: " #cond " "
+
+#define SEASTAR_CHECK_OP(op, a, b)                                                      \
+  if ((a)op(b)) {                                                                       \
+  } else /* NOLINT */                                                                   \
+    SEASTAR_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) \
+                       << ") "
+
+#define SEASTAR_CHECK_EQ(a, b) SEASTAR_CHECK_OP(==, a, b)
+#define SEASTAR_CHECK_NE(a, b) SEASTAR_CHECK_OP(!=, a, b)
+#define SEASTAR_CHECK_LT(a, b) SEASTAR_CHECK_OP(<, a, b)
+#define SEASTAR_CHECK_LE(a, b) SEASTAR_CHECK_OP(<=, a, b)
+#define SEASTAR_CHECK_GT(a, b) SEASTAR_CHECK_OP(>, a, b)
+#define SEASTAR_CHECK_GE(a, b) SEASTAR_CHECK_OP(>=, a, b)
+
+}  // namespace seastar
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,114 @@
+#include "src/common/string_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace seastar {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      pieces.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  pieces.push_back(current);
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces, const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      result += sep;
+    }
+    result += pieces[i];
+  }
+  return result;
+}
+
+std::string WithThousandsSeparators(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) {
+      result.push_back(',');
+    }
+    result.push_back(*it);
+    ++count;
+  }
+  return std::string(result.rbegin(), result.rend());
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[32];
+  if (unit == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, kUnits[unit]);
+  }
+  return buffer;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& key, const std::string& fallback) {
+  const std::string needle = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, needle)) {
+      return arg.substr(needle.size());
+    }
+    if (arg == "--" + key) {
+      return "true";  // Bare flag form.
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const std::string& key, double fallback) {
+  std::string value = FlagValue(argc, argv, key, "");
+  if (value.empty()) {
+    return fallback;
+  }
+  return std::strtod(value.c_str(), nullptr);
+}
+
+int64_t FlagInt(int argc, char** argv, const std::string& key, int64_t fallback) {
+  std::string value = FlagValue(argc, argv, key, "");
+  if (value.empty()) {
+    return fallback;
+  }
+  return std::strtoll(value.c_str(), nullptr, 10);
+}
+
+bool FlagBool(int argc, char** argv, const std::string& key, bool fallback) {
+  std::string value = FlagValue(argc, argv, key, "");
+  if (value.empty()) {
+    return fallback;
+  }
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+}  // namespace seastar

@@ -1,0 +1,37 @@
+// Small string helpers shared by the CLI benches and table printers.
+#ifndef SRC_COMMON_STRING_UTIL_H_
+#define SRC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace seastar {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, const std::string& sep);
+
+// "12345678" -> "12,345,678" for table readability.
+std::string WithThousandsSeparators(uint64_t value);
+
+// Bytes -> short human string, e.g. "1.50 GB", "38.2 MB", "512 B".
+std::string HumanBytes(uint64_t bytes);
+
+// Fixed-precision float formatting, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int precision);
+
+// Returns true if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+// Parses "--key=value" style flags out of argv. Returns value for `key` or
+// `fallback` if absent. `key` is given without the leading dashes.
+std::string FlagValue(int argc, char** argv, const std::string& key, const std::string& fallback);
+double FlagDouble(int argc, char** argv, const std::string& key, double fallback);
+int64_t FlagInt(int argc, char** argv, const std::string& key, int64_t fallback);
+bool FlagBool(int argc, char** argv, const std::string& key, bool fallback);
+
+}  // namespace seastar
+
+#endif  // SRC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,73 @@
+#include "src/core/backend.h"
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kSeastar:
+      return "Seastar";
+    case Backend::kSeastarNoFusion:
+      return "Seastar-nofuse";
+    case Backend::kDglLike:
+      return "DGL";
+    case Backend::kPygLike:
+      return "PyG";
+  }
+  return "?";
+}
+
+Backend BackendFromString(const std::string& name) {
+  if (name == "seastar") {
+    return Backend::kSeastar;
+  }
+  if (name == "seastar-nofuse" || name == "nofuse") {
+    return Backend::kSeastarNoFusion;
+  }
+  if (name == "dgl") {
+    return Backend::kDglLike;
+  }
+  if (name == "pyg") {
+    return Backend::kPygLike;
+  }
+  SEASTAR_LOG(Fatal) << "unknown backend '" << name << "' (use seastar|seastar-nofuse|dgl|pyg)";
+  return Backend::kSeastar;
+}
+
+RunResult RunWithBackend(const BackendConfig& config, const GirGraph& gir, const Graph& graph,
+                         const FeatureMap& features, const SeedMap* seed,
+                         const std::vector<int32_t>* retain) {
+  switch (config.backend) {
+    case Backend::kSeastar: {
+      SeastarExecutor executor(config.seastar_options);
+      return executor.Run(gir, graph, features, seed);
+    }
+    case Backend::kSeastarNoFusion: {
+      SeastarExecutorOptions options = config.seastar_options;
+      options.enable_fusion = false;
+      SeastarExecutor executor(options);
+      return executor.Run(gir, graph, features, seed);
+    }
+    case Backend::kDglLike: {
+      BaselineExecutorOptions options = config.baseline_options;
+      options.flavor = BaselineFlavor::kDglLike;
+      BaselineExecutor executor(options);
+      return executor.Run(gir, graph, features, seed, retain);
+    }
+    case Backend::kPygLike: {
+      BaselineExecutorOptions options = config.baseline_options;
+      options.flavor = BaselineFlavor::kPygLike;
+      BaselineExecutor executor(options);
+      return executor.Run(gir, graph, features, seed, retain);
+    }
+  }
+  SEASTAR_LOG(Fatal) << "unknown backend";
+  return RunResult{};
+}
+
+bool BackendSavesIntermediates(Backend backend) {
+  return backend == Backend::kDglLike || backend == Backend::kPygLike;
+}
+
+}  // namespace seastar

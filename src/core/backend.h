@@ -1,0 +1,47 @@
+// Backend selection: which execution strategy runs a compiled vertex
+// program. Every GNN model in src/core/models can be trained on any backend,
+// which is how the paper's three-system comparison (Seastar vs DGL vs PyG)
+// is realized as one codebase with three strategies.
+#ifndef SRC_CORE_BACKEND_H_
+#define SRC_CORE_BACKEND_H_
+
+#include <string>
+
+#include "src/exec/baseline_executor.h"
+#include "src/exec/seastar_executor.h"
+
+namespace seastar {
+
+enum class Backend {
+  kSeastar,          // Fused kernels, vertex-parallel edge-sequential (this paper).
+  kSeastarNoFusion,  // Ablation: Seastar kernels but one unit per operator.
+  kDglLike,          // Whole-graph tensors + BinaryReduce + binary-search kernels.
+  kPygLike,          // Whole-graph tensors, full gather/scatter materialization.
+};
+
+const char* BackendName(Backend backend);
+
+// Parses "seastar" / "dgl" / "pyg" / "seastar-nofuse" (used by bench CLIs).
+Backend BackendFromString(const std::string& name);
+
+struct BackendConfig {
+  Backend backend = Backend::kSeastar;
+  SeastarExecutorOptions seastar_options;
+  BaselineExecutorOptions baseline_options;
+};
+
+// Runs `gir` under `config`. Thin dispatch wrapper over the executors.
+// `retain` (baseline executors only): node ids autograd must keep alive;
+// everything else is freed eagerly. Ignored by the Seastar executor, which
+// materializes only unit-crossing values in the first place.
+RunResult RunWithBackend(const BackendConfig& config, const GirGraph& gir, const Graph& graph,
+                         const FeatureMap& features, const SeedMap* seed = nullptr,
+                         const std::vector<int32_t>* retain = nullptr);
+
+// True when the backend materializes (and must keep alive for backward)
+// every intermediate — i.e. the whole-graph tensor systems.
+bool BackendSavesIntermediates(Backend backend);
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_BACKEND_H_

@@ -1,0 +1,52 @@
+// APPNP — Approximate Personalized Propagation of Neural Predictions
+// (Klicpera et al.). An MLP produces initial predictions h0; K steps of
+// personalized-PageRank-style propagation follow:
+//
+//   h^{k+1} = (1 - alpha) * norm_v * sum_{u in N(v)} norm_u * h_u^k
+//             + alpha * h0_v
+//
+// One propagation step is one compiled vertex program; K steps chain K
+// fused kernels. APPNP stresses the propagation path (K=10 graph kernels per
+// forward pass against GCN's 2), which is why it dominates Fig. 10(c).
+#ifndef SRC_CORE_MODELS_APPNP_H_
+#define SRC_CORE_MODELS_APPNP_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+struct AppnpConfig {
+  int64_t hidden_dim = 64;
+  int num_hops = 10;     // K
+  float alpha = 0.1f;    // Teleport probability.
+  float dropout = 0.5f;
+  uint64_t seed = 0xa99;
+};
+
+class Appnp : public GnnModel {
+ public:
+  Appnp(const Dataset& data, const AppnpConfig& config, const BackendConfig& backend);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "APPNP"; }
+
+ private:
+  const Dataset& data_;
+  AppnpConfig config_;
+  BackendConfig backend_;
+  Rng rng_;
+  Linear mlp_in_;
+  Linear mlp_out_;
+  VertexProgram propagate_;  // One propagation step at width = num_classes.
+  Var features_;
+  Var norm_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_APPNP_H_

@@ -1,0 +1,62 @@
+// Graph Attention Network (Velickovic et al.; paper Fig. 2):
+//
+//   f_u = W h_u;  e_u = f_u . a_l;  e_v = f_v . a_r
+//   e_uv = LeakyReLU(e_u + e_v)
+//   a_uv = exp(e_uv) / sum_{u in N(v)} exp(e_uv)      (edge softmax)
+//   h_v' = sum_{u in N(v)} a_uv * f_u
+//
+// The whole attention stage after the dense projections is one compiled
+// vertex program (paper Fig. 3 / Fig. 6) — the most fusion-rich of the four
+// models, which is why GAT shows Seastar's largest speedups.
+#ifndef SRC_CORE_MODELS_GAT_H_
+#define SRC_CORE_MODELS_GAT_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+struct GatConfig {
+  int64_t hidden_dim = 8;  // Per head.
+  int num_heads = 8;       // Hidden layers; the output layer uses 1 head.
+  int num_layers = 2;
+  float feat_dropout = 0.6f;
+  float negative_slope = 0.2f;
+  uint64_t seed = 0x6a7;
+};
+
+class Gat : public GnnModel {
+ public:
+  Gat(const Dataset& data, const GatConfig& config, const BackendConfig& backend);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "GAT"; }
+
+ private:
+  struct Head {
+    Linear projection;
+    Var attn_left;   // [dim, 1]
+    Var attn_right;  // [dim, 1]
+  };
+  struct Layer {
+    std::vector<Head> heads;
+    VertexProgram program;  // Compiled attention kernel for this width.
+  };
+
+  Var RunHead(const Layer& layer, const Head& head, const Var& h) const;
+
+  const Dataset& data_;
+  GatConfig config_;
+  BackendConfig backend_;
+  Rng rng_;
+  std::vector<Layer> layers_;
+  Var features_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_GAT_H_

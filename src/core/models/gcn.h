@@ -1,0 +1,51 @@
+// Graph Convolutional Network (Kipf & Welling 2017; paper Fig. 1):
+//
+//   h_v^{l+1} = sigma(b^l + sum_{u in N(v)} (1 / norm) h_u^l W^l)
+//
+// The per-vertex linear transform runs on the dense tensor backend; the
+// normalized neighbor aggregation is a one-line vertex program (the paper's
+// headline usability example):
+//
+//   return sum([u.h * u.norm for u in v.innbs])
+#ifndef SRC_CORE_MODELS_GCN_H_
+#define SRC_CORE_MODELS_GCN_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+struct GcnConfig {
+  int64_t hidden_dim = 16;
+  int num_layers = 2;
+  float dropout = 0.5f;
+  uint64_t seed = 0x6c0;
+};
+
+class Gcn : public GnnModel {
+ public:
+  Gcn(const Dataset& data, const GcnConfig& config, const BackendConfig& backend);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "GCN"; }
+
+ private:
+  const Dataset& data_;
+  GcnConfig config_;
+  BackendConfig backend_;
+  Rng rng_;
+  std::vector<Linear> layers_;
+  std::vector<Var> biases_;
+  // One compiled aggregation program per layer width.
+  std::vector<VertexProgram> programs_;
+  Var features_;
+  Var norm_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_GCN_H_

@@ -1,0 +1,53 @@
+// Graph Isomorphism Network (Xu et al. 2019):
+//
+//   h_v' = MLP((1 + eps) * h_v + sum_{u in N(v)} h_u)
+//
+// The injective sum aggregation plus the learnable (or fixed) eps makes the
+// graph kernel a one-liner: AggSum(u.h) + (1 + eps) * v.h. Part of the
+// extended model zoo demonstrating API coverage beyond the paper's four
+// evaluated models.
+#ifndef SRC_CORE_MODELS_GIN_H_
+#define SRC_CORE_MODELS_GIN_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+struct GinConfig {
+  int64_t hidden_dim = 16;
+  int num_layers = 2;
+  float epsilon = 0.0f;  // Fixed (non-learnable) eps, as in GIN-0.
+  float dropout = 0.5f;
+  uint64_t seed = 0x619;
+};
+
+class Gin : public GnnModel {
+ public:
+  Gin(const Dataset& data, const GinConfig& config, const BackendConfig& backend);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "GIN"; }
+
+ private:
+  struct Layer {
+    Linear mlp_hidden;
+    Linear mlp_out;
+    VertexProgram program;
+  };
+
+  const Dataset& data_;
+  GinConfig config_;
+  BackendConfig backend_;
+  Rng rng_;
+  std::vector<Layer> layers_;
+  Var features_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_GIN_H_

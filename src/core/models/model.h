@@ -1,0 +1,33 @@
+// Common interface for the four evaluated GNN models (GCN, GAT, APPNP,
+// R-GCN). A model is bound to a Dataset at construction (the paper trains
+// full-graph, one model per dataset) and can run its graph kernels on any
+// Backend, which is how the three-system comparison is staged.
+#ifndef SRC_CORE_MODELS_MODEL_H_
+#define SRC_CORE_MODELS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/backend.h"
+#include "src/graph/datasets.h"
+#include "src/tensor/autograd.h"
+
+namespace seastar {
+
+class GnnModel {
+ public:
+  virtual ~GnnModel() = default;
+
+  // Full-graph forward pass producing per-vertex logits [N, num_classes].
+  virtual Var Forward(bool training) = 0;
+
+  // All trainable parameters (weights, biases, attention vectors,
+  // embeddings) for the optimizer.
+  virtual std::vector<Var> Parameters() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_MODEL_H_

@@ -1,0 +1,79 @@
+// Relational GCN (Schlichtkrull et al.) for heterogeneous knowledge graphs:
+//
+//   h_v^{l+1} = sigma( W_0^l h_v^l + sum_r sum_{u in N_r(v)} 1/c_{v,r} W_r^l h_u^l )
+//
+// where c_{v,r} = |N_r(v)|. The five execution modes reproduce the five
+// columns of the paper's Table 3:
+//
+//   kSeastar        — per-relation transforms batched into a [R, N, d] stack,
+//                     then ONE fused typed-aggregation kernel using the
+//                     edge-type secondary sort (§6.3.5).
+//   kDglBmm/kPygBmm — the paper's manually optimized baselines: the same
+//                     batched transform, but the typed gather/aggregate runs
+//                     on the whole-graph tensor executors.
+//   kDglSequential/kPygSequential — the naive per-relation path of DGL/PyG:
+//                     loop over relations, one dense GEMM + one subgraph
+//                     message-passing kernel per relation (90-206 kernel
+//                     sequences on the paper's datasets — the orders-of-
+//                     magnitude column of Table 3).
+#ifndef SRC_CORE_MODELS_RGCN_H_
+#define SRC_CORE_MODELS_RGCN_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+enum class RgcnMode {
+  kSeastar,
+  kDglBmm,
+  kPygBmm,
+  kDglSequential,
+  kPygSequential,
+};
+
+const char* RgcnModeName(RgcnMode mode);
+
+struct RgcnConfig {
+  int64_t hidden_dim = 16;
+  int num_layers = 2;
+  RgcnMode mode = RgcnMode::kSeastar;
+  uint64_t seed = 0x26c;
+};
+
+class Rgcn : public GnnModel {
+ public:
+  Rgcn(const Dataset& data, const RgcnConfig& config);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "R-GCN"; }
+
+ private:
+  struct Layer {
+    std::vector<Var> relation_weights;  // [in, out] per relation.
+    Var self_weight;                    // [in, out]
+    Var bias;                           // [out]
+    VertexProgram typed_program;        // Batched modes.
+    VertexProgram per_relation_program; // Sequential modes.
+  };
+
+  Var ForwardLayer(const Layer& layer, const Var& h, bool last);
+
+  const Dataset& data_;
+  RgcnConfig config_;
+  Rng rng_;
+  Embedding embedding_;
+  std::vector<Layer> layers_;
+  Var edge_norm_;  // [E, 1]: 1 / c_{dst(e), type(e)}.
+  // Sequential modes: one subgraph per relation plus its edge norms.
+  std::vector<Graph> relation_subgraphs_;
+  std::vector<Var> relation_edge_norms_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_RGCN_H_

@@ -1,0 +1,55 @@
+// GraphSAGE (Hamilton et al. 2017), mean- and pool-aggregator variants.
+// Not evaluated in the paper, but §4 claims the vertex-centric API covers
+// "most of the homogeneous and heterogeneous GNN models supported by PyG and
+// DGL" — the extended model zoo (SAGE, GIN, SGC) substantiates that claim.
+//
+//   mean:  h_v' = W_self h_v + W_nbr * mean_{u in N(v)} h_u
+//   pool:  h_v' = W_self h_v + W_nbr * max_{u in N(v)} relu(W_pool h_u + b)
+#ifndef SRC_CORE_MODELS_SAGE_H_
+#define SRC_CORE_MODELS_SAGE_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+enum class SageAggregator { kMean, kPool };
+
+struct SageConfig {
+  int64_t hidden_dim = 16;
+  int num_layers = 2;
+  SageAggregator aggregator = SageAggregator::kMean;
+  float dropout = 0.5f;
+  uint64_t seed = 0x5a6e;
+};
+
+class Sage : public GnnModel {
+ public:
+  Sage(const Dataset& data, const SageConfig& config, const BackendConfig& backend);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "GraphSAGE"; }
+
+ private:
+  struct Layer {
+    Linear self_transform;
+    Linear neighbor_transform;
+    Linear pool_transform;   // kPool only.
+    VertexProgram program;   // Mean or max aggregation at the layer width.
+  };
+
+  const Dataset& data_;
+  SageConfig config_;
+  BackendConfig backend_;
+  Rng rng_;
+  std::vector<Layer> layers_;
+  Var features_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_SAGE_H_

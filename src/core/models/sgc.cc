@@ -1,0 +1,37 @@
+#include "src/core/models/sgc.h"
+
+#include "src/common/logging.h"
+#include "src/core/backend.h"
+
+namespace seastar {
+
+Sgc::Sgc(const Dataset& data, const SgcConfig& config, const BackendConfig& backend)
+    : data_(data) {
+  SEASTAR_CHECK(data.features.defined()) << "SGC needs vertex features";
+  Rng rng(config.seed);
+
+  // Preprocessing: K rounds of normalized propagation, run once through the
+  // chosen backend (no tape — the result is a constant).
+  GirBuilder b;
+  const int32_t width = static_cast<int32_t>(data.features.dim(1));
+  b.MarkOutput(AggSum(b.Src("h", width) * b.Src("norm", 1)) * b.Dst("norm", 1), "out");
+  VertexProgram propagate = VertexProgram::Compile(std::move(b));
+
+  propagated_ = data.features;
+  for (int hop = 0; hop < config.num_hops; ++hop) {
+    FeatureMap features;
+    features.vertex["h"] = propagated_;
+    features.vertex["norm"] = data.gcn_norm;
+    RunResult result =
+        RunWithBackend(backend, propagate.forward(), data.graph, features, nullptr);
+    propagated_ = result.outputs.at("out");
+  }
+  propagated_var_ = Var::Leaf(propagated_, /*requires_grad=*/false);
+  classifier_ = Linear(data.features.dim(1), data.spec.num_classes, /*with_bias=*/true, rng);
+}
+
+Var Sgc::Forward(bool /*training*/) { return classifier_.Forward(propagated_var_); }
+
+std::vector<Var> Sgc::Parameters() const { return classifier_.Parameters(); }
+
+}  // namespace seastar

@@ -1,0 +1,46 @@
+// Simplified Graph Convolution (Wu et al. 2019): remove all nonlinearities
+// from GCN and collapse the K-hop propagation into a preprocessing step:
+//
+//   logits = (S^K X) W,   S = normalized adjacency.
+//
+// SGC highlights a different execution profile than the trained models: its
+// propagation S^K X has no gradient (the features are constant), so the
+// whole graph part runs exactly once and is cached — the per-epoch cost is a
+// single dense GEMM. Part of the extended model zoo.
+#ifndef SRC_CORE_MODELS_SGC_H_
+#define SRC_CORE_MODELS_SGC_H_
+
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/core/nn.h"
+#include "src/core/program.h"
+
+namespace seastar {
+
+struct SgcConfig {
+  int num_hops = 2;  // K
+  uint64_t seed = 0x56c;
+};
+
+class Sgc : public GnnModel {
+ public:
+  Sgc(const Dataset& data, const SgcConfig& config, const BackendConfig& backend);
+
+  Var Forward(bool training) override;
+  std::vector<Var> Parameters() const override;
+  const char* name() const override { return "SGC"; }
+
+  // The precomputed S^K X (exposed for tests).
+  const Tensor& propagated_features() const { return propagated_; }
+
+ private:
+  const Dataset& data_;
+  Linear classifier_;
+  Tensor propagated_;
+  Var propagated_var_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_MODELS_SGC_H_

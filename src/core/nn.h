@@ -1,0 +1,96 @@
+// Neural-network building blocks on top of the autograd tape: parameter
+// containers, layers used by the four paper models, optimizers, and metrics.
+#ifndef SRC_CORE_NN_H_
+#define SRC_CORE_NN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+
+// Fully connected layer: y = x @ W (+ b).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int64_t in_features, int64_t out_features, bool with_bias, Rng& rng);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const;
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_ = 0;
+  int64_t out_features_ = 0;
+  Var weight_;  // [in, out]
+  Var bias_;    // [out] (undefined when bias disabled)
+};
+
+// Learned per-vertex embedding table (the input layer for featureless
+// knowledge graphs in R-GCN).
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(int64_t num_rows, int64_t dim, Rng& rng);
+
+  // The whole table as a Var (full-graph training uses every row).
+  const Var& Full() const { return table_; }
+  std::vector<Var> Parameters() const { return {table_}; }
+
+ private:
+  Var table_;
+};
+
+// Computes the stack H_r = x @ weights[r] for all relations as one
+// [num_relations, N, dim] Var — the batched-matmul building block of R-GCN
+// (both the Seastar path and the paper's DGL-bmm / PyG-bmm baselines).
+Var StackedRelationMatmul(const Var& x, const std::vector<Var>& weights);
+
+// ---- Optimizers ----------------------------------------------------------------------------------
+
+class Sgd {
+ public:
+  Sgd(std::vector<Var> parameters, float lr) : parameters_(std::move(parameters)), lr_(lr) {}
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Var> parameters_;
+  float lr_;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Var> parameters, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Var> parameters_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+};
+
+// ---- Metrics -------------------------------------------------------------------------------------
+
+// Fraction of rows in `rows` (all rows when empty) whose argmax matches the
+// label.
+float Accuracy(const Tensor& logits, const std::vector<int32_t>& labels,
+               const std::vector<int32_t>& rows);
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_NN_H_

@@ -1,0 +1,186 @@
+#include "src/core/program.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/gir/fusion.h"
+#include "src/gir/passes.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+
+struct VertexProgram::Data {
+  GirGraph forward;
+  BackwardGir backward;
+};
+
+VertexProgram VertexProgram::Compile(GirBuilder&& builder) {
+  auto data = std::make_shared<Data>();
+  PassResult passes = RunStandardPasses(builder.graph());
+  data->forward = std::move(passes.graph);
+  SEASTAR_CHECK_EQ(data->forward.outputs().size(), 1u)
+      << "a vertex program must have exactly one output";
+  data->backward = BuildBackward(data->forward, data->forward.outputs()[0]);
+  OptimizeBackward(&data->backward);
+  VertexProgram program;
+  program.data_ = std::move(data);
+  return program;
+}
+
+const GirGraph& VertexProgram::forward() const {
+  SEASTAR_CHECK(data_ != nullptr);
+  return data_->forward;
+}
+
+const BackwardGir& VertexProgram::backward() const {
+  SEASTAR_CHECK(data_ != nullptr);
+  return data_->backward;
+}
+
+Var VertexProgram::Run(const Graph& graph, const Inputs& inputs,
+                       const BackendConfig& config) const {
+  SEASTAR_CHECK(data_ != nullptr);
+  const std::shared_ptr<const Data> data = data_;
+
+  // Bind runtime tensors.
+  FeatureMap features;
+  for (const auto& [key, var] : inputs.vertex) {
+    features.vertex[key] = var.value();
+  }
+  for (const auto& [key, var] : inputs.edge) {
+    features.edge[key] = var.value();
+  }
+  for (const auto& [key, var] : inputs.typed_vertex) {
+    features.typed_vertex[key] = var.value();
+  }
+
+  // What autograd retains from the forward pass: exactly the values the
+  // backward GIR reads through its (seeded) forward-copy nodes. Everything
+  // else is a temporary the framework frees eagerly.
+  std::vector<int32_t> forward_retain;
+  for (size_t fwd_id = 0; fwd_id < data->backward.forward_copy.size(); ++fwd_id) {
+    if (data->backward.forward_copy[fwd_id] >= 0) {
+      forward_retain.push_back(static_cast<int32_t>(fwd_id));
+    }
+  }
+  RunResult fwd = RunWithBackend(config, data->forward, graph, features, nullptr,
+                                 &forward_retain);
+  SEASTAR_CHECK_EQ(fwd.outputs.size(), 1u);
+  Tensor output = fwd.outputs.begin()->second;
+
+  // Assemble the tape inputs: every distinct Var whose gradient the backward
+  // GIR produces, together with the backward output names feeding it.
+  struct TapeInput {
+    Var var;
+    std::vector<std::string> grad_outputs;
+  };
+  std::vector<TapeInput> tape_inputs;
+  const auto attach = [&](const Var& var, const std::string& grad_output) {
+    for (TapeInput& entry : tape_inputs) {
+      if (entry.var.node() == var.node()) {
+        entry.grad_outputs.push_back(grad_output);
+        return;
+      }
+    }
+    tape_inputs.push_back(TapeInput{var, {grad_output}});
+  };
+  for (const InputGradInfo& info : data->backward.input_grads) {
+    if (info.typed) {
+      auto it = inputs.typed_vertex.find(info.key);
+      SEASTAR_CHECK(it != inputs.typed_vertex.end()) << "missing typed input " << info.key;
+      attach(it->second, info.output_name);
+    } else if (info.access == GraphType::kEdge) {
+      auto it = inputs.edge.find(info.key);
+      SEASTAR_CHECK(it != inputs.edge.end()) << "missing edge input " << info.key;
+      attach(it->second, info.output_name);
+    } else {
+      auto it = inputs.vertex.find(info.key);
+      SEASTAR_CHECK(it != inputs.vertex.end()) << "missing vertex input " << info.key;
+      attach(it->second, info.output_name);
+    }
+  }
+
+  std::vector<Var> tape_vars;
+  tape_vars.reserve(tape_inputs.size());
+  for (const TapeInput& entry : tape_inputs) {
+    tape_vars.push_back(entry.var);
+  }
+
+  // The baselines keep every forward intermediate alive for backward
+  // (autograd saved tensors); Seastar recomputes in fused kernels and frees
+  // eagerly (§5.3), so its saved map is dropped here.
+  std::shared_ptr<std::map<int32_t, Tensor>> saved;
+  if (BackendSavesIntermediates(config.backend)) {
+    saved = fwd.saved;
+  }
+
+  std::vector<std::vector<std::string>> grad_output_names;
+  grad_output_names.reserve(tape_inputs.size());
+  for (const TapeInput& entry : tape_inputs) {
+    grad_output_names.push_back(entry.grad_outputs);
+  }
+
+  const Graph* graph_ptr = &graph;
+  auto backward_fn = [data, config, features, saved, graph_ptr,
+                      grad_output_names](const Tensor& grad_out) {
+    FeatureMap backward_features = features;
+    backward_features.vertex[kGradInputKey] = grad_out;
+
+    SeedMap seed;
+    const SeedMap* seed_ptr = nullptr;
+    if (saved != nullptr) {
+      for (size_t fwd_id = 0; fwd_id < data->backward.forward_copy.size(); ++fwd_id) {
+        const int32_t bwd_id = data->backward.forward_copy[fwd_id];
+        if (bwd_id < 0) {
+          continue;
+        }
+        auto it = saved->find(static_cast<int32_t>(fwd_id));
+        if (it != saved->end()) {
+          seed.emplace(bwd_id, it->second);
+        }
+      }
+      seed_ptr = &seed;
+    }
+
+    // Backward temporaries are released as soon as consumed (empty retain).
+    const std::vector<int32_t> no_retain;
+    RunResult bwd = RunWithBackend(config, data->backward.graph, *graph_ptr, backward_features,
+                                   seed_ptr, &no_retain);
+    std::vector<Tensor> grads;
+    grads.reserve(grad_output_names.size());
+    for (const auto& names : grad_output_names) {
+      Tensor total;
+      for (const std::string& name : names) {
+        const Tensor& piece = bwd.outputs.at(name);
+        // Single-access inputs share the executor's output tensor directly —
+        // cloning a [num_types, N, d] R-GCN gradient stack here would
+        // transiently double its footprint. The one output that may alias a
+        // caller-owned tensor is the identity adjoint (grad == grad_out
+        // itself); that one is cloned so downstream in-place accumulation
+        // cannot corrupt the upstream gradient.
+        const bool aliases_grad_out = piece.defined() && piece.data() == grad_out.data();
+        total = total.defined() ? ops::Add(total, piece)
+                                : (aliases_grad_out ? piece.Clone() : piece);
+      }
+      grads.push_back(std::move(total));
+    }
+    return grads;
+  };
+
+  return ag::CustomOp(std::move(tape_vars), std::move(output), std::move(backward_fn),
+                      "vertex_program");
+}
+
+std::string VertexProgram::DebugString() const {
+  SEASTAR_CHECK(data_ != nullptr);
+  std::ostringstream os;
+  os << "=== forward GIR ===\n" << data_->forward.ToString();
+  os << "=== forward plan ===\n"
+     << BuildExecutionPlan(data_->forward).ToString(data_->forward);
+  os << "=== backward GIR ===\n" << data_->backward.graph.ToString();
+  os << "=== backward plan ===\n"
+     << BuildExecutionPlan(data_->backward.graph).ToString(data_->backward.graph);
+  return os.str();
+}
+
+}  // namespace seastar

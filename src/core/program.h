@@ -1,0 +1,66 @@
+// VertexProgram: the compiled artifact behind the paper's @Seastar.compile
+// decorator (§4-§5), bridged into the tensor autograd tape.
+//
+// Compile() takes a traced GirBuilder, runs the graph-level optimization
+// passes, differentiates the (single) output into a backward GIR, and
+// optimizes that too. Run() executes the forward program on a chosen backend
+// and registers a custom autograd function whose backward executes the
+// backward GIR — for the Seastar backend by *recomputing* intra-unit edge
+// values inside fused kernels (nothing saved), for the baseline backends by
+// seeding the recompute nodes from the tensors their forward pass
+// materialized (autograd saved-tensors, kept alive until backward, which is
+// what the peak-memory experiments observe).
+//
+// Typical use (GAT's attention stage):
+//
+//   GirBuilder b;
+//   Value e = Exp(LeakyRelu(b.Src("eu", 1) + b.Dst("ev", 1), 0.2f));
+//   Value a = e / AggSum(e);
+//   b.MarkOutput(AggSum(a * b.Src("h", hidden)), "out");
+//   VertexProgram program = VertexProgram::Compile(std::move(b));
+//   ...
+//   Var out = program.Run(graph, {.vertex = {{"eu", eu}, {"ev", ev}, {"h", f}}}, config);
+#ifndef SRC_CORE_PROGRAM_H_
+#define SRC_CORE_PROGRAM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/backend.h"
+#include "src/gir/autodiff.h"
+#include "src/gir/builder.h"
+#include "src/tensor/autograd.h"
+
+namespace seastar {
+
+class VertexProgram {
+ public:
+  struct Inputs {
+    std::map<std::string, Var> vertex;        // [N, w]
+    std::map<std::string, Var> edge;          // [num_edges, w]
+    std::map<std::string, Var> typed_vertex;  // [num_types, N, w]
+  };
+
+  // Compiles the builder's program (which must have exactly one output):
+  // standard passes + GIR autodiff + backward passes.
+  static VertexProgram Compile(GirBuilder&& builder);
+
+  // Executes forward under `config` and hooks the backward GIR into the
+  // autograd tape. `graph` must outlive the tape (i.e. the training step).
+  Var Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config) const;
+
+  const GirGraph& forward() const;
+  const BackwardGir& backward() const;
+
+  // Human-readable dump of both GIRs and the Seastar execution plans.
+  std::string DebugString() const;
+
+ private:
+  struct Data;
+  std::shared_ptr<const Data> data_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_PROGRAM_H_

@@ -1,0 +1,79 @@
+#include "src/core/train.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/core/nn.h"
+#include "src/tensor/allocator.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+
+TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
+                                    const TrainConfig& config) {
+  TrainResult result;
+  TensorAllocator& allocator = TensorAllocator::Get();
+  allocator.SetSoftBudgetBytes(config.memory_budget_bytes);
+
+  std::vector<Var> parameters = model.Parameters();
+  std::unique_ptr<Adam> adam;
+  std::unique_ptr<Sgd> sgd;
+  if (config.use_adam) {
+    adam = std::make_unique<Adam>(parameters, config.learning_rate);
+  } else {
+    sgd = std::make_unique<Sgd>(parameters, config.learning_rate);
+  }
+
+  Stopwatch total_watch;
+  double timed_ms = 0.0;
+  int timed_epochs = 0;
+  Tensor last_logits;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Stopwatch epoch_watch;
+    allocator.ResetPeak();
+
+    Var logits = model.Forward(/*training=*/true);
+    Var loss = ag::NllLoss(ag::LogSoftmax(logits), data.labels, data.train_mask);
+    Backward(loss, Tensor::Ones({1}));
+    if (adam != nullptr) {
+      adam->Step();
+      adam->ZeroGrad();
+    } else {
+      sgd->Step();
+      sgd->ZeroGrad();
+    }
+
+    result.final_loss = loss.value().at(0);
+    last_logits = logits.value();
+    result.peak_bytes = std::max(result.peak_bytes, allocator.peak_bytes());
+    ++result.epochs_run;
+
+    const double epoch_ms = epoch_watch.ElapsedMillis();
+    if (epoch >= config.warmup_epochs) {
+      timed_ms += epoch_ms;
+      ++timed_epochs;
+    }
+    if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
+      SEASTAR_LOG(Info) << model.name() << " epoch " << epoch << " loss=" << result.final_loss
+                        << " (" << epoch_ms << " ms)";
+    }
+    if (config.memory_budget_bytes != 0 && allocator.budget_exceeded()) {
+      result.oom = true;
+      break;
+    }
+  }
+
+  allocator.SetSoftBudgetBytes(0);
+  result.total_seconds = total_watch.ElapsedSeconds();
+  result.avg_epoch_ms = timed_epochs > 0 ? timed_ms / timed_epochs : 0.0;
+  if (last_logits.defined()) {
+    result.train_accuracy = Accuracy(last_logits, data.labels, data.train_mask);
+  }
+  return result;
+}
+
+}  // namespace seastar

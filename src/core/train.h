@@ -1,0 +1,44 @@
+// Full-graph node-classification training loop with the paper's measurement
+// protocol (§7): N epochs, the first few discarded as warm-up, average
+// per-epoch wall time and peak tensor memory reported. A soft memory budget
+// reproduces the paper's OOM outcomes without exhausting host RAM.
+#ifndef SRC_CORE_TRAIN_H_
+#define SRC_CORE_TRAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/models/model.h"
+#include "src/graph/datasets.h"
+
+namespace seastar {
+
+struct TrainConfig {
+  int epochs = 200;
+  int warmup_epochs = 3;  // Discarded from timing (paper §7).
+  float learning_rate = 1e-2f;
+  bool use_adam = true;
+  // 0 = unlimited. When the live tensor bytes exceed this during an epoch,
+  // training stops and the result is flagged oom.
+  uint64_t memory_budget_bytes = 0;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  double avg_epoch_ms = 0.0;   // Over post-warmup epochs.
+  double total_seconds = 0.0;
+  float final_loss = 0.0f;
+  float train_accuracy = 0.0f;
+  uint64_t peak_bytes = 0;     // Max over epochs of tensor-allocator peak.
+  bool oom = false;
+  int epochs_run = 0;
+};
+
+// Trains `model` on `data` (cross-entropy on data.train_mask) and reports
+// the paper's metrics.
+TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
+                                    const TrainConfig& config);
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_TRAIN_H_

@@ -1,0 +1,18 @@
+#include "src/exec/kernel_counter.h"
+
+#include <atomic>
+
+namespace seastar {
+namespace {
+std::atomic<int64_t> g_kernel_launches{0};
+}  // namespace
+
+void AddKernelLaunches(int64_t count) {
+  g_kernel_launches.fetch_add(count, std::memory_order_relaxed);
+}
+
+int64_t KernelLaunchCount() { return g_kernel_launches.load(std::memory_order_relaxed); }
+
+void ResetKernelLaunchCount() { g_kernel_launches.store(0, std::memory_order_relaxed); }
+
+}  // namespace seastar

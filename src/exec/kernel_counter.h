@@ -1,0 +1,24 @@
+// Process-global kernel-launch counter.
+//
+// On a GPU, every operator execution is a kernel launch with fixed overhead,
+// and the paper's Table 3 contrast (fused/batched R-GCN vs per-relation
+// sequential execution) is largely launch-bound. On this CPU simulation all
+// strategies execute the same arithmetic, so the wall-clock contrast
+// compresses; the launch counter preserves the mechanism: the Seastar
+// executor counts one launch per fused execution unit, the baseline
+// executors one per operator kernel (including gathers), and the benches
+// report launches/epoch alongside time.
+#ifndef SRC_EXEC_KERNEL_COUNTER_H_
+#define SRC_EXEC_KERNEL_COUNTER_H_
+
+#include <cstdint>
+
+namespace seastar {
+
+void AddKernelLaunches(int64_t count);
+int64_t KernelLaunchCount();
+void ResetKernelLaunchCount();
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_KERNEL_COUNTER_H_

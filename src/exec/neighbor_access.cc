@@ -1,0 +1,153 @@
+#include "src/exec/neighbor_access.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/parallel/simt.h"
+#include "src/parallel/thread_pool.h"
+
+namespace seastar {
+namespace {
+
+inline void AtomicAdd(float* target, float value) {
+  std::atomic_ref<float> ref(*target);
+  float current = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(current, current + value, std::memory_order_relaxed)) {
+  }
+}
+
+inline int64_t FindKeyPosition(const std::vector<int64_t>& offsets, int64_t slot) {
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(offsets.size()) - 2;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi + 1) / 2;
+    if (offsets[static_cast<size_t>(mid)] <= slot) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+// Vertex-parallel edge-sequential aggregation with an explicit SIMT lane
+// loop of `lanes_per_group` lanes per vertex. Lanes with lane >= D execute
+// as masked no-ops — they still cost an iteration, exactly like idle SIMT
+// lanes cost issue slots on a GPU. This is what separates kBasic
+// (lanes_per_group = block_size) from the FAT variants (lanes = 2^k <= D).
+void VertexParallelKernel(const Csr& csr, const Tensor& features, Tensor& out,
+                          int lanes_per_group, int groups_per_block, int64_t num_blocks,
+                          BlockSchedule schedule) {
+  const int64_t num_vertices = csr.num_vertices;
+  const int64_t d = features.dim(1);
+  const float* feat = features.data();
+  float* out_base = out.data();
+
+  SimtLaunchParams launch;
+  launch.num_blocks = num_blocks;
+  launch.schedule = schedule;
+  LaunchBlocks(launch, [&](int64_t block_id, int /*worker*/) {
+    const int64_t first = block_id * groups_per_block;
+    const int64_t last = std::min<int64_t>(first + groups_per_block, num_vertices);
+    for (int64_t k = first; k < last; ++k) {
+      const int64_t key = csr.position_vertex[static_cast<size_t>(k)];
+      float* out_row = out_base + key * d;
+      // Registers initialized per chunk inside the lane loop below; here we
+      // zero the destination row once (it is private to this group).
+      std::memset(out_row, 0, static_cast<size_t>(d) * sizeof(float));
+      const int64_t begin = csr.offsets[static_cast<size_t>(k)];
+      const int64_t end = csr.offsets[static_cast<size_t>(k) + 1];
+      // The feature vector is covered in chunks of lanes_per_group lanes;
+      // every lane iteration executes, active or masked.
+      for (int64_t chunk = 0; chunk < d; chunk += lanes_per_group) {
+        for (int64_t slot = begin; slot < end; ++slot) {
+          const int64_t nbr = csr.nbr_ids[static_cast<size_t>(slot)];
+          const float* nbr_row = feat + nbr * d;
+          for (int lane = 0; lane < lanes_per_group; ++lane) {
+            const int64_t j = chunk + lane;
+            if (j < d) {
+              out_row[j] += nbr_row[j];
+            }
+            // Masked lanes fall through: the iteration itself is the cost.
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+const char* NeighborAccessStrategyName(NeighborAccessStrategy strategy) {
+  switch (strategy) {
+    case NeighborAccessStrategy::kDglBinarySearch:
+      return "DGL(binary-search)";
+    case NeighborAccessStrategy::kBasic:
+      return "Basic";
+    case NeighborAccessStrategy::kFaUnsorted:
+      return "FA+Unsorted";
+    case NeighborAccessStrategy::kFaSortedAtomic:
+      return "FA+Sorting+Atomic";
+    case NeighborAccessStrategy::kFaSortedDynamic:
+      return "FA+Sorting+Dynamic";
+  }
+  return "?";
+}
+
+Tensor RunNeighborAccess(NeighborAccessStrategy strategy, const Graph& sorted_graph,
+                         const Graph& unsorted_graph, const Tensor& features, int block_size) {
+  SEASTAR_CHECK_EQ(features.dim(0), sorted_graph.num_vertices());
+  const int64_t num_vertices = sorted_graph.num_vertices();
+  const int64_t d = features.dim(1);
+  Tensor out({num_vertices, d});
+
+  switch (strategy) {
+    case NeighborAccessStrategy::kDglBinarySearch: {
+      // Edge-parallel: binary search per edge, atomic accumulation, dst rows
+      // re-loaded per edge (paper §6.3's description of minigun).
+      out.Fill(0.0f);
+      const Csr& csr = unsorted_graph.in_csr();
+      const float* feat = features.data();
+      float* out_base = out.data();
+      ParallelFor(csr.num_edges, [&](int64_t begin, int64_t end) {
+        for (int64_t slot = begin; slot < end; ++slot) {
+          const int64_t position = FindKeyPosition(csr.offsets, slot);
+          const int64_t key = csr.position_vertex[static_cast<size_t>(position)];
+          const int64_t nbr = csr.nbr_ids[static_cast<size_t>(slot)];
+          const float* nbr_row = feat + nbr * d;
+          float* out_row = out_base + key * d;
+          for (int64_t j = 0; j < d; ++j) {
+            AtomicAdd(&out_row[j], nbr_row[j]);
+          }
+        }
+      });
+      return out;
+    }
+    case NeighborAccessStrategy::kBasic: {
+      // One vertex per whole block: all block_size lanes iterate, most idle.
+      const Csr& csr = unsorted_graph.in_csr();
+      VertexParallelKernel(csr, features, out, /*lanes_per_group=*/block_size,
+                           /*groups_per_block=*/1, /*num_blocks=*/num_vertices,
+                           BlockSchedule::kChunkedDynamic);
+      return out;
+    }
+    case NeighborAccessStrategy::kFaUnsorted:
+    case NeighborAccessStrategy::kFaSortedAtomic:
+    case NeighborAccessStrategy::kFaSortedDynamic: {
+      const bool sorted = strategy != NeighborAccessStrategy::kFaUnsorted;
+      const Csr& csr = sorted ? sorted_graph.in_csr() : unsorted_graph.in_csr();
+      const FatGeometry geometry = FatGeometry::Compute(num_vertices, d, block_size);
+      const BlockSchedule schedule = strategy == NeighborAccessStrategy::kFaSortedAtomic
+                                         ? BlockSchedule::kAtomicPerBlock
+                                         : BlockSchedule::kChunkedDynamic;
+      VertexParallelKernel(csr, features, out, geometry.group_size, geometry.groups_per_block,
+                           geometry.num_blocks, schedule);
+      return out;
+    }
+  }
+  SEASTAR_LOG(Fatal) << "unknown strategy";
+  return out;
+}
+
+}  // namespace seastar

@@ -1,0 +1,53 @@
+// The neighbor-access micro-benchmark of the paper (§6.3 / Fig. 12): for
+// every vertex, sum the feature vectors of its in-neighbors. The five kernel
+// strategies isolate the contribution of each Seastar design decision:
+//
+//   kDglBinarySearch     — the baseline: edge-parallel; every edge
+//                          binary-searches the vertex-offset array for its
+//                          destination and accumulates with atomics (DGL /
+//                          minigun's strategy).
+//   kBasic               — vertex-parallel edge-sequential, but one vertex
+//                          per whole 256-lane block: lanes beyond the
+//                          feature width run as masked no-ops, so small
+//                          features waste almost the entire block (the GPU
+//                          occupancy cliff, reproduced as wasted lane
+//                          iterations on the host).
+//   kFaUnsorted          — feature-adaptive groups (§6.3.1), vertices in
+//                          original order.
+//   kFaSortedAtomic      — FAT groups + degree sorting + the persistent-
+//                          threads atomic counter (§6.3.3 "Dynamic
+//                          scheduling", atomic variant).
+//   kFaSortedDynamic     — FAT groups + degree sorting + hardware-order
+//                          block scheduling (built-in block id).
+//
+// All strategies compute the identical output, asserted by tests.
+#ifndef SRC_EXEC_NEIGHBOR_ACCESS_H_
+#define SRC_EXEC_NEIGHBOR_ACCESS_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+
+enum class NeighborAccessStrategy {
+  kDglBinarySearch,
+  kBasic,
+  kFaUnsorted,
+  kFaSortedAtomic,
+  kFaSortedDynamic,
+};
+
+const char* NeighborAccessStrategyName(NeighborAccessStrategy strategy);
+
+// Sums in-neighbor rows of `features` ([N, D]) into a fresh [N, D] tensor.
+// `sorted_graph` must be built with sort_by_degree=true, `unsorted_graph`
+// with false; strategies pick the one they are defined over.
+Tensor RunNeighborAccess(NeighborAccessStrategy strategy, const Graph& sorted_graph,
+                         const Graph& unsorted_graph, const Tensor& features,
+                         int block_size = 256);
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_NEIGHBOR_ACCESS_H_

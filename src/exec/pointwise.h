@@ -1,0 +1,129 @@
+// Scalar/vector evaluation of pointwise GIR ops, shared by the fused-kernel
+// interpreter and the baseline executors so all backends compute identical
+// arithmetic (differences between systems must come from strategy, not math).
+#ifndef SRC_EXEC_POINTWISE_H_
+#define SRC_EXEC_POINTWISE_H_
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/gir/ir.h"
+
+namespace seastar {
+
+// out[0..w) = op(a, b) with width-1 broadcast on either operand. For
+// kDotProduct / kReduceWidthSum, w is the *input* width and out has width 1.
+inline void PointwiseApply(OpKind kind, float attr, float* out, int32_t w, const float* a,
+                           int32_t wa, const float* b, int32_t wb) {
+  switch (kind) {
+    case OpKind::kAdd:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[wa == 1 ? 0 : j] + b[wb == 1 ? 0 : j];
+      }
+      return;
+    case OpKind::kSub:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[wa == 1 ? 0 : j] - b[wb == 1 ? 0 : j];
+      }
+      return;
+    case OpKind::kMul:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[wa == 1 ? 0 : j] * b[wb == 1 ? 0 : j];
+      }
+      return;
+    case OpKind::kDiv:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[wa == 1 ? 0 : j] / b[wb == 1 ? 0 : j];
+      }
+      return;
+    case OpKind::kDotProduct: {
+      float acc = 0.0f;
+      for (int32_t j = 0; j < wa; ++j) {
+        acc += a[j] * b[wb == 1 ? 0 : j];
+      }
+      out[0] = acc;
+      return;
+    }
+    case OpKind::kEqualMask:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[wa == 1 ? 0 : j] == b[wb == 1 ? 0 : j] ? 1.0f : 0.0f;
+      }
+      return;
+    case OpKind::kReduceWidthSum: {
+      float acc = 0.0f;
+      for (int32_t j = 0; j < wa; ++j) {
+        acc += a[j];
+      }
+      out[0] = acc;
+      return;
+    }
+    case OpKind::kNeg:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = -a[j];
+      }
+      return;
+    case OpKind::kExp:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = std::exp(a[j]);
+      }
+      return;
+    case OpKind::kLog:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = std::log(a[j]);
+      }
+      return;
+    case OpKind::kRelu:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[j] > 0.0f ? a[j] : 0.0f;
+      }
+      return;
+    case OpKind::kLeakyRelu:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[j] > 0.0f ? a[j] : attr * a[j];
+      }
+      return;
+    case OpKind::kSigmoid:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = 1.0f / (1.0f + std::exp(-a[j]));
+      }
+      return;
+    case OpKind::kTanh:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = std::tanh(a[j]);
+      }
+      return;
+    case OpKind::kIdentity:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = a[wa == 1 ? 0 : j];
+      }
+      return;
+    case OpKind::kReluGrad:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = b[wb == 1 ? 0 : j] > 0.0f ? a[wa == 1 ? 0 : j] : 0.0f;
+      }
+      return;
+    case OpKind::kLeakyReluGrad:
+      for (int32_t j = 0; j < w; ++j) {
+        out[j] = b[wb == 1 ? 0 : j] > 0.0f ? a[wa == 1 ? 0 : j] : attr * a[wa == 1 ? 0 : j];
+      }
+      return;
+    case OpKind::kSigmoidGrad:
+      for (int32_t j = 0; j < w; ++j) {
+        const float y = b[wb == 1 ? 0 : j];
+        out[j] = a[wa == 1 ? 0 : j] * y * (1.0f - y);
+      }
+      return;
+    case OpKind::kTanhGrad:
+      for (int32_t j = 0; j < w; ++j) {
+        const float y = b[wb == 1 ? 0 : j];
+        out[j] = a[wa == 1 ? 0 : j] * (1.0f - y * y);
+      }
+      return;
+    default:
+      SEASTAR_LOG(Fatal) << "not a pointwise op: " << OpKindName(kind);
+  }
+}
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_POINTWISE_H_

@@ -1,0 +1,548 @@
+#include "src/exec/seastar_executor.h"
+
+#include <atomic>
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/exec/kernel_counter.h"
+#include "src/exec/pointwise.h"
+#include "src/parallel/thread_pool.h"
+
+namespace seastar {
+namespace {
+
+// Where an operand's bytes come from at kernel time.
+enum class Src : uint8_t {
+  kReg,        // Scratch register of the current FAT group.
+  kKeyRow,     // base + key_vertex * width (key-side vertex tensor).
+  kNbrRow,     // base + nbr_vertex * width.
+  kEdgeRow,    // base + edge_id * width.
+  kTypedRow,   // base + (edge_type * num_vertices + nbr_vertex) * width.
+  kScalar,     // Immediate.
+};
+
+struct Operand {
+  Src src = Src::kScalar;
+  int32_t reg = 0;
+  const float* base = nullptr;
+  int32_t width = 1;
+  float scalar = 0.0f;
+};
+
+// Where a computed value is written (if materialized).
+enum class MatKind : uint8_t { kNone, kKeyRow, kNbrRow, kEdgeRow };
+
+struct Instr {
+  OpKind kind = OpKind::kIdentity;
+  int32_t width = 1;
+  float attr = 0.0f;
+  Operand a;
+  Operand b;
+  bool binary = false;
+  int32_t out_reg = 0;
+  MatKind mat = MatKind::kNone;
+  float* mat_base = nullptr;
+};
+
+struct AggInstr {
+  OpKind kind = OpKind::kAggSum;
+  int32_t width = 1;
+  Operand input;
+  int32_t acc_reg = 0;    // Outer accumulator.
+  int32_t inner_reg = 0;  // Inner (per-type) accumulator for typed aggs.
+  // Materialization (aggregation results are key-side rows, except
+  // kAggTypedToSrc which writes a [num_types, N, width] stack).
+  float* mat_base = nullptr;
+  bool materialized = false;
+  int64_t typed_rows = 0;  // = num_vertices for kAggTypedToSrc.
+};
+
+struct CompiledUnit {
+  GraphType orientation = GraphType::kDst;
+  bool needs_edge_loop = false;
+  bool has_typed_agg = false;
+  std::vector<Instr> invariant;  // Key-side pre ops (loop hoisted).
+  std::vector<Instr> edge;       // Per-edge ops.
+  std::vector<AggInstr> aggs;
+  std::vector<Instr> post;       // Post-aggregation key-side ops.
+  int32_t scratch_floats = 0;
+  int32_t max_width = 1;
+};
+
+inline const float* Resolve(const Operand& op, const float* scratch, int64_t key, int64_t nbr,
+                            int64_t eid, int32_t etype, int64_t typed_stride) {
+  switch (op.src) {
+    case Src::kReg:
+      return scratch + op.reg;
+    case Src::kKeyRow:
+      return op.base + key * op.width;
+    case Src::kNbrRow:
+      return op.base + nbr * op.width;
+    case Src::kEdgeRow:
+      return op.base + eid * op.width;
+    case Src::kTypedRow:
+      return op.base + (static_cast<int64_t>(etype) * typed_stride + nbr) * op.width;
+    case Src::kScalar:
+      return &op.scalar;
+  }
+  return nullptr;
+}
+
+// Evaluates one pointwise instruction into scratch.
+inline void EvalInstr(const Instr& instr, float* scratch, const float* a, const float* b) {
+  PointwiseApply(instr.kind, instr.attr, scratch + instr.out_reg, instr.width, a, instr.a.width,
+                 b, instr.b.width);
+}
+
+inline void AtomicStoreRow(float* dst, const float* src, int32_t width) {
+  // Benign overwrite of identical values from concurrent FAT groups;
+  // relaxed atomics keep it defined behaviour.
+  for (int32_t j = 0; j < width; ++j) {
+    std::atomic_ref<float>(dst[j]).store(src[j], std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+ExecutionPlan SeastarExecutor::Plan(const GirGraph& gir) const {
+  FusionOptions fusion_options;
+  fusion_options.enable_fusion = options_.enable_fusion;
+  return BuildExecutionPlan(gir, fusion_options);
+}
+
+RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
+                               const FeatureMap& features, const SeedMap* /*seed*/) const {
+  const ExecutionPlan plan = Plan(gir);
+  const int64_t num_vertices = graph.num_vertices();
+  const int64_t num_edges = graph.num_edges();
+  const int32_t num_types = graph.num_edge_types();
+
+  // Degree tensors (width-1 vertex features) for kDegree leaves.
+  Tensor in_degree({num_vertices, 1});
+  Tensor out_degree({num_vertices, 1});
+  bool degrees_ready = false;
+  const auto ensure_degrees = [&] {
+    if (degrees_ready) {
+      return;
+    }
+    for (int64_t v = 0; v < num_vertices; ++v) {
+      in_degree.at(v, 0) = static_cast<float>(graph.InDegree(static_cast<int32_t>(v)));
+      out_degree.at(v, 0) = static_cast<float>(graph.OutDegree(static_cast<int32_t>(v)));
+    }
+    degrees_ready = true;
+  };
+
+  // Scalar values of P-typed nodes.
+  std::vector<float> scalar_value(static_cast<size_t>(gir.num_nodes()), 0.0f);
+  // Materialized tensors by node id.
+  auto saved = std::make_shared<std::map<int32_t, Tensor>>();
+  // Leaf bindings by node id (not owned by `saved` — they are caller inputs).
+  std::map<int32_t, Tensor> leaf_value;
+
+  // Evaluate scalars and bind leaves up front.
+  for (const Node& node : gir.nodes()) {
+    switch (node.kind) {
+      case OpKind::kConst:
+        scalar_value[static_cast<size_t>(node.id)] = node.attr;
+        break;
+      case OpKind::kInput: {
+        if (node.type == GraphType::kEdge) {
+          auto it = features.edge.find(node.name);
+          SEASTAR_CHECK(it != features.edge.end()) << "missing edge feature '" << node.name << "'";
+          SEASTAR_CHECK_EQ(it->second.dim(0), num_edges);
+          SEASTAR_CHECK_EQ(it->second.dim(1), node.width);
+          leaf_value[node.id] = it->second;
+        } else {
+          auto it = features.vertex.find(node.name);
+          SEASTAR_CHECK(it != features.vertex.end())
+              << "missing vertex feature '" << node.name << "'";
+          SEASTAR_CHECK_EQ(it->second.dim(0), num_vertices);
+          SEASTAR_CHECK_EQ(it->second.dim(1), node.width);
+          leaf_value[node.id] = it->second;
+        }
+        break;
+      }
+      case OpKind::kInputTypedSrc: {
+        auto it = features.typed_vertex.find(node.name);
+        SEASTAR_CHECK(it != features.typed_vertex.end())
+            << "missing typed feature '" << node.name << "'";
+        SEASTAR_CHECK_EQ(it->second.ndim(), 3);
+        SEASTAR_CHECK_EQ(it->second.dim(0), num_types);
+        SEASTAR_CHECK_EQ(it->second.dim(1), num_vertices);
+        SEASTAR_CHECK_EQ(it->second.dim(2), node.width);
+        leaf_value[node.id] = it->second;
+        break;
+      }
+      case OpKind::kDegree:
+        ensure_degrees();
+        break;
+      default:
+        if (node.type == GraphType::kParam) {
+          // Scalar arithmetic on P values, evaluated host-side.
+          const auto sv = [&](int32_t id) { return scalar_value[static_cast<size_t>(id)]; };
+          float value = 0.0f;
+          switch (node.kind) {
+            case OpKind::kAdd:
+              value = sv(node.inputs[0]) + sv(node.inputs[1]);
+              break;
+            case OpKind::kSub:
+              value = sv(node.inputs[0]) - sv(node.inputs[1]);
+              break;
+            case OpKind::kMul:
+              value = sv(node.inputs[0]) * sv(node.inputs[1]);
+              break;
+            case OpKind::kDiv:
+              value = sv(node.inputs[0]) / sv(node.inputs[1]);
+              break;
+            case OpKind::kNeg:
+              value = -sv(node.inputs[0]);
+              break;
+            case OpKind::kExp:
+              value = std::exp(sv(node.inputs[0]));
+              break;
+            default:
+              SEASTAR_LOG(Fatal) << "unsupported scalar op " << OpKindName(node.kind);
+          }
+          scalar_value[static_cast<size_t>(node.id)] = value;
+        }
+        break;
+    }
+  }
+
+  // Allocate materialized tensors.
+  for (int32_t id = 0; id < gir.num_nodes(); ++id) {
+    if (!plan.materialized[static_cast<size_t>(id)]) {
+      continue;
+    }
+    const Node& node = gir.node(id);
+    Tensor tensor;
+    if (node.kind == OpKind::kAggTypedToSrc) {
+      tensor = Tensor::Zeros({num_types, num_vertices, node.width});
+    } else if (node.type == GraphType::kEdge) {
+      tensor = Tensor({num_edges, node.width});
+    } else {
+      tensor = Tensor({num_vertices, node.width});
+    }
+    (*saved)[id] = std::move(tensor);
+  }
+
+  const auto materialized_base = [&](int32_t id) -> float* {
+    auto it = saved->find(id);
+    return it == saved->end() ? nullptr : it->second.data();
+  };
+
+  // ---- Compile and run each unit ----------------------------------------------------------------
+  for (const FusedUnit& fused : plan.units) {
+    AddKernelLaunches(1);
+    CompiledUnit unit;
+    unit.orientation = fused.orientation;
+    unit.needs_edge_loop = fused.needs_edge_loop;
+
+    const Csr& csr =
+        unit.orientation == GraphType::kDst ? graph.in_csr() : graph.out_csr();
+
+    // Register allocation.
+    std::map<int32_t, int32_t> reg_of;
+    int32_t cursor = 0;
+    for (int32_t id : fused.nodes) {
+      reg_of[id] = cursor;
+      cursor += gir.node(id).width;
+      unit.max_width = std::max(unit.max_width, gir.node(id).width);
+    }
+
+    const auto make_operand = [&](int32_t input_id) {
+      Operand op;
+      const Node& in = gir.node(input_id);
+      op.width = in.width;
+      auto reg_it = reg_of.find(input_id);
+      if (reg_it != reg_of.end()) {
+        op.src = Src::kReg;
+        op.reg = reg_it->second;
+        return op;
+      }
+      if (in.type == GraphType::kParam) {
+        op.src = Src::kScalar;
+        op.scalar = scalar_value[static_cast<size_t>(input_id)];
+        return op;
+      }
+      if (in.kind == OpKind::kDegree) {
+        op.src = in.type == unit.orientation ? Src::kKeyRow : Src::kNbrRow;
+        op.base = in.type == GraphType::kDst ? in_degree.data() : out_degree.data();
+        return op;
+      }
+      if (in.kind == OpKind::kInputTypedSrc) {
+        op.src = Src::kTypedRow;
+        op.base = leaf_value.at(input_id).data();
+        return op;
+      }
+      // Leaf input or another unit's materialized value.
+      const float* base = nullptr;
+      auto leaf_it = leaf_value.find(input_id);
+      if (leaf_it != leaf_value.end()) {
+        base = leaf_it->second.data();
+      } else {
+        base = materialized_base(input_id);
+        SEASTAR_CHECK(base != nullptr)
+            << "node %" << input_id << " consumed across units but not materialized";
+      }
+      op.base = base;
+      if (in.type == GraphType::kEdge) {
+        op.src = Src::kEdgeRow;
+      } else {
+        op.src = in.type == unit.orientation ? Src::kKeyRow : Src::kNbrRow;
+      }
+      return op;
+    };
+
+    for (int32_t id : fused.nodes) {
+      const Node& node = gir.node(id);
+      if (IsAggregation(node.kind)) {
+        AggInstr agg;
+        agg.kind = node.kind;
+        agg.width = node.width;
+        agg.input = make_operand(node.inputs[0]);
+        agg.acc_reg = reg_of.at(id);
+        if (node.kind == OpKind::kAggTypeSumThenMax || node.kind == OpKind::kAggTypedToSrc) {
+          agg.inner_reg = cursor;
+          cursor += node.width;
+          unit.has_typed_agg = true;
+        }
+        agg.materialized = plan.materialized[static_cast<size_t>(id)];
+        agg.mat_base = materialized_base(id);
+        agg.typed_rows = num_vertices;
+        unit.aggs.push_back(agg);
+        continue;
+      }
+      Instr instr;
+      instr.kind = node.kind;
+      instr.width = node.width;
+      instr.attr = node.attr;
+      instr.out_reg = reg_of.at(id);
+      instr.a = make_operand(node.inputs[0]);
+      if (node.inputs.size() > 1) {
+        instr.b = make_operand(node.inputs[1]);
+        instr.binary = true;
+      }
+      if (plan.materialized[static_cast<size_t>(id)]) {
+        instr.mat_base = materialized_base(id);
+        if (node.type == GraphType::kEdge) {
+          instr.mat = MatKind::kEdgeRow;
+        } else if (node.type == unit.orientation) {
+          instr.mat = MatKind::kKeyRow;
+        } else {
+          instr.mat = MatKind::kNbrRow;
+        }
+      }
+      const NodeStage stage = plan.stage[static_cast<size_t>(id)];
+      if (stage == NodeStage::kPost) {
+        unit.post.push_back(instr);
+      } else if (node.type == unit.orientation || node.type == GraphType::kParam) {
+        unit.invariant.push_back(instr);
+      } else {
+        unit.edge.push_back(instr);
+      }
+    }
+    unit.scratch_floats = cursor;
+
+    // ---- Launch -------------------------------------------------------------------------------
+    const int64_t typed_stride = num_vertices;
+    const FatGeometry geometry =
+        FatGeometry::Compute(num_vertices, unit.max_width, options_.block_size);
+    SimtLaunchParams launch;
+    launch.num_blocks = geometry.num_blocks;
+    launch.schedule = options_.schedule;
+    launch.chunk_size = options_.dynamic_chunk;
+
+    const int num_workers = ThreadPool::Get().num_threads() + 1;
+    std::vector<std::vector<float>> scratch_per_worker(
+        static_cast<size_t>(num_workers),
+        std::vector<float>(static_cast<size_t>(std::max(unit.scratch_floats, 1))));
+
+    LaunchBlocks(launch, [&](int64_t block_id, int worker) {
+      float* scratch = scratch_per_worker[static_cast<size_t>(worker)].data();
+      const int64_t first = geometry.FirstItemOfBlock(block_id);
+      const int64_t last = std::min<int64_t>(first + geometry.groups_per_block, num_vertices);
+      for (int64_t k = first; k < last; ++k) {
+        const int64_t key = unit.needs_edge_loop || !csr.position_vertex.empty()
+                                ? csr.position_vertex[static_cast<size_t>(k)]
+                                : k;
+        // 1. Loop-invariant key-side ops.
+        for (const Instr& instr : unit.invariant) {
+          const float* a = Resolve(instr.a, scratch, key, /*nbr=*/0, /*eid=*/0, 0, typed_stride);
+          const float* b = instr.binary
+                               ? Resolve(instr.b, scratch, key, 0, 0, 0, typed_stride)
+                               : nullptr;
+          EvalInstr(instr, scratch, a, b);
+          if (instr.mat == MatKind::kKeyRow) {
+            std::memcpy(instr.mat_base + key * instr.width, scratch + instr.out_reg,
+                        static_cast<size_t>(instr.width) * sizeof(float));
+          }
+        }
+        // 2. Aggregation initialization (Alg. 1 line 7).
+        for (const AggInstr& agg : unit.aggs) {
+          float* acc = scratch + agg.acc_reg;
+          const float init =
+              (agg.kind == OpKind::kAggMax || agg.kind == OpKind::kAggTypeSumThenMax) ? -FLT_MAX
+                                                                                      : 0.0f;
+          for (int32_t j = 0; j < agg.width; ++j) {
+            acc[j] = init;
+          }
+          if (agg.inner_reg > 0 || agg.kind == OpKind::kAggTypeSumThenMax ||
+              agg.kind == OpKind::kAggTypedToSrc) {
+            float* inner = scratch + agg.inner_reg;
+            for (int32_t j = 0; j < agg.width; ++j) {
+              inner[j] = 0.0f;
+            }
+          }
+        }
+
+        const int64_t begin = unit.needs_edge_loop ? csr.offsets[static_cast<size_t>(k)] : 0;
+        const int64_t end = unit.needs_edge_loop ? csr.offsets[static_cast<size_t>(k) + 1] : 0;
+        const int64_t degree = end - begin;
+        int32_t prev_type = -1;
+
+        // 3. Edge-sequential loop (Alg. 1 lines 8-14).
+        for (int64_t slot = begin; slot < end; ++slot) {
+          const int64_t nbr = csr.nbr_ids[static_cast<size_t>(slot)];
+          const int64_t eid = csr.edge_ids[static_cast<size_t>(slot)];
+          const int32_t etype =
+              csr.edge_types.empty() ? 0 : csr.edge_types[static_cast<size_t>(slot)];
+
+          // Edge-type boundary: flush two-level aggregations (§6.3.5).
+          if (unit.has_typed_agg && etype != prev_type && prev_type >= 0) {
+            for (const AggInstr& agg : unit.aggs) {
+              float* inner = scratch + agg.inner_reg;
+              float* acc = scratch + agg.acc_reg;
+              if (agg.kind == OpKind::kAggTypeSumThenMax) {
+                for (int32_t j = 0; j < agg.width; ++j) {
+                  acc[j] = std::max(acc[j], inner[j]);
+                  inner[j] = 0.0f;
+                }
+              } else if (agg.kind == OpKind::kAggTypedToSrc) {
+                float* row = agg.mat_base +
+                             (static_cast<int64_t>(prev_type) * agg.typed_rows + key) * agg.width;
+                std::memcpy(row, inner, static_cast<size_t>(agg.width) * sizeof(float));
+                for (int32_t j = 0; j < agg.width; ++j) {
+                  inner[j] = 0.0f;
+                }
+              }
+            }
+          }
+          prev_type = etype;
+
+          for (const Instr& instr : unit.edge) {
+            const float* a = Resolve(instr.a, scratch, key, nbr, eid, etype, typed_stride);
+            const float* b =
+                instr.binary ? Resolve(instr.b, scratch, key, nbr, eid, etype, typed_stride)
+                             : nullptr;
+            EvalInstr(instr, scratch, a, b);
+            if (instr.mat == MatKind::kEdgeRow) {
+              std::memcpy(instr.mat_base + eid * instr.width, scratch + instr.out_reg,
+                          static_cast<size_t>(instr.width) * sizeof(float));
+            } else if (instr.mat == MatKind::kNbrRow) {
+              AtomicStoreRow(instr.mat_base + nbr * instr.width, scratch + instr.out_reg,
+                             instr.width);
+            }
+          }
+          for (const AggInstr& agg : unit.aggs) {
+            const float* value =
+                Resolve(agg.input, scratch, key, nbr, eid, etype, typed_stride);
+            const int32_t wv = agg.input.width;
+            switch (agg.kind) {
+              case OpKind::kAggSum:
+              case OpKind::kAggMean: {
+                float* acc = scratch + agg.acc_reg;
+                for (int32_t j = 0; j < agg.width; ++j) {
+                  acc[j] += value[wv == 1 ? 0 : j];
+                }
+                break;
+              }
+              case OpKind::kAggMax: {
+                float* acc = scratch + agg.acc_reg;
+                for (int32_t j = 0; j < agg.width; ++j) {
+                  acc[j] = std::max(acc[j], value[wv == 1 ? 0 : j]);
+                }
+                break;
+              }
+              case OpKind::kAggTypeSumThenMax:
+              case OpKind::kAggTypedToSrc: {
+                float* inner = scratch + agg.inner_reg;
+                for (int32_t j = 0; j < agg.width; ++j) {
+                  inner[j] += value[wv == 1 ? 0 : j];
+                }
+                break;
+              }
+              default:
+                break;
+            }
+          }
+        }
+
+        // 4. Aggregation output (Alg. 1 lines 15-16).
+        for (const AggInstr& agg : unit.aggs) {
+          float* acc = scratch + agg.acc_reg;
+          if (unit.has_typed_agg && prev_type >= 0) {
+            float* inner = scratch + agg.inner_reg;
+            if (agg.kind == OpKind::kAggTypeSumThenMax) {
+              for (int32_t j = 0; j < agg.width; ++j) {
+                acc[j] = std::max(acc[j], inner[j]);
+              }
+            } else if (agg.kind == OpKind::kAggTypedToSrc) {
+              float* row = agg.mat_base +
+                           (static_cast<int64_t>(prev_type) * agg.typed_rows + key) * agg.width;
+              std::memcpy(row, inner, static_cast<size_t>(agg.width) * sizeof(float));
+            }
+          }
+          if (agg.kind == OpKind::kAggMean) {
+            const float inv = degree > 0 ? 1.0f / static_cast<float>(degree) : 0.0f;
+            for (int32_t j = 0; j < agg.width; ++j) {
+              acc[j] *= inv;
+            }
+          }
+          if ((agg.kind == OpKind::kAggMax || agg.kind == OpKind::kAggTypeSumThenMax) &&
+              degree == 0) {
+            for (int32_t j = 0; j < agg.width; ++j) {
+              acc[j] = 0.0f;
+            }
+          }
+          if (agg.materialized && agg.kind != OpKind::kAggTypedToSrc) {
+            std::memcpy(agg.mat_base + key * agg.width, acc,
+                        static_cast<size_t>(agg.width) * sizeof(float));
+          }
+        }
+        // 5. Post-aggregation vertex ops (Alg. 1 line 17).
+        for (const Instr& instr : unit.post) {
+          const float* a = Resolve(instr.a, scratch, key, 0, 0, 0, typed_stride);
+          const float* b =
+              instr.binary ? Resolve(instr.b, scratch, key, 0, 0, 0, typed_stride) : nullptr;
+          EvalInstr(instr, scratch, a, b);
+          if (instr.mat == MatKind::kKeyRow) {
+            std::memcpy(instr.mat_base + key * instr.width, scratch + instr.out_reg,
+                        static_cast<size_t>(instr.width) * sizeof(float));
+          }
+        }
+      }
+    });
+  }
+
+  RunResult result;
+  result.saved = saved;
+  for (size_t i = 0; i < gir.outputs().size(); ++i) {
+    const int32_t id = gir.outputs()[i];
+    auto it = saved->find(id);
+    if (it != saved->end()) {
+      result.outputs[gir.output_names()[i]] = it->second;
+      continue;
+    }
+    // An output may be a leaf itself, e.g. a backward GIR whose input
+    // gradient is exactly the incoming output gradient (identity adjoint).
+    auto leaf_it = leaf_value.find(id);
+    SEASTAR_CHECK(leaf_it != leaf_value.end()) << "output %" << id << " was not materialized";
+    result.outputs[gir.output_names()[i]] = leaf_it->second;
+  }
+  return result;
+}
+
+}  // namespace seastar

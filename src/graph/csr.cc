@@ -1,0 +1,103 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+Csr BuildCsr(int64_t num_vertices, const std::vector<int32_t>& key_endpoint,
+             const std::vector<int32_t>& value_endpoint, const std::vector<int32_t>& edge_types,
+             const CsrBuildOptions& options) {
+  SEASTAR_CHECK_EQ(key_endpoint.size(), value_endpoint.size());
+  const bool has_types = !edge_types.empty();
+  if (has_types) {
+    SEASTAR_CHECK_EQ(edge_types.size(), key_endpoint.size());
+  }
+  const int64_t num_edges = static_cast<int64_t>(key_endpoint.size());
+
+  Csr csr;
+  csr.num_vertices = num_vertices;
+  csr.num_edges = num_edges;
+
+  // Degree per original vertex id.
+  std::vector<int64_t> degree(static_cast<size_t>(num_vertices), 0);
+  for (int32_t v : key_endpoint) {
+    SEASTAR_CHECK_GE(v, 0);
+    SEASTAR_CHECK_LT(v, num_vertices);
+    ++degree[static_cast<size_t>(v)];
+  }
+
+  // Position permutation: descending degree (stable on id for determinism),
+  // or identity when sorting is off.
+  csr.position_vertex.resize(static_cast<size_t>(num_vertices));
+  std::iota(csr.position_vertex.begin(), csr.position_vertex.end(), 0);
+  if (options.sort_by_degree) {
+    std::stable_sort(csr.position_vertex.begin(), csr.position_vertex.end(),
+                     [&](int32_t a, int32_t b) {
+                       return degree[static_cast<size_t>(a)] > degree[static_cast<size_t>(b)];
+                     });
+  }
+  csr.vertex_position.resize(static_cast<size_t>(num_vertices));
+  for (int64_t k = 0; k < num_vertices; ++k) {
+    csr.vertex_position[static_cast<size_t>(csr.position_vertex[static_cast<size_t>(k)])] =
+        static_cast<int32_t>(k);
+  }
+
+  // Offsets per position.
+  csr.offsets.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (int64_t k = 0; k < num_vertices; ++k) {
+    csr.offsets[static_cast<size_t>(k) + 1] =
+        csr.offsets[static_cast<size_t>(k)] +
+        degree[static_cast<size_t>(csr.position_vertex[static_cast<size_t>(k)])];
+  }
+
+  // Fill slots.
+  csr.nbr_ids.resize(static_cast<size_t>(num_edges));
+  csr.edge_ids.resize(static_cast<size_t>(num_edges));
+  if (has_types) {
+    csr.edge_types.resize(static_cast<size_t>(num_edges));
+  }
+  std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const int32_t key = key_endpoint[static_cast<size_t>(e)];
+    const int64_t position = csr.vertex_position[static_cast<size_t>(key)];
+    const int64_t slot = cursor[static_cast<size_t>(position)]++;
+    csr.nbr_ids[static_cast<size_t>(slot)] = value_endpoint[static_cast<size_t>(e)];
+    csr.edge_ids[static_cast<size_t>(slot)] = static_cast<int32_t>(e);
+    if (has_types) {
+      csr.edge_types[static_cast<size_t>(slot)] = edge_types[static_cast<size_t>(e)];
+    }
+  }
+
+  if (options.sort_slots_by_edge_type && has_types) {
+    // Secondary sort within each vertex's slot range so edges of the same
+    // type are contiguous (paper §6.3.5). Sort indices, then apply.
+    for (int64_t k = 0; k < num_vertices; ++k) {
+      const int64_t begin = csr.offsets[static_cast<size_t>(k)];
+      const int64_t end = csr.offsets[static_cast<size_t>(k) + 1];
+      std::vector<int64_t> order(static_cast<size_t>(end - begin));
+      std::iota(order.begin(), order.end(), begin);
+      std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+        return csr.edge_types[static_cast<size_t>(a)] < csr.edge_types[static_cast<size_t>(b)];
+      });
+      std::vector<int32_t> nbr_tmp, eid_tmp, type_tmp;
+      nbr_tmp.reserve(order.size());
+      eid_tmp.reserve(order.size());
+      type_tmp.reserve(order.size());
+      for (int64_t slot : order) {
+        nbr_tmp.push_back(csr.nbr_ids[static_cast<size_t>(slot)]);
+        eid_tmp.push_back(csr.edge_ids[static_cast<size_t>(slot)]);
+        type_tmp.push_back(csr.edge_types[static_cast<size_t>(slot)]);
+      }
+      std::copy(nbr_tmp.begin(), nbr_tmp.end(), csr.nbr_ids.begin() + begin);
+      std::copy(eid_tmp.begin(), eid_tmp.end(), csr.edge_ids.begin() + begin);
+      std::copy(type_tmp.begin(), type_tmp.end(), csr.edge_types.begin() + begin);
+    }
+  }
+
+  return csr;
+}
+
+}  // namespace seastar

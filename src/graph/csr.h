@@ -1,0 +1,68 @@
+// Compressed Sparse Row adjacency with the exact layout of the paper's §6.1
+// (Fig. 7):
+//
+//  * a vertex offset array indexed by *position*, where positions are the
+//    vertices sorted by descending degree (degree sorting, §6.3.3) — or by
+//    original id when sorting is disabled (the FA+Unsorted ablation);
+//  * a neighbor-id array holding the opposite endpoint of each edge slot;
+//  * a separate edge-id array of the same length, because after flipping the
+//    CSR for the backward pass the slot index no longer identifies the
+//    original edge (§6.3.4 — "we need to remember the edge ids ... and
+//    sort/flip them together with the vertex index array");
+//  * an optional edge-type array (indexed by slot) for heterogeneous graphs,
+//    with edge type as a secondary sort key within each vertex's slot range
+//    so the fused hetero kernel can detect type boundaries (§6.3.5).
+#ifndef SRC_GRAPH_CSR_H_
+#define SRC_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace seastar {
+
+struct Csr {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+
+  // offsets[k] .. offsets[k+1] delimit the edge slots of the vertex at
+  // position k. Size: num_vertices + 1.
+  std::vector<int64_t> offsets;
+  // position_vertex[k] = original id of the vertex at position k. When the
+  // CSR is unsorted this is the identity permutation. Size: num_vertices.
+  std::vector<int32_t> position_vertex;
+  // vertex_position[v] = position of original vertex v. Size: num_vertices.
+  std::vector<int32_t> vertex_position;
+  // Opposite-endpoint vertex id per slot. Size: num_edges.
+  std::vector<int32_t> nbr_ids;
+  // Original edge id per slot. Size: num_edges.
+  std::vector<int32_t> edge_ids;
+  // Edge type per slot; empty for homogeneous graphs. Size: num_edges.
+  std::vector<int32_t> edge_types;
+
+  int64_t DegreeAtPosition(int64_t position) const {
+    return offsets[position + 1] - offsets[position];
+  }
+  int64_t DegreeOfVertex(int32_t vertex) const {
+    return DegreeAtPosition(vertex_position[vertex]);
+  }
+};
+
+struct CsrBuildOptions {
+  // Sort positions by descending degree (paper default). Disabled for the
+  // FA+Unsorted micro-benchmark variant.
+  bool sort_by_degree = true;
+  // Sort each vertex's slots by edge type (required for hetero kernels).
+  bool sort_slots_by_edge_type = false;
+};
+
+// Builds the CSR that groups edges by `key_endpoint` (the aggregation side)
+// and stores `value_endpoint` in nbr_ids. For the forward in-CSR:
+// key = dst, value = src. For the reverse (backward) CSR: key = src,
+// value = dst, with the same original edge ids.
+Csr BuildCsr(int64_t num_vertices, const std::vector<int32_t>& key_endpoint,
+             const std::vector<int32_t>& value_endpoint, const std::vector<int32_t>& edge_types,
+             const CsrBuildOptions& options);
+
+}  // namespace seastar
+
+#endif  // SRC_GRAPH_CSR_H_

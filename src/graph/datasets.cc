@@ -1,0 +1,135 @@
+#include "src/graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/graph/generators.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+
+const std::vector<DatasetSpec>& DatasetCatalog() {
+  // Counts are Table 2 of the paper; class counts follow the standard
+  // benchmark versions of each dataset.
+  static const std::vector<DatasetSpec>* catalog = new std::vector<DatasetSpec>{
+      {"cora", 2709, 10556, 1433, 1, 7, DegreeProfile::kUniform, 1.0},
+      {"citeseer", 3328, 9228, 3703, 1, 6, DegreeProfile::kUniform, 1.0},
+      {"pubmed", 19718, 88651, 500, 1, 3, DegreeProfile::kUniform, 1.0},
+      {"corafull", 19794, 130622, 8710, 1, 70, DegreeProfile::kUniform, 1.0},
+      {"ca_cs", 18334, 327576, 6805, 1, 15, DegreeProfile::kUniform, 1.0},
+      {"ca_physics", 34494, 991848, 8415, 1, 5, DegreeProfile::kUniform, 0.5},
+      {"amz_photo", 7651, 287326, 745, 1, 8, DegreeProfile::kPowerLaw, 1.0},
+      {"amz_comp", 13753, 574418, 767, 1, 10, DegreeProfile::kPowerLaw, 1.0},
+      {"reddit", 198021, 84120742, 602, 1, 41, DegreeProfile::kPowerLaw, 0.02},
+      {"aifb", 8285, 58086, 0, 90, 4, DegreeProfile::kUniform, 1.0},
+      {"mutag", 23644, 148454, 0, 46, 2, DegreeProfile::kUniform, 1.0},
+      {"bgs", 333845, 1832398, 0, 206, 2, DegreeProfile::kPowerLaw, 0.2},
+  };
+  return *catalog;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : DatasetCatalog()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<DatasetSpec> HomogeneousDatasets() {
+  std::vector<DatasetSpec> result;
+  for (const DatasetSpec& spec : DatasetCatalog()) {
+    if (spec.num_relations == 1) {
+      result.push_back(spec);
+    }
+  }
+  return result;
+}
+
+std::vector<DatasetSpec> HeterogeneousDatasets() {
+  std::vector<DatasetSpec> result;
+  for (const DatasetSpec& spec : DatasetCatalog()) {
+    if (spec.num_relations > 1) {
+      result.push_back(spec);
+    }
+  }
+  return result;
+}
+
+Dataset MakeDataset(const DatasetSpec& spec, const DatasetOptions& options) {
+  SEASTAR_CHECK_GT(options.scale, 0.0);
+  DatasetSpec scaled = spec;
+  scaled.num_vertices =
+      std::max<int64_t>(8, static_cast<int64_t>(std::llround(spec.num_vertices * options.scale)));
+  scaled.num_edges =
+      std::max<int64_t>(8, static_cast<int64_t>(std::llround(spec.num_edges * options.scale)));
+  if (options.max_feature_dim > 0 && scaled.feature_dim > options.max_feature_dim) {
+    scaled.feature_dim = options.max_feature_dim;
+  }
+
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ull + std::hash<std::string>{}(spec.name));
+
+  CooEdges edges;
+  switch (spec.profile) {
+    case DegreeProfile::kUniform:
+      edges = ErdosRenyi(scaled.num_vertices, scaled.num_edges, rng);
+      break;
+    case DegreeProfile::kPowerLaw:
+      edges = Rmat(scaled.num_vertices, scaled.num_edges, rng);
+      break;
+  }
+
+  std::vector<int32_t> edge_types;
+  const bool hetero = scaled.num_relations > 1;
+  if (options.add_self_loops && !hetero) {
+    AddSelfLoops(edges);
+    scaled.num_edges = static_cast<int64_t>(edges.src.size());
+  }
+  if (hetero) {
+    edge_types = RandomEdgeTypes(static_cast<int64_t>(edges.src.size()), scaled.num_relations, rng);
+  }
+
+  Dataset dataset;
+  dataset.spec = scaled;
+  GraphOptions graph_options;
+  graph_options.sort_by_degree = options.sort_by_degree;
+  dataset.graph = Graph::FromCoo(edges.num_vertices, std::move(edges.src), std::move(edges.dst),
+                                 std::move(edge_types), scaled.num_relations, graph_options);
+
+  if (scaled.feature_dim > 0) {
+    dataset.features =
+        ops::RandomNormal({scaled.num_vertices, scaled.feature_dim}, 0.0f, 1.0f, rng);
+  }
+
+  dataset.gcn_norm = Tensor({scaled.num_vertices, 1});
+  for (int64_t v = 0; v < scaled.num_vertices; ++v) {
+    const int64_t deg = dataset.graph.InDegree(static_cast<int32_t>(v));
+    dataset.gcn_norm.at(v, 0) = 1.0f / std::sqrt(static_cast<float>(std::max<int64_t>(1, deg)));
+  }
+
+  dataset.labels.resize(static_cast<size_t>(scaled.num_vertices));
+  for (int64_t v = 0; v < scaled.num_vertices; ++v) {
+    dataset.labels[static_cast<size_t>(v)] =
+        static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(scaled.num_classes)));
+  }
+
+  for (int64_t v = 0; v < scaled.num_vertices; ++v) {
+    if (rng.NextBernoulli(options.train_fraction)) {
+      dataset.train_mask.push_back(static_cast<int32_t>(v));
+    }
+  }
+  if (dataset.train_mask.empty()) {
+    dataset.train_mask.push_back(0);
+  }
+  return dataset;
+}
+
+Dataset MakeDatasetByName(const std::string& name, const DatasetOptions& options) {
+  const DatasetSpec* spec = FindDataset(name);
+  SEASTAR_CHECK(spec != nullptr) << "unknown dataset: " << name;
+  return MakeDataset(*spec, options);
+}
+
+}  // namespace seastar

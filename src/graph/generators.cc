@@ -1,0 +1,169 @@
+#include "src/graph/generators.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+CooEdges ErdosRenyi(int64_t num_vertices, int64_t num_edges, Rng& rng) {
+  SEASTAR_CHECK_GT(num_vertices, 0);
+  CooEdges edges;
+  edges.num_vertices = num_vertices;
+  edges.src.reserve(static_cast<size_t>(num_edges));
+  edges.dst.reserve(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    edges.src.push_back(static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+    edges.dst.push_back(static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+  }
+  return edges;
+}
+
+CooEdges Rmat(int64_t num_vertices, int64_t num_edges, Rng& rng, const RmatParams& params) {
+  SEASTAR_CHECK_GT(num_vertices, 0);
+  const double total = params.a + params.b + params.c + params.d;
+  SEASTAR_CHECK_GT(total, 0.0);
+
+  int levels = 0;
+  while ((int64_t{1} << levels) < num_vertices) {
+    ++levels;
+  }
+
+  CooEdges edges;
+  edges.num_vertices = num_vertices;
+  edges.src.reserve(static_cast<size_t>(num_edges));
+  edges.dst.reserve(static_cast<size_t>(num_edges));
+
+  const double pa = params.a / total;
+  const double pb = params.b / total;
+  const double pc = params.c / total;
+  while (static_cast<int64_t>(edges.src.size()) < num_edges) {
+    int64_t row = 0;
+    int64_t col = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r < pa) {
+        // Top-left quadrant: neither bit set.
+      } else if (r < pa + pb) {
+        col |= 1;
+      } else if (r < pa + pb + pc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row >= num_vertices || col >= num_vertices) {
+      continue;  // Reject samples outside the vertex range.
+    }
+    edges.src.push_back(static_cast<int32_t>(row));
+    edges.dst.push_back(static_cast<int32_t>(col));
+  }
+  return edges;
+}
+
+CooEdges Star(int64_t num_vertices) {
+  SEASTAR_CHECK_GE(num_vertices, 1);
+  CooEdges edges;
+  edges.num_vertices = num_vertices;
+  for (int64_t v = 1; v < num_vertices; ++v) {
+    edges.src.push_back(static_cast<int32_t>(v));
+    edges.dst.push_back(0);
+  }
+  return edges;
+}
+
+CooEdges Chain(int64_t num_vertices) {
+  SEASTAR_CHECK_GE(num_vertices, 1);
+  CooEdges edges;
+  edges.num_vertices = num_vertices;
+  for (int64_t v = 0; v + 1 < num_vertices; ++v) {
+    edges.src.push_back(static_cast<int32_t>(v));
+    edges.dst.push_back(static_cast<int32_t>(v + 1));
+  }
+  return edges;
+}
+
+CooEdges Cycle(int64_t num_vertices) {
+  CooEdges edges = Chain(num_vertices);
+  if (num_vertices > 1) {
+    edges.src.push_back(static_cast<int32_t>(num_vertices - 1));
+    edges.dst.push_back(0);
+  }
+  return edges;
+}
+
+CooEdges Complete(int64_t num_vertices) {
+  SEASTAR_CHECK_GE(num_vertices, 1);
+  CooEdges edges;
+  edges.num_vertices = num_vertices;
+  for (int64_t i = 0; i < num_vertices; ++i) {
+    for (int64_t j = 0; j < num_vertices; ++j) {
+      if (i == j) {
+        continue;
+      }
+      edges.src.push_back(static_cast<int32_t>(i));
+      edges.dst.push_back(static_cast<int32_t>(j));
+    }
+  }
+  return edges;
+}
+
+SbmResult StochasticBlockModel(int64_t num_vertices, int32_t communities, double p_in,
+                               double p_out, Rng& rng) {
+  SEASTAR_CHECK_GE(communities, 1);
+  SbmResult result;
+  result.edges.num_vertices = num_vertices;
+  // Balanced but shuffled assignment: deterministic periodic labels would
+  // correlate with any stride-based train/test split.
+  result.labels.resize(static_cast<size_t>(num_vertices));
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    result.labels[static_cast<size_t>(v)] = static_cast<int32_t>(v % communities);
+  }
+  rng.Shuffle(result.labels);
+  for (int64_t u = 0; u < num_vertices; ++u) {
+    for (int64_t v = 0; v < num_vertices; ++v) {
+      if (u == v) {
+        continue;
+      }
+      const bool same =
+          result.labels[static_cast<size_t>(u)] == result.labels[static_cast<size_t>(v)];
+      if (rng.NextBernoulli(same ? p_in : p_out)) {
+        result.edges.src.push_back(static_cast<int32_t>(u));
+        result.edges.dst.push_back(static_cast<int32_t>(v));
+      }
+    }
+  }
+  return result;
+}
+
+void AddSelfLoops(CooEdges& edges) {
+  for (int64_t v = 0; v < edges.num_vertices; ++v) {
+    edges.src.push_back(static_cast<int32_t>(v));
+    edges.dst.push_back(static_cast<int32_t>(v));
+  }
+}
+
+std::vector<int32_t> RandomEdgeTypes(int64_t num_edges, int32_t num_types, Rng& rng) {
+  SEASTAR_CHECK_GE(num_types, 1);
+  // Zipf-ish weights: w_t = 1 / (t + 1).
+  std::vector<double> weights(static_cast<size_t>(num_types));
+  for (int32_t t = 0; t < num_types; ++t) {
+    weights[static_cast<size_t>(t)] = 1.0 / static_cast<double>(t + 1);
+  }
+  std::vector<int32_t> types(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    types[static_cast<size_t>(e)] = static_cast<int32_t>(rng.NextWeighted(weights));
+  }
+  return types;
+}
+
+Graph ToGraph(CooEdges edges, std::vector<int32_t> edge_types, int32_t num_edge_types,
+              const GraphOptions& options) {
+  return Graph::FromCoo(edges.num_vertices, std::move(edges.src), std::move(edges.dst),
+                        std::move(edge_types), num_edge_types, options);
+}
+
+}  // namespace seastar

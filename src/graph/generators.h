@@ -1,0 +1,77 @@
+// Synthetic graph generators. The paper's evaluated optimizations are
+// sensitive to two graph properties — average degree (|E|/|V|) and degree
+// skew (§6.3.3) — so the generators here control exactly those:
+//
+//  * ErdosRenyi: near-uniform degrees (citation-graph-like);
+//  * RMat: recursive-matrix sampling producing power-law in-degrees
+//    (reddit/social-graph-like skew);
+//  * Star / Chain / Cycle / Complete: deterministic shapes for unit tests.
+//
+// All generators are deterministic given the Rng seed and emit simple
+// directed COO edge lists without self-loop/duplicate filtering unless noted.
+#ifndef SRC_GRAPH_GENERATORS_H_
+#define SRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace seastar {
+
+struct CooEdges {
+  int64_t num_vertices = 0;
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+};
+
+// `num_edges` directed edges with both endpoints uniform; self-loops allowed,
+// duplicates allowed (matches the multigraph semantics of GNN edge lists).
+CooEdges ErdosRenyi(int64_t num_vertices, int64_t num_edges, Rng& rng);
+
+// R-MAT sampling over a 2^ceil(log2 n) grid, rejecting endpoints >= n.
+// Defaults (a=0.57, b=0.19, c=0.19, d=0.05) give a strongly skewed in-degree
+// distribution. Larger `a` => more skew.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+};
+CooEdges Rmat(int64_t num_vertices, int64_t num_edges, Rng& rng, const RmatParams& params = {});
+
+// All vertices 1..n-1 point at vertex 0.
+CooEdges Star(int64_t num_vertices);
+// i -> i+1 for i in [0, n-1).
+CooEdges Chain(int64_t num_vertices);
+// Chain plus the closing edge n-1 -> 0.
+CooEdges Cycle(int64_t num_vertices);
+// Every ordered pair (i, j), i != j.
+CooEdges Complete(int64_t num_vertices);
+
+// Stochastic block model: `communities` equal-sized groups; each ordered
+// pair gets an edge with probability p_in (same group) or p_out. Labels are
+// the community assignments — the one synthetic family where a GNN can
+// genuinely *learn* (see examples/sbm_community.cpp).
+struct SbmResult {
+  CooEdges edges;
+  std::vector<int32_t> labels;
+};
+SbmResult StochasticBlockModel(int64_t num_vertices, int32_t communities, double p_in,
+                               double p_out, Rng& rng);
+
+// Adds a self-loop on every vertex (GCN convention).
+void AddSelfLoops(CooEdges& edges);
+
+// Assigns a random type in [0, num_types) to each edge, biased so that types
+// follow a Zipf-ish distribution (real KGs have few frequent relations).
+std::vector<int32_t> RandomEdgeTypes(int64_t num_edges, int32_t num_types, Rng& rng);
+
+// Convenience: build a Graph straight from a generator result.
+Graph ToGraph(CooEdges edges, std::vector<int32_t> edge_types = {}, int32_t num_edge_types = 1,
+              const GraphOptions& options = {});
+
+}  // namespace seastar
+
+#endif  // SRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,268 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace seastar {
+namespace {
+
+constexpr char kBinaryMagic[4] = {'S', 'S', 'G', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+template <typename T>
+void WriteVector(std::ofstream& out, const std::vector<T>& values) {
+  const uint64_t count = values.size();
+  WritePod(out, count);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVector(std::ifstream& in, std::vector<T>* values, uint64_t sanity_limit) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count > sanity_limit) {
+    return false;
+  }
+  values->resize(count);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return in.good() || (in.eof() && count == 0);
+}
+
+}  // namespace
+
+bool SaveEdgeListTsv(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    SEASTAR_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << "# seastar edge list: " << graph.num_vertices() << " vertices, " << graph.num_edges()
+      << " edges\n";
+  const bool typed = graph.is_heterogeneous();
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge_src()[static_cast<size_t>(e)] << '\t'
+        << graph.edge_dst()[static_cast<size_t>(e)];
+    if (typed) {
+      out << '\t' << graph.edge_type()[static_cast<size_t>(e)];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertices_hint,
+                                     const GraphOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    SEASTAR_LOG(Error) << "cannot open " << path;
+    return std::nullopt;
+  }
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+  std::vector<int32_t> types;
+  int64_t max_id = -1;
+  int column_count = 0;  // 0 = undecided.
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    int64_t s = -1;
+    int64_t d = -1;
+    int64_t t = -1;
+    fields >> s >> d;
+    if (fields.fail() || s < 0 || d < 0) {
+      SEASTAR_LOG(Error) << path << ":" << line_number << ": malformed edge line";
+      return std::nullopt;
+    }
+    const bool has_type = static_cast<bool>(fields >> t);
+    const int columns = has_type ? 3 : 2;
+    if (column_count == 0) {
+      column_count = columns;
+    } else if (column_count != columns) {
+      SEASTAR_LOG(Error) << path << ":" << line_number << ": inconsistent column count";
+      return std::nullopt;
+    }
+    src.push_back(static_cast<int32_t>(s));
+    dst.push_back(static_cast<int32_t>(d));
+    if (has_type) {
+      if (t < 0) {
+        SEASTAR_LOG(Error) << path << ":" << line_number << ": negative edge type";
+        return std::nullopt;
+      }
+      types.push_back(static_cast<int32_t>(t));
+    }
+    max_id = std::max({max_id, s, d});
+  }
+  const int64_t num_vertices = std::max(num_vertices_hint, max_id + 1);
+  int32_t num_types = 1;
+  if (!types.empty()) {
+    num_types = 1 + *std::max_element(types.begin(), types.end());
+  }
+  return Graph::FromCoo(num_vertices, std::move(src), std::move(dst), std::move(types),
+                        num_types, options);
+}
+
+std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    SEASTAR_LOG(Error) << "cannot open " << path;
+    return std::nullopt;
+  }
+  std::string header;
+  if (!std::getline(in, header) || !StartsWith(header, "%%MatrixMarket")) {
+    SEASTAR_LOG(Error) << path << ": missing MatrixMarket banner";
+    return std::nullopt;
+  }
+  std::istringstream banner(header);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate") {
+    SEASTAR_LOG(Error) << path << ": only coordinate matrices are supported";
+    return std::nullopt;
+  }
+  const bool has_values = field == "real" || field == "integer";
+  if (!has_values && field != "pattern") {
+    SEASTAR_LOG(Error) << path << ": unsupported field '" << field << "'";
+    return std::nullopt;
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    SEASTAR_LOG(Error) << path << ": unsupported symmetry '" << symmetry << "'";
+    return std::nullopt;
+  }
+
+  std::string line;
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') {
+      break;
+    }
+  }
+  std::istringstream size_line(line);
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t entries = 0;
+  size_line >> rows >> cols >> entries;
+  if (size_line.fail() || rows <= 0 || cols <= 0 || entries < 0) {
+    SEASTAR_LOG(Error) << path << ": malformed size line";
+    return std::nullopt;
+  }
+
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+  src.reserve(static_cast<size_t>(entries));
+  dst.reserve(static_cast<size_t>(entries));
+  for (int64_t i = 0; i < entries; ++i) {
+    int64_t r = 0;
+    int64_t c = 0;
+    double value = 0.0;
+    if (!(in >> r >> c)) {
+      SEASTAR_LOG(Error) << path << ": truncated entry list at " << i;
+      return std::nullopt;
+    }
+    if (has_values && !(in >> value)) {
+      SEASTAR_LOG(Error) << path << ": entry " << i << " missing value";
+      return std::nullopt;
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      SEASTAR_LOG(Error) << path << ": entry " << i << " out of bounds";
+      return std::nullopt;
+    }
+    src.push_back(static_cast<int32_t>(r - 1));
+    dst.push_back(static_cast<int32_t>(c - 1));
+    if (symmetric && r != c) {
+      src.push_back(static_cast<int32_t>(c - 1));
+      dst.push_back(static_cast<int32_t>(r - 1));
+    }
+  }
+  return Graph::FromCoo(std::max(rows, cols), std::move(src), std::move(dst), {}, 1, options);
+}
+
+bool SaveGraphBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SEASTAR_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  WritePod(out, static_cast<int64_t>(graph.num_vertices()));
+  WritePod(out, static_cast<int32_t>(graph.num_edge_types()));
+  WriteVector(out, graph.edge_src());
+  WriteVector(out, graph.edge_dst());
+  WriteVector(out, graph.edge_type());
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> LoadGraphBinary(const std::string& path, const GraphOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SEASTAR_LOG(Error) << "cannot open " << path;
+    return std::nullopt;
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    SEASTAR_LOG(Error) << path << ": bad magic";
+    return std::nullopt;
+  }
+  int64_t num_vertices = 0;
+  int32_t num_types = 0;
+  if (!ReadPod(in, &num_vertices) || !ReadPod(in, &num_types) || num_vertices < 0 ||
+      num_types < 1) {
+    SEASTAR_LOG(Error) << path << ": bad header";
+    return std::nullopt;
+  }
+  constexpr uint64_t kSanityLimit = uint64_t{1} << 33;  // 8G entries.
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+  std::vector<int32_t> types;
+  if (!ReadVector(in, &src, kSanityLimit) || !ReadVector(in, &dst, kSanityLimit) ||
+      !ReadVector(in, &types, kSanityLimit) || src.size() != dst.size() ||
+      (!types.empty() && types.size() != src.size())) {
+    SEASTAR_LOG(Error) << path << ": corrupt edge arrays";
+    return std::nullopt;
+  }
+  for (int32_t v : src) {
+    if (v < 0 || v >= num_vertices) {
+      SEASTAR_LOG(Error) << path << ": edge endpoint out of range";
+      return std::nullopt;
+    }
+  }
+  for (int32_t v : dst) {
+    if (v < 0 || v >= num_vertices) {
+      SEASTAR_LOG(Error) << path << ": edge endpoint out of range";
+      return std::nullopt;
+    }
+  }
+  for (int32_t t : types) {
+    if (t < 0 || t >= num_types) {
+      SEASTAR_LOG(Error) << path << ": edge type out of range";
+      return std::nullopt;
+    }
+  }
+  return Graph::FromCoo(num_vertices, std::move(src), std::move(dst), std::move(types),
+                        num_types, options);
+}
+
+}  // namespace seastar

@@ -1,0 +1,52 @@
+// Graph input/output: bring-your-own-data support.
+//
+// Three interchange formats:
+//  * TSV edge lists ("src<TAB>dst[<TAB>type]" with '#' comments) — the
+//    lowest common denominator for graph datasets;
+//  * MatrixMarket coordinate files (.mtx), the format most public sparse
+//    graph collections (SuiteSparse, SNAP mirrors) ship in;
+//  * a compact binary container for round-tripping Graphs losslessly.
+//
+// Loaders return std::nullopt on malformed input (with a logged reason)
+// rather than aborting: file contents are external, untrusted data.
+#ifndef SRC_GRAPH_IO_H_
+#define SRC_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace seastar {
+
+// ---- TSV edge lists ------------------------------------------------------------------------------
+
+// Writes "src\tdst[\ttype]" lines. Returns false on I/O failure.
+bool SaveEdgeListTsv(const Graph& graph, const std::string& path);
+
+// Reads an edge list. Vertex ids must be non-negative; the vertex count is
+// max id + 1 unless `num_vertices_hint` is larger. Lines starting with '#'
+// or empty lines are skipped. Type column is optional (all lines must agree
+// on having it or not).
+std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertices_hint = 0,
+                                     const GraphOptions& options = {});
+
+// ---- MatrixMarket --------------------------------------------------------------------------------
+
+// Supports "%%MatrixMarket matrix coordinate (pattern|real|integer)
+// (general|symmetric)". 1-based indices per the spec; symmetric matrices
+// emit both edge directions. Values of real/integer matrices are ignored
+// (the adjacency structure is what GNN training consumes).
+std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOptions& options = {});
+
+// ---- Binary container ----------------------------------------------------------------------------
+
+// Lossless round-trip of the COO view (vertex count, edges, types); the
+// CSRs are rebuilt on load. Layout: magic "SSG1", then little-endian counts
+// and arrays.
+bool SaveGraphBinary(const Graph& graph, const std::string& path);
+std::optional<Graph> LoadGraphBinary(const std::string& path, const GraphOptions& options = {});
+
+}  // namespace seastar
+
+#endif  // SRC_GRAPH_IO_H_

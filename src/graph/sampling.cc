@@ -1,0 +1,126 @@
+#include "src/graph/sampling.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+SampledSubgraph SampleNeighborhood(const Graph& graph, const std::vector<int32_t>& seeds,
+                                   const std::vector<int>& fanouts, Rng& rng) {
+  SampledSubgraph result;
+  result.num_seeds = static_cast<int64_t>(seeds.size());
+
+  std::unordered_map<int32_t, int32_t> global_to_local;
+  const auto local_id = [&](int32_t global) {
+    auto [it, inserted] =
+        global_to_local.emplace(global, static_cast<int32_t>(result.local_to_global.size()));
+    if (inserted) {
+      result.local_to_global.push_back(global);
+    }
+    return it->second;
+  };
+  for (int32_t seed : seeds) {
+    SEASTAR_CHECK_GE(seed, 0);
+    SEASTAR_CHECK_LT(seed, graph.num_vertices());
+    local_id(seed);
+  }
+
+  std::vector<int32_t> sub_src;
+  std::vector<int32_t> sub_dst;
+  std::vector<int32_t> sub_type;
+  const bool typed = graph.is_heterogeneous();
+
+  const Csr& csr = graph.in_csr();
+  std::vector<int32_t> frontier = seeds;
+  std::vector<int64_t> slot_pool;
+  for (int fanout : fanouts) {
+    std::vector<int32_t> next_frontier;
+    for (int32_t v : frontier) {
+      const int64_t position = csr.vertex_position[static_cast<size_t>(v)];
+      const int64_t begin = csr.offsets[static_cast<size_t>(position)];
+      const int64_t end = csr.offsets[static_cast<size_t>(position) + 1];
+      const int64_t degree = end - begin;
+      slot_pool.clear();
+      if (fanout <= 0 || degree <= fanout) {
+        for (int64_t slot = begin; slot < end; ++slot) {
+          slot_pool.push_back(slot);
+        }
+      } else {
+        // Partial Fisher-Yates: draw `fanout` distinct slots.
+        slot_pool.resize(static_cast<size_t>(degree));
+        for (int64_t i = 0; i < degree; ++i) {
+          slot_pool[static_cast<size_t>(i)] = begin + i;
+        }
+        for (int i = 0; i < fanout; ++i) {
+          const size_t j =
+              static_cast<size_t>(i) +
+              static_cast<size_t>(rng.NextBounded(static_cast<uint64_t>(degree - i)));
+          std::swap(slot_pool[static_cast<size_t>(i)], slot_pool[j]);
+        }
+        slot_pool.resize(static_cast<size_t>(fanout));
+      }
+      const int32_t local_dst = local_id(v);
+      for (int64_t slot : slot_pool) {
+        const int32_t u = csr.nbr_ids[static_cast<size_t>(slot)];
+        const bool is_new = global_to_local.find(u) == global_to_local.end();
+        const int32_t local_src = local_id(u);
+        sub_src.push_back(local_src);
+        sub_dst.push_back(local_dst);
+        if (typed) {
+          const int32_t eid = csr.edge_ids[static_cast<size_t>(slot)];
+          sub_type.push_back(graph.edge_type()[static_cast<size_t>(eid)]);
+        }
+        if (is_new) {
+          next_frontier.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  result.graph = Graph::FromCoo(static_cast<int64_t>(result.local_to_global.size()),
+                                std::move(sub_src), std::move(sub_dst), std::move(sub_type),
+                                typed ? graph.num_edge_types() : 1);
+  return result;
+}
+
+Tensor GatherLocalFeatures(const SampledSubgraph& subgraph, const Tensor& global_features) {
+  SEASTAR_CHECK_EQ(global_features.ndim(), 2);
+  const int64_t width = global_features.dim(1);
+  Tensor local({static_cast<int64_t>(subgraph.local_to_global.size()), width});
+  for (size_t i = 0; i < subgraph.local_to_global.size(); ++i) {
+    const int32_t global = subgraph.local_to_global[i];
+    std::copy(global_features.Row(global), global_features.Row(global) + width,
+              local.Row(static_cast<int64_t>(i)));
+  }
+  return local;
+}
+
+std::vector<int32_t> GatherLocalLabels(const SampledSubgraph& subgraph,
+                                       const std::vector<int32_t>& global_labels) {
+  std::vector<int32_t> local(subgraph.local_to_global.size());
+  for (size_t i = 0; i < subgraph.local_to_global.size(); ++i) {
+    local[i] = global_labels[static_cast<size_t>(subgraph.local_to_global[i])];
+  }
+  return local;
+}
+
+std::vector<std::vector<int32_t>> MakeSeedBatches(int64_t num_vertices, int64_t batch_size,
+                                                  Rng& rng) {
+  SEASTAR_CHECK_GT(batch_size, 0);
+  std::vector<int32_t> order(static_cast<size_t>(num_vertices));
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    order[static_cast<size_t>(v)] = static_cast<int32_t>(v);
+  }
+  rng.Shuffle(order);
+  std::vector<std::vector<int32_t>> batches;
+  for (int64_t begin = 0; begin < num_vertices; begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, num_vertices);
+    batches.emplace_back(order.begin() + begin, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace seastar

@@ -1,0 +1,50 @@
+// Mini-batch neighbor sampling (GraphSAGE-style), the training mode of the
+// sampling-based systems the paper positions Seastar under ("Euler and
+// AliGraph ... Seastar can be used as their GNN training engine", §8) and
+// the background mini-batch preparation §6.3.3 alludes to.
+//
+// SampleNeighborhood draws, for a set of seed vertices, up to `fanout`
+// in-neighbors per vertex per hop (without replacement), and assembles the
+// union into a compact subgraph with locally renumbered vertices. The
+// subgraph is an ordinary Graph — degree-sorted CSRs and all — so every
+// executor and model runs on it unchanged.
+#ifndef SRC_GRAPH_SAMPLING_H_
+#define SRC_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+
+struct SampledSubgraph {
+  Graph graph;
+  // local_to_global[i] = original id of local vertex i. Seeds come first:
+  // local ids [0, num_seeds) are the seeds in their given order.
+  std::vector<int32_t> local_to_global;
+  int64_t num_seeds = 0;
+};
+
+// Samples a `fanouts.size()`-hop neighborhood of `seeds` from `graph`
+// (in-edges, matching forward aggregation direction). fanout <= 0 means
+// "all neighbors" for that hop. Deterministic given `rng`.
+SampledSubgraph SampleNeighborhood(const Graph& graph, const std::vector<int32_t>& seeds,
+                                   const std::vector<int>& fanouts, Rng& rng);
+
+// Gathers rows of a global [N, w] tensor into the subgraph's local order.
+Tensor GatherLocalFeatures(const SampledSubgraph& subgraph, const Tensor& global_features);
+
+// Gathers per-vertex int labels into local order.
+std::vector<int32_t> GatherLocalLabels(const SampledSubgraph& subgraph,
+                                       const std::vector<int32_t>& global_labels);
+
+// Splits [0, num_vertices) into shuffled batches of `batch_size` seeds.
+std::vector<std::vector<int32_t>> MakeSeedBatches(int64_t num_vertices, int64_t batch_size,
+                                                  Rng& rng);
+
+}  // namespace seastar
+
+#endif  // SRC_GRAPH_SAMPLING_H_

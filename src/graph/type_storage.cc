@@ -1,0 +1,76 @@
+#include "src/graph/type_storage.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+TypeOffsetIndex BuildTypeOffsetIndex(const Csr& csr) {
+  SEASTAR_CHECK(!csr.edge_types.empty()) << "graph has no edge types";
+  TypeOffsetIndex index;
+  index.run_bounds.reserve(static_cast<size_t>(csr.num_vertices) + 1);
+  index.run_bounds.push_back(0);
+  for (int64_t k = 0; k < csr.num_vertices; ++k) {
+    const int64_t begin = csr.offsets[static_cast<size_t>(k)];
+    const int64_t end = csr.offsets[static_cast<size_t>(k) + 1];
+    int32_t previous_type = -1;
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const int32_t type = csr.edge_types[static_cast<size_t>(slot)];
+      SEASTAR_CHECK_GE(type, previous_type) << "slots must be type-sorted";
+      if (type != previous_type) {
+        index.run_start_slot.push_back(slot);
+        index.run_type.push_back(type);
+        previous_type = type;
+      }
+    }
+    index.run_bounds.push_back(static_cast<int64_t>(index.run_start_slot.size()));
+  }
+  return index;
+}
+
+uint64_t TypeOffsetIndexBytes(const TypeOffsetIndex& index) {
+  return index.run_bounds.size() * sizeof(int64_t) +
+         index.run_start_slot.size() * sizeof(int64_t) +
+         index.run_type.size() * sizeof(int32_t);
+}
+
+uint64_t FlatTypeArrayBytes(const Csr& csr) { return csr.edge_types.size() * sizeof(int32_t); }
+
+int64_t UniqueTypePairs(const Csr& csr) {
+  int64_t total = 0;
+  for (int64_t k = 0; k < csr.num_vertices; ++k) {
+    const int64_t begin = csr.offsets[static_cast<size_t>(k)];
+    const int64_t end = csr.offsets[static_cast<size_t>(k) + 1];
+    int32_t previous_type = -1;
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const int32_t type = csr.edge_types[static_cast<size_t>(slot)];
+      if (type != previous_type) {
+        ++total;
+        previous_type = type;
+      }
+    }
+  }
+  return total;
+}
+
+TypeStorageDecision AnalyzeTypeStorage(const Graph& graph) {
+  SEASTAR_CHECK(graph.is_heterogeneous());
+  TypeStorageDecision decision;
+  decision.num_edges = graph.num_edges();
+  decision.unique_pairs_in = UniqueTypePairs(graph.in_csr());
+  decision.unique_pairs_out = UniqueTypePairs(graph.out_csr());
+  const int64_t worst_pairs = std::max(decision.unique_pairs_in, decision.unique_pairs_out);
+  decision.ratio =
+      worst_pairs > 0 ? static_cast<double>(decision.num_edges) / worst_pairs : 0.0;
+
+  // The flat array is stored once and indexed through edge ids by both
+  // passes; the compressed index must exist per CSR orientation (§6.3.5).
+  decision.flat_bytes = FlatTypeArrayBytes(graph.in_csr());
+  decision.compressed_bytes = TypeOffsetIndexBytes(BuildTypeOffsetIndex(graph.in_csr())) +
+                              TypeOffsetIndexBytes(BuildTypeOffsetIndex(graph.out_csr()));
+  decision.flat_wins = decision.flat_bytes <= decision.compressed_bytes;
+  return decision;
+}
+
+}  // namespace seastar

@@ -1,0 +1,68 @@
+// The edge-type storage design study of paper §6.3.5.
+//
+// Seastar stores edge types in a per-slot array alongside the edge ids. The
+// paper *considered* a compressed alternative — one more level of
+// indirection between the vertex offset array and the slots, a "type offset
+// array" that stores each (vertex, type) run once — and rejected it with a
+// size argument: the compressed form must be built for both the forward and
+// the backward CSR, while the flat array is shared, so it only wins when
+// N_e / N_t > 2, where N_e is the edge count and N_t the total number of
+// unique (vertex, type) pairs. For the paper's datasets the ratio is between
+// 1.385 and 1.923, so the flat array wins.
+//
+// This module implements both representations' accounting so the decision
+// can be reproduced on any graph (bench/bench_edge_type_storage).
+#ifndef SRC_GRAPH_TYPE_STORAGE_H_
+#define SRC_GRAPH_TYPE_STORAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace seastar {
+
+// The rejected compressed representation: per vertex position, the list of
+// contiguous same-type runs in its (type-sorted) slot range.
+struct TypeOffsetIndex {
+  // run_bounds[k] .. run_bounds[k+1] delimit vertex position k's runs.
+  std::vector<int64_t> run_bounds;  // size: num_vertices + 1
+  // Slot index where each run starts (its end is the next run's start, or
+  // the vertex's slot range end). Size: total runs.
+  std::vector<int64_t> run_start_slot;
+  // The type shared by every edge of the run. Size: total runs.
+  std::vector<int32_t> run_type;
+};
+
+// Requires a CSR with type-sorted slots (hetero graphs are built that way).
+TypeOffsetIndex BuildTypeOffsetIndex(const Csr& csr);
+
+// Bytes of the compressed index (run_start_slot as int64 + run_type as
+// int32 + run_bounds as int64).
+uint64_t TypeOffsetIndexBytes(const TypeOffsetIndex& index);
+
+// Bytes of the flat per-slot type array for one CSR.
+uint64_t FlatTypeArrayBytes(const Csr& csr);
+
+// N_t: total unique (vertex, type) pairs over destination vertices and
+// their in-edges plus source vertices and their out-edges... the paper
+// defines N_t as "the summation of the unique types of all vertices"; we
+// compute it for the aggregation side of each CSR and report both.
+int64_t UniqueTypePairs(const Csr& csr);
+
+struct TypeStorageDecision {
+  int64_t num_edges = 0;
+  int64_t unique_pairs_in = 0;    // N_t over the in-CSR.
+  int64_t unique_pairs_out = 0;   // N_t over the out-CSR.
+  double ratio = 0.0;             // N_e / max(N_t_in, N_t_out).
+  uint64_t flat_bytes = 0;        // One array, shared by both passes.
+  uint64_t compressed_bytes = 0;  // Two indexes (forward + backward).
+  bool flat_wins = false;
+};
+
+// Reproduces the paper's decision computation for `graph`.
+TypeStorageDecision AnalyzeTypeStorage(const Graph& graph);
+
+}  // namespace seastar
+
+#endif  // SRC_GRAPH_TYPE_STORAGE_H_

@@ -1,0 +1,105 @@
+#include "src/parallel/simt.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/logging.h"
+#include "src/parallel/thread_pool.h"
+
+namespace seastar {
+
+const char* BlockScheduleName(BlockSchedule schedule) {
+  switch (schedule) {
+    case BlockSchedule::kStatic:
+      return "static";
+    case BlockSchedule::kAtomicPerBlock:
+      return "atomic";
+    case BlockSchedule::kChunkedDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+void LaunchBlocks(const SimtLaunchParams& params,
+                  const std::function<void(int64_t, int)>& body) {
+  const int64_t num_blocks = params.num_blocks;
+  if (num_blocks <= 0) {
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Get();
+  const int participants = pool.num_threads() + 1;
+
+  switch (params.schedule) {
+    case BlockSchedule::kStatic: {
+      const int64_t per_worker = (num_blocks + participants - 1) / participants;
+      pool.RunOnAllWorkers([&](int worker) {
+        const int64_t begin = static_cast<int64_t>(worker) * per_worker;
+        const int64_t end = std::min(begin + per_worker, num_blocks);
+        for (int64_t b = begin; b < end; ++b) {
+          body(b, worker);
+        }
+      });
+      return;
+    }
+    case BlockSchedule::kAtomicPerBlock: {
+      std::atomic<int64_t> next{0};
+      pool.RunOnAllWorkers([&](int worker) {
+        for (;;) {
+          // One contended RMW per block: this is the cost the paper's
+          // FA+Sorting+Atomic variant pays and FA+Sorting+Dynamic avoids.
+          const int64_t b = next.fetch_add(1, std::memory_order_relaxed);
+          if (b >= num_blocks) {
+            return;
+          }
+          body(b, worker);
+        }
+      });
+      return;
+    }
+    case BlockSchedule::kChunkedDynamic: {
+      const int64_t chunk = std::max<int64_t>(1, params.chunk_size);
+      std::atomic<int64_t> next{0};
+      pool.RunOnAllWorkers([&](int worker) {
+        for (;;) {
+          const int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= num_blocks) {
+            return;
+          }
+          const int64_t end = std::min(begin + chunk, num_blocks);
+          for (int64_t b = begin; b < end; ++b) {
+            body(b, worker);
+          }
+        }
+      });
+      return;
+    }
+  }
+  SEASTAR_LOG(Fatal) << "unknown BlockSchedule";
+}
+
+FatGeometry FatGeometry::Compute(int64_t num_items, int64_t feature_dim, int block_size) {
+  SEASTAR_CHECK_GT(block_size, 0);
+  SEASTAR_CHECK_GT(feature_dim, 0);
+  FatGeometry geometry;
+  geometry.block_size = block_size;
+  int group = 1;
+  while (group * 2 <= feature_dim && group * 2 <= block_size) {
+    group *= 2;
+  }
+  geometry.group_size = group;
+  geometry.groups_per_block = block_size / group;
+  geometry.num_blocks =
+      num_items > 0 ? (num_items + geometry.groups_per_block - 1) / geometry.groups_per_block : 0;
+  return geometry;
+}
+
+FatGeometry FatGeometry::OneItemPerBlock(int64_t num_items, int block_size) {
+  FatGeometry geometry;
+  geometry.block_size = block_size;
+  geometry.group_size = block_size;  // The whole block is one group.
+  geometry.groups_per_block = 1;
+  geometry.num_blocks = num_items;
+  return geometry;
+}
+
+}  // namespace seastar

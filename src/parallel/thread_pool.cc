@@ -1,0 +1,120 @@
+#include "src/parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace {
+
+int DefaultNumThreads() {
+  const char* env = std::getenv("SEASTAR_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int n = std::atoi(env);
+    if (n >= 1) {
+      return n;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 4;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Get() {
+  // Never destroyed: avoids shutdown races with static tensor destructors.
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads() - 1);
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  SEASTAR_CHECK_GE(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_fn_ = &fn;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  // The calling thread participates too.
+  fn(static_cast<int>(workers_.size()));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  current_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return shutdown_ || (current_fn_ && generation_ != seen_generation); });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      fn = current_fn_;
+    }
+    (*fn)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) {
+        work_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(int64_t count, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk) {
+  if (count <= 0) {
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Get();
+  int participants = pool.num_threads() + 1;
+  if (count <= min_chunk || participants == 1) {
+    fn(0, count);
+    return;
+  }
+  int64_t chunks = std::min<int64_t>(participants, (count + min_chunk - 1) / min_chunk);
+  int64_t chunk_size = (count + chunks - 1) / chunks;
+  std::atomic<int64_t> next{0};
+  pool.RunOnAllWorkers([&](int) {
+    for (;;) {
+      int64_t begin = next.fetch_add(chunk_size, std::memory_order_relaxed);
+      if (begin >= count) {
+        return;
+      }
+      fn(begin, std::min(begin + chunk_size, count));
+    }
+  });
+}
+
+}  // namespace seastar

@@ -1,0 +1,61 @@
+// Shared worker pool. All parallel kernels in the repo (dense GEMM and the
+// simulated GPU grids in simt.h) run on this pool, so there is a single knob
+// for the machine's parallelism (SEASTAR_NUM_THREADS, default: hardware
+// concurrency).
+#ifndef SRC_PARALLEL_THREAD_POOL_H_
+#define SRC_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seastar {
+
+class ThreadPool {
+ public:
+  // The process-wide pool.
+  static ThreadPool& Get();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(worker_index) on every worker plus the calling thread
+  // (worker_index = num_threads() for the caller) and blocks until all
+  // invocations return. This is the primitive the SIMT grid builds on.
+  void RunOnAllWorkers(const std::function<void(int)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(int)>* fn = nullptr;
+    uint64_t generation = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* current_fn_ = nullptr;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// Splits [0, count) into roughly equal chunks across the pool and runs
+// fn(begin, end) for each chunk in parallel. Serial when count is small.
+void ParallelFor(int64_t count, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk = 1024);
+
+}  // namespace seastar
+
+#endif  // SRC_PARALLEL_THREAD_POOL_H_

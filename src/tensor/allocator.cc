@@ -1,0 +1,50 @@
+#include "src/tensor/allocator.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+TensorAllocator& TensorAllocator::Get() {
+  static TensorAllocator* instance = new TensorAllocator();
+  return *instance;
+}
+
+void* TensorAllocator::Allocate(size_t bytes) {
+  void* ptr = std::malloc(bytes > 0 ? bytes : 1);
+  SEASTAR_CHECK(ptr != nullptr) << "host OOM allocating " << bytes << " bytes";
+  uint64_t live = live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  total_allocs_.fetch_add(1, std::memory_order_relaxed);
+
+  // Monotonic max update for the peak.
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+
+  uint64_t budget = soft_budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && live > budget) {
+    budget_exceeded_.store(true, std::memory_order_relaxed);
+  }
+  return ptr;
+}
+
+void TensorAllocator::Deallocate(void* ptr, size_t bytes) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::free(ptr);
+  live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void TensorAllocator::ResetPeak() {
+  peak_bytes_.store(live_bytes_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+void TensorAllocator::SetSoftBudgetBytes(uint64_t bytes) {
+  soft_budget_.store(bytes, std::memory_order_relaxed);
+  budget_exceeded_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace seastar

@@ -1,0 +1,352 @@
+#include "src/tensor/autograd.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+
+namespace autograd_internal {
+
+void VarNode::AccumulateGrad(const Tensor& g) {
+  if (!grad.defined()) {
+    // Share the incoming tensor rather than cloning: every backward_fn in
+    // this codebase returns exclusively owned (or freshly cloned) tensors,
+    // and for wide gradients (R-GCN's [R, N, d] stacks) the extra copy is
+    // the difference between fitting the memory budget and OOM.
+    grad = g;
+    return;
+  }
+  SEASTAR_CHECK(grad.shape() == g.shape());
+  float* pd = grad.data();
+  const float* ps = g.data();
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    pd[i] += ps[i];
+  }
+}
+
+}  // namespace autograd_internal
+
+using autograd_internal::VarNode;
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  Var v;
+  v.node_ = std::make_shared<VarNode>();
+  v.node_->value = std::move(value);
+  v.node_->requires_grad = requires_grad;
+  return v;
+}
+
+const Tensor& Var::value() const {
+  SEASTAR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  SEASTAR_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  SEASTAR_CHECK(defined());
+  return node_->grad;
+}
+
+bool Var::requires_grad() const { return defined() && node_->requires_grad; }
+
+const std::string& Var::op_name() const {
+  SEASTAR_CHECK(defined());
+  return node_->op_name;
+}
+
+void Var::ClearGrad() {
+  SEASTAR_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+Var Var::MakeNode(Tensor value, std::vector<Var> inputs,
+                  std::function<std::vector<Tensor>(const Tensor&)> backward_fn,
+                  std::string op_name) {
+  Var v;
+  v.node_ = std::make_shared<VarNode>();
+  v.node_->value = std::move(value);
+  v.node_->op_name = std::move(op_name);
+  bool any_grad = false;
+  v.node_->inputs.reserve(inputs.size());
+  for (const Var& input : inputs) {
+    SEASTAR_CHECK(input.defined());
+    any_grad = any_grad || input.requires_grad();
+    v.node_->inputs.push_back(input.node());
+  }
+  v.node_->requires_grad = any_grad;
+  if (any_grad) {
+    v.node_->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+void Backward(const Var& root, const Tensor& seed) {
+  SEASTAR_CHECK(root.defined());
+  SEASTAR_CHECK(root.requires_grad()) << "Backward on a graph with no requires-grad leaves";
+  SEASTAR_CHECK(seed.shape() == root.value().shape());
+
+  // Iterative post-order DFS to get a topological order of the tape.
+  std::vector<VarNode*> topo;
+  std::unordered_set<VarNode*> visited;
+  std::vector<std::pair<VarNode*, size_t>> stack;
+  std::unordered_map<VarNode*, std::shared_ptr<VarNode>> keep_alive;
+
+  auto push = [&](const std::shared_ptr<VarNode>& node) {
+    if (node->requires_grad && visited.insert(node.get()).second) {
+      stack.emplace_back(node.get(), 0);
+      keep_alive.emplace(node.get(), node);
+    }
+  };
+  push(root.node());
+  while (!stack.empty()) {
+    auto& [node, child_index] = stack.back();
+    if (child_index < node->inputs.size()) {
+      const auto& child = node->inputs[child_index++];
+      if (child->requires_grad && visited.find(child.get()) == visited.end()) {
+        visited.insert(child.get());
+        keep_alive.emplace(child.get(), child);
+        stack.emplace_back(child.get(), 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root.node()->AccumulateGrad(seed);
+
+  // topo is post-order (children before parents), so iterate in reverse:
+  // every node's grad is complete before it propagates to its inputs —
+  // the same "all downstream operators differentiated first" invariant the
+  // paper maintains for GIR autodiff (§5.2).
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    VarNode* node = *it;
+    if (!node->backward_fn) {
+      continue;  // Leaf.
+    }
+    SEASTAR_CHECK(node->grad.defined())
+        << "node '" << node->op_name << "' reached without gradient";
+    std::vector<Tensor> input_grads = node->backward_fn(node->grad);
+    SEASTAR_CHECK_EQ(input_grads.size(), node->inputs.size())
+        << "op '" << node->op_name << "' returned wrong grad count";
+    for (size_t i = 0; i < input_grads.size(); ++i) {
+      if (node->inputs[i]->requires_grad) {
+        SEASTAR_CHECK(input_grads[i].defined())
+            << "op '" << node->op_name << "' missing grad for requires-grad input " << i;
+        node->inputs[i]->AccumulateGrad(input_grads[i]);
+      }
+    }
+    // Free the interior gradient eagerly (the paper clears its tensor map
+    // entries once no dependency remains, §5.3).
+    node->grad = Tensor();
+  }
+}
+
+namespace ag {
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = ops::Add(a.value(), b.value());
+  return Var::MakeNode(
+      std::move(out), {a, b},
+      [](const Tensor& g) { return std::vector<Tensor>{g.Clone(), g.Clone()}; }, "add");
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = ops::Sub(a.value(), b.value());
+  return Var::MakeNode(
+      std::move(out), {a, b},
+      [](const Tensor& g) { return std::vector<Tensor>{g.Clone(), ops::Neg(g)}; }, "sub");
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = ops::Mul(a.value(), b.value());
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return Var::MakeNode(
+      std::move(out), {a, b},
+      [av, bv](const Tensor& g) {
+        return std::vector<Tensor>{ops::Mul(g, bv), ops::Mul(g, av)};
+      },
+      "mul");
+}
+
+Var AddRowBroadcast(const Var& matrix, const Var& row) {
+  Tensor out = ops::AddRowBroadcast(matrix.value(), row.value());
+  const bool scalar_row = row.value().numel() == 1;
+  return Var::MakeNode(
+      std::move(out), {matrix, row},
+      [scalar_row](const Tensor& g) {
+        Tensor row_grad = scalar_row ? Tensor::FromScalar(ops::SumAll(g)) : ops::ColSum(g);
+        return std::vector<Tensor>{g.Clone(), std::move(row_grad)};
+      },
+      "add_row_broadcast");
+}
+
+Var Matmul(const Var& a, const Var& b) {
+  Tensor out = ops::Matmul(a.value(), b.value());
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return Var::MakeNode(
+      std::move(out), {a, b},
+      [av, bv](const Tensor& g) {
+        // dA = g @ B^T ; dB = A^T @ g.
+        return std::vector<Tensor>{ops::MatmulTransposeB(g, bv), ops::MatmulTransposeA(av, g)};
+      },
+      "matmul");
+}
+
+Var Relu(const Var& a) {
+  Tensor out = ops::Relu(a.value());
+  Tensor av = a.value();
+  return Var::MakeNode(
+      std::move(out), {a},
+      [av](const Tensor& g) { return std::vector<Tensor>{ops::ReluGrad(g, av)}; }, "relu");
+}
+
+Var LeakyRelu(const Var& a, float slope) {
+  Tensor out = ops::LeakyRelu(a.value(), slope);
+  Tensor av = a.value();
+  return Var::MakeNode(
+      std::move(out), {a},
+      [av, slope](const Tensor& g) {
+        return std::vector<Tensor>{ops::LeakyReluGrad(g, av, slope)};
+      },
+      "leaky_relu");
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor out = ops::Sigmoid(a.value());
+  Tensor saved = out;
+  return Var::MakeNode(
+      std::move(out), {a},
+      [saved](const Tensor& g) {
+        return std::vector<Tensor>{ops::SigmoidGradFromOutput(g, saved)};
+      },
+      "sigmoid");
+}
+
+Var Tanh(const Var& a) {
+  Tensor out = ops::Tanh(a.value());
+  Tensor saved = out;
+  return Var::MakeNode(
+      std::move(out), {a},
+      [saved](const Tensor& g) {
+        return std::vector<Tensor>{ops::TanhGradFromOutput(g, saved)};
+      },
+      "tanh");
+}
+
+Var Elu(const Var& a, float alpha) {
+  Tensor out = ops::Elu(a.value(), alpha);
+  Tensor saved = out;
+  return Var::MakeNode(
+      std::move(out), {a},
+      [saved, alpha](const Tensor& g) {
+        return std::vector<Tensor>{ops::EluGradFromOutput(g, saved, alpha)};
+      },
+      "elu");
+}
+
+Var Exp(const Var& a) {
+  Tensor out = ops::Exp(a.value());
+  Tensor saved = out;
+  return Var::MakeNode(
+      std::move(out), {a},
+      [saved](const Tensor& g) { return std::vector<Tensor>{ops::Mul(g, saved)}; }, "exp");
+}
+
+Var MulScalar(const Var& a, float s) {
+  Tensor out = ops::MulScalar(a.value(), s);
+  return Var::MakeNode(
+      std::move(out), {a},
+      [s](const Tensor& g) { return std::vector<Tensor>{ops::MulScalar(g, s)}; }, "mul_scalar");
+}
+
+Var LogSoftmax(const Var& a) {
+  Tensor out = ops::LogSoftmax(a.value());
+  Tensor saved = out;
+  return Var::MakeNode(
+      std::move(out), {a},
+      [saved](const Tensor& g) {
+        // d/dx log_softmax: g - softmax * rowsum(g).
+        Tensor softmax = ops::Exp(saved);
+        Tensor row_totals = ops::RowSum(g);
+        Tensor correction = ops::MulColBroadcast(softmax, row_totals);
+        return std::vector<Tensor>{ops::Sub(g, correction)};
+      },
+      "log_softmax");
+}
+
+Var Dropout(const Var& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) {
+    return a;
+  }
+  ops::DropoutResult result = ops::Dropout(a.value(), p, rng);
+  Tensor mask = result.mask;
+  return Var::MakeNode(
+      std::move(result.output), {a},
+      [mask](const Tensor& g) { return std::vector<Tensor>{ops::Mul(g, mask)}; }, "dropout");
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  SEASTAR_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  std::vector<int64_t> widths;
+  values.reserve(parts.size());
+  for (const Var& part : parts) {
+    values.push_back(part.value());
+    widths.push_back(part.value().dim(1));
+  }
+  Tensor out = ops::ConcatCols(values);
+  return Var::MakeNode(
+      std::move(out), parts,
+      [widths](const Tensor& g) {
+        std::vector<Tensor> grads;
+        grads.reserve(widths.size());
+        const int64_t n = g.dim(0);
+        const int64_t total = g.dim(1);
+        int64_t col = 0;
+        for (int64_t w : widths) {
+          Tensor piece({n, w});
+          for (int64_t i = 0; i < n; ++i) {
+            const float* src = g.data() + i * total + col;
+            float* dst = piece.data() + i * w;
+            for (int64_t j = 0; j < w; ++j) {
+              dst[j] = src[j];
+            }
+          }
+          grads.push_back(std::move(piece));
+          col += w;
+        }
+        return grads;
+      },
+      "concat_cols");
+}
+
+Var NllLoss(const Var& log_probs, std::vector<int32_t> labels, std::vector<int32_t> mask_rows) {
+  const float loss = ops::NllLoss(log_probs.value(), labels, mask_rows);
+  Tensor lp = log_probs.value();
+  return Var::MakeNode(
+      Tensor::FromScalar(loss), {log_probs},
+      [lp, labels = std::move(labels), mask_rows = std::move(mask_rows)](const Tensor& g) {
+        Tensor grad = ops::CrossEntropyGrad(lp, labels, mask_rows);
+        return std::vector<Tensor>{ops::MulScalar(grad, g.at(0))};
+      },
+      "nll_loss");
+}
+
+Var CustomOp(std::vector<Var> inputs, Tensor output,
+             std::function<std::vector<Tensor>(const Tensor&)> backward_fn, std::string op_name) {
+  return Var::MakeNode(std::move(output), std::move(inputs), std::move(backward_fn),
+                       std::move(op_name));
+}
+
+}  // namespace ag
+}  // namespace seastar

@@ -1,0 +1,704 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/parallel/thread_pool.h"
+
+namespace seastar {
+namespace ops {
+namespace {
+
+// Applies `fn` elementwise; shapes must match exactly, or `b` may be a
+// scalar tensor of shape {1} broadcast to every element of `a`.
+template <typename Fn>
+Tensor BinaryElementwise(const Tensor& a, const Tensor& b, Fn fn, const char* name) {
+  SEASTAR_CHECK(a.defined() && b.defined()) << name << ": undefined input";
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  if (b.numel() == 1 && a.numel() != 1) {
+    const float s = pb[0];
+    for (int64_t i = 0; i < n; ++i) {
+      po[i] = fn(pa[i], s);
+    }
+    return out;
+  }
+  SEASTAR_CHECK(a.shape() == b.shape())
+      << name << ": shape mismatch " << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fn(pa[i], pb[i]);
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryElementwise(const Tensor& a, Fn fn, const char* name) {
+  SEASTAR_CHECK(a.defined()) << name << ": undefined input";
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fn(pa[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Construction -------------------------------------------------------------------------------
+
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = rng.NextFloat(lo, hi);
+  }
+  return t;
+}
+
+Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = mean + stddev * static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform({fan_in, fan_out}, -bound, bound, rng);
+}
+
+Tensor OneHot(const std::vector<int32_t>& labels, int64_t num_classes) {
+  Tensor t = Tensor::Zeros({static_cast<int64_t>(labels.size()), num_classes});
+  for (size_t i = 0; i < labels.size(); ++i) {
+    SEASTAR_CHECK_GE(labels[i], 0);
+    SEASTAR_CHECK_LT(labels[i], num_classes);
+    t.at(static_cast<int64_t>(i), labels[i]) = 1.0f;
+  }
+  return t;
+}
+
+Tensor Arange(int64_t n) {
+  Tensor t({n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(i);
+  }
+  return t;
+}
+
+// ---- Elementwise --------------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(a, b, [](float x, float y) { return x + y; }, "Add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(a, b, [](float x, float y) { return x - y; }, "Sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(a, b, [](float x, float y) { return x * y; }, "Mul");
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(a, b, [](float x, float y) { return x / y; }, "Div");
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryElementwise(a, [s](float x) { return x + s; }, "AddScalar");
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryElementwise(a, [s](float x) { return x * s; }, "MulScalar");
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return -x; }, "Neg");
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return std::exp(x); }, "Exp");
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return std::log(x); }, "Log");
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return std::sqrt(x); }, "Sqrt");
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return x > 0.0f ? x : 0.0f; }, "Relu");
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryElementwise(a, [slope](float x) { return x > 0.0f ? x : slope * x; }, "LeakyRelu");
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); }, "Sigmoid");
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryElementwise(a, [](float x) { return std::tanh(x); }, "Tanh");
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryElementwise(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); }, "Elu");
+}
+
+Tensor ReluGrad(const Tensor& grad_out, const Tensor& input) {
+  return BinaryElementwise(
+      grad_out, input, [](float g, float x) { return x > 0.0f ? g : 0.0f; }, "ReluGrad");
+}
+
+Tensor LeakyReluGrad(const Tensor& grad_out, const Tensor& input, float slope) {
+  return BinaryElementwise(
+      grad_out, input, [slope](float g, float x) { return x > 0.0f ? g : slope * g; },
+      "LeakyReluGrad");
+}
+
+Tensor SigmoidGradFromOutput(const Tensor& grad_out, const Tensor& output) {
+  return BinaryElementwise(
+      grad_out, output, [](float g, float y) { return g * y * (1.0f - y); }, "SigmoidGrad");
+}
+
+Tensor TanhGradFromOutput(const Tensor& grad_out, const Tensor& output) {
+  return BinaryElementwise(
+      grad_out, output, [](float g, float y) { return g * (1.0f - y * y); }, "TanhGrad");
+}
+
+Tensor EluGradFromOutput(const Tensor& grad_out, const Tensor& output, float alpha) {
+  // For y = elu(x): dy/dx = 1 when y > 0 else y + alpha.
+  return BinaryElementwise(
+      grad_out, output, [alpha](float g, float y) { return y > 0.0f ? g : g * (y + alpha); },
+      "EluGrad");
+}
+
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
+  SEASTAR_CHECK_EQ(matrix.ndim(), 2);
+  const int64_t n = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  SEASTAR_CHECK(row.numel() == d || row.numel() == 1)
+      << "AddRowBroadcast: " << matrix.ShapeString() << " vs " << row.ShapeString();
+  Tensor out(matrix.shape());
+  const float* pm = matrix.data();
+  const float* pr = row.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      po[i * d + j] = pm[i * d + j] + (row.numel() == 1 ? pr[0] : pr[j]);
+    }
+  }
+  return out;
+}
+
+Tensor MulRowBroadcast(const Tensor& matrix, const Tensor& row) {
+  SEASTAR_CHECK_EQ(matrix.ndim(), 2);
+  const int64_t n = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  SEASTAR_CHECK(row.numel() == d || row.numel() == 1);
+  Tensor out(matrix.shape());
+  const float* pm = matrix.data();
+  const float* pr = row.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      po[i * d + j] = pm[i * d + j] * (row.numel() == 1 ? pr[0] : pr[j]);
+    }
+  }
+  return out;
+}
+
+Tensor MulColBroadcast(const Tensor& matrix, const Tensor& col) {
+  SEASTAR_CHECK_EQ(matrix.ndim(), 2);
+  const int64_t n = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  SEASTAR_CHECK_EQ(col.numel(), n);
+  Tensor out(matrix.shape());
+  const float* pm = matrix.data();
+  const float* pc = col.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float s = pc[i];
+    for (int64_t j = 0; j < d; ++j) {
+      po[i * d + j] = pm[i * d + j] * s;
+    }
+  }
+  return out;
+}
+
+// ---- Linear algebra ------------------------------------------------------------------------------
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_EQ(b.ndim(), 2);
+  SEASTAR_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t n = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t m = b.dim(1);
+  Tensor out = Tensor::Zeros({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: streams over b's rows, vectorizes the inner j loop.
+  ParallelFor(
+      n,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * k;
+          float* orow = po + i * m;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) {
+              continue;
+            }
+            const float* brow = pb + kk * m;
+            for (int64_t j = 0; j < m; ++j) {
+              orow[j] += av * brow[j];
+            }
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * m)));
+  return out;
+}
+
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_EQ(b.ndim(), 2);
+  SEASTAR_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t n = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t m = b.dim(0);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(
+      n,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * k;
+          float* orow = po + i * m;
+          for (int64_t j = 0; j < m; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              acc += arow[kk] * brow[kk];
+            }
+            orow[j] = acc;
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * m)));
+  return out;
+}
+
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_EQ(b.ndim(), 2);
+  SEASTAR_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t n = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t m = b.dim(1);
+  Tensor out = Tensor::Zeros({k, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Serial over n to avoid write contention on the [k, m] accumulator; the
+  // inner loops stream contiguously.
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * m;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* orow = po + kk * m;
+      for (int64_t j = 0; j < m; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0);
+  const int64_t m = a.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      po[j * n + i] = pa[i * m + j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchedMatmul(const Tensor& a, const Tensor& b) {
+  SEASTAR_CHECK_EQ(a.ndim(), 3);
+  SEASTAR_CHECK_EQ(b.ndim(), 3);
+  SEASTAR_CHECK_EQ(a.dim(0), b.dim(0));
+  SEASTAR_CHECK_EQ(a.dim(2), b.dim(1));
+  const int64_t batch = a.dim(0);
+  const int64_t n = a.dim(1);
+  const int64_t k = a.dim(2);
+  const int64_t m = b.dim(2);
+  Tensor out = Tensor::Zeros({batch, n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(
+      batch * n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t idx = begin; idx < end; ++idx) {
+          const int64_t bi = idx / n;
+          const int64_t i = idx % n;
+          const float* arow = pa + bi * n * k + i * k;
+          const float* bmat = pb + bi * k * m;
+          float* orow = po + bi * n * m + i * m;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) {
+              continue;
+            }
+            const float* brow = bmat + kk * m;
+            for (int64_t j = 0; j < m; ++j) {
+              orow[j] += av * brow[j];
+            }
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * m)));
+  return out;
+}
+
+// ---- Reductions -----------------------------------------------------------------------------------
+
+float SumAll(const Tensor& a) {
+  const float* p = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += p[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Tensor& a) {
+  SEASTAR_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  SEASTAR_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float best = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) {
+    best = std::max(best, p[i]);
+  }
+  return best;
+}
+
+Tensor RowSum(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  Tensor out({n, 1});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      acc += pa[i * d + j];
+    }
+    po[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor RowMax(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_GT(a.dim(1), 0);
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  Tensor out({n, 1});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float best = pa[i * d];
+    for (int64_t j = 1; j < d; ++j) {
+      best = std::max(best, pa[i * d + j]);
+    }
+    po[i] = best;
+  }
+  return out;
+}
+
+Tensor ColSum(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  Tensor out = Tensor::Zeros({d});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      po[j] += pa[i * d + j];
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> RowArgmax(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_GT(a.dim(1), 0);
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  std::vector<int32_t> result(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t best_j = 0;
+    float best = pa[i * d];
+    for (int64_t j = 1; j < d; ++j) {
+      if (pa[i * d + j] > best) {
+        best = pa[i * d + j];
+        best_j = static_cast<int32_t>(j);
+      }
+    }
+    result[static_cast<size_t>(i)] = best_j;
+  }
+  return result;
+}
+
+// ---- Softmax / losses -------------------------------------------------------------------------------
+
+Tensor Softmax(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float row_max = pa[i * d];
+    for (int64_t j = 1; j < d; ++j) {
+      row_max = std::max(row_max, pa[i * d + j]);
+    }
+    double denom = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const float e = std::exp(pa[i * d + j] - row_max);
+      po[i * d + j] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < d; ++j) {
+      po[i * d + j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float row_max = pa[i * d];
+    for (int64_t j = 1; j < d; ++j) {
+      row_max = std::max(row_max, pa[i * d + j]);
+    }
+    double denom = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      denom += std::exp(pa[i * d + j] - row_max);
+    }
+    const float log_denom = static_cast<float>(std::log(denom)) + row_max;
+    for (int64_t j = 0; j < d; ++j) {
+      po[i * d + j] = pa[i * d + j] - log_denom;
+    }
+  }
+  return out;
+}
+
+float NllLoss(const Tensor& log_probs, const std::vector<int32_t>& labels,
+              const std::vector<int32_t>& mask_rows) {
+  SEASTAR_CHECK_EQ(log_probs.ndim(), 2);
+  SEASTAR_CHECK_EQ(log_probs.dim(0), static_cast<int64_t>(labels.size()));
+  double acc = 0.0;
+  if (mask_rows.empty()) {
+    for (int64_t i = 0; i < log_probs.dim(0); ++i) {
+      acc -= log_probs.at(i, labels[static_cast<size_t>(i)]);
+    }
+    return static_cast<float>(acc / static_cast<double>(log_probs.dim(0)));
+  }
+  for (int32_t row : mask_rows) {
+    acc -= log_probs.at(row, labels[static_cast<size_t>(row)]);
+  }
+  return static_cast<float>(acc / static_cast<double>(mask_rows.size()));
+}
+
+Tensor CrossEntropyGrad(const Tensor& log_probs, const std::vector<int32_t>& labels,
+                        const std::vector<int32_t>& mask_rows) {
+  SEASTAR_CHECK_EQ(log_probs.ndim(), 2);
+  const int64_t n = log_probs.dim(0);
+  const int64_t c = log_probs.dim(1);
+  Tensor grad = Tensor::Zeros({n, c});
+  const float* lp = log_probs.data();
+  float* pg = grad.data();
+  const auto fill_row = [&](int64_t i, float scale) {
+    for (int64_t j = 0; j < c; ++j) {
+      pg[i * c + j] = std::exp(lp[i * c + j]) * scale;  // softmax * scale
+    }
+    pg[i * c + labels[static_cast<size_t>(i)]] -= scale;
+  };
+  if (mask_rows.empty()) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      fill_row(i, scale);
+    }
+  } else {
+    const float scale = 1.0f / static_cast<float>(mask_rows.size());
+    for (int32_t row : mask_rows) {
+      fill_row(row, scale);
+    }
+  }
+  return grad;
+}
+
+// ---- Dropout ----------------------------------------------------------------------------------------
+
+DropoutResult Dropout(const Tensor& a, float p, Rng& rng) {
+  SEASTAR_CHECK_GE(p, 0.0f);
+  SEASTAR_CHECK_LT(p, 1.0f);
+  DropoutResult result{Tensor(a.shape()), Tensor(a.shape())};
+  const float keep_scale = 1.0f / (1.0f - p);
+  const float* pa = a.data();
+  float* po = result.output.data();
+  float* pm = result.mask.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float m = rng.NextBernoulli(p) ? 0.0f : keep_scale;
+    pm[i] = m;
+    po[i] = pa[i] * m;
+  }
+  return result;
+}
+
+// ---- Row gather / scatter ------------------------------------------------------------------------------
+
+Tensor GatherRows(const Tensor& a, const std::vector<int32_t>& index) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  const int64_t d = a.dim(1);
+  Tensor out({static_cast<int64_t>(index.size()), d});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (size_t i = 0; i < index.size(); ++i) {
+    SEASTAR_CHECK_GE(index[i], 0);
+    SEASTAR_CHECK_LT(index[i], a.dim(0));
+    std::memcpy(po + static_cast<int64_t>(i) * d, pa + static_cast<int64_t>(index[i]) * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor ScatterAddRows(const Tensor& a, const std::vector<int32_t>& index, int64_t num_rows) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_EQ(a.dim(0), static_cast<int64_t>(index.size()));
+  const int64_t d = a.dim(1);
+  Tensor out = Tensor::Zeros({num_rows, d});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (size_t i = 0; i < index.size(); ++i) {
+    SEASTAR_CHECK_GE(index[i], 0);
+    SEASTAR_CHECK_LT(index[i], num_rows);
+    const float* src = pa + static_cast<int64_t>(i) * d;
+    float* dst = po + static_cast<int64_t>(index[i]) * d;
+    for (int64_t j = 0; j < d; ++j) {
+      dst[j] += src[j];
+    }
+  }
+  return out;
+}
+
+Tensor SegmentSum(const Tensor& a, const std::vector<int64_t>& offsets) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_GE(offsets.size(), 1u);
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t d = a.dim(1);
+  SEASTAR_CHECK_EQ(offsets.back(), a.dim(0));
+  Tensor out = Tensor::Zeros({num_segments, d});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t s = 0; s < num_segments; ++s) {
+    float* dst = po + s * d;
+    for (int64_t r = offsets[static_cast<size_t>(s)]; r < offsets[static_cast<size_t>(s) + 1];
+         ++r) {
+      const float* src = pa + r * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] += src[j];
+      }
+    }
+  }
+  return out;
+}
+
+// ---- Misc -------------------------------------------------------------------------------------------
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  SEASTAR_CHECK(!parts.empty());
+  const int64_t n = parts[0].dim(0);
+  int64_t total_cols = 0;
+  for (const Tensor& part : parts) {
+    SEASTAR_CHECK_EQ(part.ndim(), 2);
+    SEASTAR_CHECK_EQ(part.dim(0), n);
+    total_cols += part.dim(1);
+  }
+  Tensor out({n, total_cols});
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t col = 0;
+    for (const Tensor& part : parts) {
+      const int64_t d = part.dim(1);
+      std::memcpy(po + i * total_cols + col, part.data() + i * d,
+                  static_cast<size_t>(d) * sizeof(float));
+      col += d;
+    }
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
+  SEASTAR_CHECK_EQ(a.ndim(), 2);
+  SEASTAR_CHECK_GE(begin, 0);
+  SEASTAR_CHECK_LE(begin, end);
+  SEASTAR_CHECK_LE(end, a.dim(0));
+  const int64_t d = a.dim(1);
+  Tensor out({end - begin, d});
+  std::memcpy(out.data(), a.data() + begin * d,
+              static_cast<size_t>((end - begin) * d) * sizeof(float));
+  return out;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  return UnaryElementwise(a, fn, "Map");
+}
+
+}  // namespace ops
+}  // namespace seastar

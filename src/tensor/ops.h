@@ -1,0 +1,140 @@
+// Dense tensor kernels. These are the "DL backend" operators that the paper
+// delegates to PyTorch: GEMM for the per-vertex linear transforms, elementwise
+// math, row reductions, softmax/log-softmax for the classifier head, and the
+// row gather/scatter primitives that the baseline (DGL-like / PyG-like)
+// executors use to materialize edge tensors.
+//
+// All kernels are single-threaded except Matmul, which parallelizes over rows
+// via the shared thread pool — mirroring how cuBLAS/cuDNN calls dominate both
+// the paper's systems equally and are not the differentiating factor.
+#ifndef SRC_TENSOR_OPS_H_
+#define SRC_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+namespace ops {
+
+// ---- Construction -----------------------------------------------------------------------------
+
+// Uniform in [lo, hi).
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng& rng);
+// Gaussian with the given mean/stddev.
+Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev, Rng& rng);
+// Glorot/Xavier-uniform initialization for a [fan_in, fan_out] weight matrix.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+// Identity-like one-hot rows: shape [n, num_classes], row i has 1 at labels[i].
+Tensor OneHot(const std::vector<int32_t>& labels, int64_t num_classes);
+// [n] iota as float.
+Tensor Arange(int64_t n);
+
+// ---- Elementwise (same shape, or rhs a scalar tensor of shape {1}) -----------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float slope);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+// ELU: x > 0 ? x : alpha * (exp(x) - 1).
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+// Gradient helpers.
+Tensor ReluGrad(const Tensor& grad_out, const Tensor& input);
+Tensor LeakyReluGrad(const Tensor& grad_out, const Tensor& input, float slope);
+Tensor SigmoidGradFromOutput(const Tensor& grad_out, const Tensor& output);
+Tensor EluGradFromOutput(const Tensor& grad_out, const Tensor& output, float alpha = 1.0f);
+Tensor TanhGradFromOutput(const Tensor& grad_out, const Tensor& output);
+
+// Broadcast a [D] (or {1}) tensor across the rows of a [N, D] tensor.
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row);
+Tensor MulRowBroadcast(const Tensor& matrix, const Tensor& row);
+// Broadcast a [N, 1] column across the columns of a [N, D] tensor.
+Tensor MulColBroadcast(const Tensor& matrix, const Tensor& col);
+
+// ---- Linear algebra ----------------------------------------------------------------------------
+
+// [N, K] x [K, M] -> [N, M]. Parallel over N.
+Tensor Matmul(const Tensor& a, const Tensor& b);
+// [N, K] x [M, K]^T -> [N, M].
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b);
+// [N, K]^T x [N, M] -> [K, M] (used for weight gradients).
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b);
+// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+// Batched matmul: [B, N, K] x [B, K, M] -> [B, N, M]. This is the kernel the
+// paper's "DGL-bmm / PyG-bmm" R-GCN baselines are built on.
+Tensor BatchedMatmul(const Tensor& a, const Tensor& b);
+
+// ---- Reductions --------------------------------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+// [N, D] -> [N, 1]: per-row sum / max.
+Tensor RowSum(const Tensor& a);
+Tensor RowMax(const Tensor& a);
+// [N, D] -> [D]: column sum (bias gradients).
+Tensor ColSum(const Tensor& a);
+// Per-row argmax of a [N, D] tensor.
+std::vector<int32_t> RowArgmax(const Tensor& a);
+
+// ---- Softmax / losses ---------------------------------------------------------------------------
+
+// Numerically stable row softmax / log-softmax of a [N, D] tensor.
+Tensor Softmax(const Tensor& a);
+Tensor LogSoftmax(const Tensor& a);
+// Mean negative log-likelihood over rows listed in `mask_rows` (all rows when
+// empty), given log-probabilities [N, C] and labels [N].
+float NllLoss(const Tensor& log_probs, const std::vector<int32_t>& labels,
+              const std::vector<int32_t>& mask_rows);
+// Gradient of the masked-mean NLL w.r.t. the *logits* when combined with
+// LogSoftmax (the fused cross-entropy backward).
+Tensor CrossEntropyGrad(const Tensor& log_probs, const std::vector<int32_t>& labels,
+                        const std::vector<int32_t>& mask_rows);
+
+// ---- Dropout ------------------------------------------------------------------------------------
+
+// Inverted dropout: zeroes with prob p, scales survivors by 1/(1-p). The
+// returned mask (same shape, values 0 or 1/(1-p)) is needed for backward.
+struct DropoutResult {
+  Tensor output;
+  Tensor mask;
+};
+DropoutResult Dropout(const Tensor& a, float p, Rng& rng);
+
+// ---- Row gather / scatter (graph materialization primitives) ------------------------------------
+
+// out[i, :] = a[index[i], :]. `a` is [N, D]; result is [index.size(), D].
+Tensor GatherRows(const Tensor& a, const std::vector<int32_t>& index);
+// out[index[i], :] += a[i, :]. out has `num_rows` rows.
+Tensor ScatterAddRows(const Tensor& a, const std::vector<int32_t>& index, int64_t num_rows);
+// Segment sum: rows of `a` grouped by contiguous segments given by offsets
+// (size num_segments + 1); out[s, :] = sum of rows in [offsets[s], offsets[s+1]).
+Tensor SegmentSum(const Tensor& a, const std::vector<int64_t>& offsets);
+
+// ---- Misc ---------------------------------------------------------------------------------------
+
+// Concatenate 2-D tensors along columns.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+// Select a contiguous row range [begin, end).
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
+// Elementwise map (test helper; not used on hot paths).
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+}  // namespace ops
+}  // namespace seastar
+
+#endif  // SRC_TENSOR_OPS_H_

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+namespace {
+
+// Central-difference gradient check: loss(params) must be a pure function of
+// the leaf's value tensor.
+void CheckGradient(Tensor& leaf_value, const std::function<float()>& loss,
+                   const Tensor& analytic_grad, float eps = 1e-2f, float tol = 2e-2f) {
+  ASSERT_TRUE(analytic_grad.defined());
+  ASSERT_EQ(analytic_grad.numel(), leaf_value.numel());
+  for (int64_t i = 0; i < leaf_value.numel(); ++i) {
+    const float saved = leaf_value.at(i);
+    leaf_value.at(i) = saved + eps;
+    const float up = loss();
+    leaf_value.at(i) = saved - eps;
+    const float down = loss();
+    leaf_value.at(i) = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float analytic = analytic_grad.at(i);
+    EXPECT_NEAR(analytic, numeric, tol * std::max(1.0f, std::fabs(numeric)))
+        << "at element " << i;
+  }
+}
+
+TEST(AutogradTest, AddBackward) {
+  Var a = Var::Leaf(Tensor({2}, {1, 2}), true);
+  Var b = Var::Leaf(Tensor({2}, {3, 4}), true);
+  Var c = ag::Add(a, b);
+  Backward(c, Tensor({2}, {1, 1}));
+  EXPECT_TRUE(a.grad().AllClose(Tensor({2}, {1, 1})));
+  EXPECT_TRUE(b.grad().AllClose(Tensor({2}, {1, 1})));
+}
+
+TEST(AutogradTest, MulBackward) {
+  Var a = Var::Leaf(Tensor({2}, {2, 3}), true);
+  Var b = Var::Leaf(Tensor({2}, {5, 7}), true);
+  Var c = ag::Mul(a, b);
+  Backward(c, Tensor({2}, {1, 1}));
+  EXPECT_TRUE(a.grad().AllClose(Tensor({2}, {5, 7})));
+  EXPECT_TRUE(b.grad().AllClose(Tensor({2}, {2, 3})));
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  Var a = Var::Leaf(Tensor({1}, {3}), true);
+  Var c = ag::Add(a, a);  // dc/da = 2.
+  Backward(c, Tensor({1}, {1}));
+  EXPECT_TRUE(a.grad().AllClose(Tensor({1}, {2})));
+}
+
+TEST(AutogradTest, MatmulFiniteDifference) {
+  Rng rng(1);
+  Tensor wa = ops::RandomNormal({3, 4}, 0, 1, rng);
+  Tensor wb = ops::RandomNormal({4, 2}, 0, 1, rng);
+
+  const auto loss_value = [&]() {
+    return ops::SumAll(ops::Matmul(wa, wb));
+  };
+
+  Var a = Var::Leaf(wa, true);
+  Var b = Var::Leaf(wb, true);
+  Var c = ag::Matmul(a, b);
+  Backward(c, Tensor::Ones({3, 2}));
+  CheckGradient(wa, loss_value, a.grad());
+  CheckGradient(wb, loss_value, b.grad());
+}
+
+TEST(AutogradTest, ActivationsFiniteDifference) {
+  Rng rng(2);
+  Tensor x = ops::RandomNormal({4, 3}, 0, 1, rng);
+  // Push values away from 0: ReLU-family kinks break central differences.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x.at(i);
+    x.at(i) = v >= 0.0f ? v + 0.1f : v - 0.1f;
+  }
+
+  struct Case {
+    const char* name;
+    std::function<Var(const Var&)> op;
+    std::function<Tensor(const Tensor&)> raw;
+  };
+  const Case cases[] = {
+      {"relu", [](const Var& v) { return ag::Relu(v); },
+       [](const Tensor& t) { return ops::Relu(t); }},
+      {"leaky", [](const Var& v) { return ag::LeakyRelu(v, 0.2f); },
+       [](const Tensor& t) { return ops::LeakyRelu(t, 0.2f); }},
+      {"sigmoid", [](const Var& v) { return ag::Sigmoid(v); },
+       [](const Tensor& t) { return ops::Sigmoid(t); }},
+      {"tanh", [](const Var& v) { return ag::Tanh(v); },
+       [](const Tensor& t) { return ops::Tanh(t); }},
+      {"exp", [](const Var& v) { return ag::Exp(v); },
+       [](const Tensor& t) { return ops::Exp(t); }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    Var leaf = Var::Leaf(x, true);
+    Var y = c.op(leaf);
+    Backward(y, Tensor::Ones({4, 3}));
+    CheckGradient(x, [&] { return ops::SumAll(c.raw(x)); }, leaf.grad());
+  }
+}
+
+TEST(AutogradTest, LogSoftmaxNllFiniteDifference) {
+  Rng rng(3);
+  Tensor logits = ops::RandomNormal({5, 4}, 0, 1, rng);
+  const std::vector<int32_t> labels{0, 2, 1, 3, 2};
+  const std::vector<int32_t> mask{0, 2, 4};
+
+  const auto loss_value = [&] {
+    return ops::NllLoss(ops::LogSoftmax(logits), labels, mask);
+  };
+
+  Var x = Var::Leaf(logits, true);
+  Var loss = ag::NllLoss(ag::LogSoftmax(x), labels, mask);
+  Backward(loss, Tensor::Ones({1}));
+  CheckGradient(logits, loss_value, x.grad(), 1e-2f, 3e-2f);
+}
+
+TEST(AutogradTest, TwoLayerMlpFiniteDifference) {
+  Rng rng(4);
+  Tensor x_val = ops::RandomNormal({6, 5}, 0, 1, rng);
+  Tensor w1_val = ops::RandomNormal({5, 4}, 0, 0.5, rng);
+  Tensor b1_val = ops::RandomNormal({4}, 0, 0.5, rng);
+  Tensor w2_val = ops::RandomNormal({4, 3}, 0, 0.5, rng);
+  const std::vector<int32_t> labels{0, 1, 2, 0, 1, 2};
+
+  const auto loss_value = [&] {
+    Tensor h = ops::Relu(ops::AddRowBroadcast(ops::Matmul(x_val, w1_val), b1_val));
+    Tensor logits = ops::Matmul(h, w2_val);
+    return ops::NllLoss(ops::LogSoftmax(logits), labels, {});
+  };
+
+  Var x = Var::Leaf(x_val, false);
+  Var w1 = Var::Leaf(w1_val, true);
+  Var b1 = Var::Leaf(b1_val, true);
+  Var w2 = Var::Leaf(w2_val, true);
+  Var h = ag::Relu(ag::AddRowBroadcast(ag::Matmul(x, w1), b1));
+  Var loss = ag::NllLoss(ag::LogSoftmax(ag::Matmul(h, w2)), labels, {});
+  Backward(loss, Tensor::Ones({1}));
+
+  CheckGradient(w1_val, loss_value, w1.grad(), 1e-2f, 3e-2f);
+  CheckGradient(b1_val, loss_value, b1.grad(), 1e-2f, 3e-2f);
+  CheckGradient(w2_val, loss_value, w2.grad(), 1e-2f, 3e-2f);
+  EXPECT_FALSE(x.grad().defined());  // requires_grad = false
+}
+
+TEST(AutogradTest, CustomOpIntegratesWithTape) {
+  // y = 3 * x via CustomOp; loss = sum(y * y) => dL/dx = 18x.
+  Tensor x_val({3}, {1, 2, 3});
+  Var x = Var::Leaf(x_val, true);
+  Var y = ag::CustomOp(
+      {x}, ops::MulScalar(x.value(), 3.0f),
+      [](const Tensor& g) { return std::vector<Tensor>{ops::MulScalar(g, 3.0f)}; }, "times3");
+  Var z = ag::Mul(y, y);
+  Backward(z, Tensor::Ones({3}));
+  EXPECT_TRUE(x.grad().AllClose(Tensor({3}, {18, 36, 54})));
+}
+
+TEST(AutogradTest, DropoutBackwardUsesMask) {
+  Rng rng(5);
+  Tensor x_val = Tensor::Ones({100});
+  Var x = Var::Leaf(x_val, true);
+  Var y = ag::Dropout(x, 0.5f, rng, /*training=*/true);
+  Backward(y, Tensor::Ones({100}));
+  // Gradient equals the mask (0 or 2).
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().at(i), y.value().at(i));
+  }
+}
+
+TEST(AutogradTest, DropoutEvalModeIsIdentity) {
+  Rng rng(6);
+  Tensor x_val = Tensor::Ones({10});
+  Var x = Var::Leaf(x_val, true);
+  Var y = ag::Dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(y.value().AllClose(x_val));
+}
+
+TEST(AutogradTest, ConcatColsBackwardSplits) {
+  Var a = Var::Leaf(Tensor({2, 1}, {1, 2}), true);
+  Var b = Var::Leaf(Tensor({2, 2}, {3, 4, 5, 6}), true);
+  Var c = ag::ConcatCols({a, b});
+  Tensor seed({2, 3}, {1, 2, 3, 4, 5, 6});
+  Backward(c, seed);
+  EXPECT_TRUE(a.grad().AllClose(Tensor({2, 1}, {1, 4})));
+  EXPECT_TRUE(b.grad().AllClose(Tensor({2, 2}, {2, 3, 5, 6})));
+}
+
+TEST(AutogradTest, DiamondDependencyAccumulatesOnce) {
+  // z = (x*x) + (x*x) reusing the same intermediate y: dz/dx = 4x.
+  Tensor x_val({1}, {3});
+  Var x = Var::Leaf(x_val, true);
+  Var y = ag::Mul(x, x);
+  Var z = ag::Add(y, y);
+  Backward(z, Tensor::Ones({1}));
+  EXPECT_TRUE(x.grad().AllClose(Tensor({1}, {12})));  // 4x = 12
+}
+
+}  // namespace
+}  // namespace seastar

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/gir/autodiff.h"
+#include "src/gir/builder.h"
+#include "src/gir/fusion.h"
+#include "src/gir/passes.h"
+
+namespace seastar {
+namespace {
+
+GirBuilder BuildGat(int32_t width = 4) {
+  GirBuilder b;
+  Value eu = b.Src("eu", 1);
+  Value ev = b.Dst("ev", 1);
+  Value e = Exp(LeakyRelu(eu + ev, 0.2f));
+  Value s = AggSum(e);
+  Value a = e / s;
+  Value out = AggSum(a * b.Src("h", width));
+  b.MarkOutput(out, "out");
+  return b;
+}
+
+int UnitIndexOfKind(const GirGraph& g, const ExecutionPlan& plan, OpKind kind, int nth = 0) {
+  int seen = 0;
+  for (const Node& node : g.nodes()) {
+    if (node.kind == kind) {
+      if (seen == nth) {
+        return plan.unit_of[static_cast<size_t>(node.id)];
+      }
+      ++seen;
+    }
+  }
+  return -2;
+}
+
+TEST(FusionTest, GatForwardFormsExactlyTwoUnits) {
+  // Paper §6.2: {Add, LeakyRelu, Exp, AggSum} fuse; Div restarts the FSM and
+  // {Div, Mul, AggSum} form the second unit.
+  GirBuilder b = BuildGat();
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  ASSERT_EQ(plan.units.size(), 2u);
+
+  const GirGraph& g = b.graph();
+  const int unit_add = UnitIndexOfKind(g, plan, OpKind::kAdd);
+  const int unit_lrelu = UnitIndexOfKind(g, plan, OpKind::kLeakyRelu);
+  const int unit_exp = UnitIndexOfKind(g, plan, OpKind::kExp);
+  const int unit_agg0 = UnitIndexOfKind(g, plan, OpKind::kAggSum, 0);
+  const int unit_div = UnitIndexOfKind(g, plan, OpKind::kDiv);
+  const int unit_mul = UnitIndexOfKind(g, plan, OpKind::kMul);
+  const int unit_agg1 = UnitIndexOfKind(g, plan, OpKind::kAggSum, 1);
+
+  EXPECT_EQ(unit_add, unit_lrelu);
+  EXPECT_EQ(unit_add, unit_exp);
+  EXPECT_EQ(unit_add, unit_agg0);
+  EXPECT_NE(unit_div, unit_add);  // FSM restarted at Div.
+  EXPECT_EQ(unit_div, unit_mul);
+  EXPECT_EQ(unit_div, unit_agg1);
+}
+
+TEST(FusionTest, GatMaterializesOnlyCrossingValues) {
+  GirBuilder b = BuildGat();
+  const GirGraph& g = b.graph();
+  ExecutionPlan plan = BuildExecutionPlan(g);
+  // Crossing values: Exp (consumed by Div in unit 1), the first AggSum
+  // (consumed by Div), and the output. Add/LeakyRelu/Div/Mul stay in
+  // registers.
+  for (const Node& node : g.nodes()) {
+    if (IsLeaf(node.kind)) {
+      continue;
+    }
+    const bool mat = plan.materialized[static_cast<size_t>(node.id)];
+    switch (node.kind) {
+      case OpKind::kExp:
+        EXPECT_TRUE(mat);
+        break;
+      case OpKind::kAggSum:
+        EXPECT_TRUE(mat);  // First crosses units; second is the output.
+        break;
+      case OpKind::kAdd:
+      case OpKind::kLeakyRelu:
+      case OpKind::kDiv:
+      case OpKind::kMul:
+        EXPECT_FALSE(mat) << OpKindName(node.kind);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(FusionTest, GcnFusesIntoSingleUnit) {
+  // GCN: AggSum(u.h * u.norm) — one S-E chain plus aggregation = one kernel.
+  GirBuilder b;
+  Value h = b.Src("h", 8);
+  Value norm = b.Src("norm", 1);
+  b.MarkOutput(AggSum(h * norm), "out");
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  EXPECT_EQ(plan.units.size(), 1u);
+  EXPECT_TRUE(plan.units[0].has_aggregation);
+  EXPECT_EQ(plan.units[0].orientation, GraphType::kDst);
+}
+
+TEST(FusionTest, PostAggregationVertexOpsFuse) {
+  // State 2 self-loop on D: ops after the aggregation stay in the unit.
+  GirBuilder b;
+  Value h = b.Src("h", 4);
+  Value s = AggSum(h);
+  Value y = Tanh(s * 2.0f);
+  b.MarkOutput(y, "out");
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  EXPECT_EQ(plan.units.size(), 1u);
+  // Tanh and Mul are post-stage.
+  for (const Node& node : b.graph().nodes()) {
+    if (node.kind == OpKind::kTanh || node.kind == OpKind::kMul) {
+      EXPECT_EQ(plan.stage[static_cast<size_t>(node.id)], NodeStage::kPost);
+    }
+  }
+}
+
+TEST(FusionTest, EdgeOpAfterAggregationRestartsFsm) {
+  // E-type op consuming an aggregation result cannot fuse (state 2 has no E
+  // transition).
+  GirBuilder b;
+  Value h = b.Src("h", 4);
+  Value s = AggSum(h);            // D
+  Value e = s * b.Src("h2", 4);   // E (mixes D and S)
+  b.MarkOutput(AggSum(e), "out");
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  EXPECT_EQ(plan.units.size(), 2u);
+}
+
+TEST(FusionTest, MixedOrientationAggregationsDoNotFuse) {
+  GirBuilder b;
+  Value h = b.Src("h", 4);
+  Value to_dst = AggSum(h, AggTo::kDst);
+  Value g = b.Dst("g", 4);
+  Value to_src = AggSum(g, AggTo::kSrc);
+  // Combine: E-type op over both results.
+  b.MarkOutput(AggSum(to_dst * to_src, AggTo::kDst), "out");
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  std::set<int> agg_units;
+  for (const Node& node : b.graph().nodes()) {
+    if (node.kind == OpKind::kAggSum && !b.graph().IsOutput(node.id)) {
+      agg_units.insert(plan.unit_of[static_cast<size_t>(node.id)]);
+    }
+  }
+  EXPECT_EQ(agg_units.size(), 2u);
+  for (const FusedUnit& unit : plan.units) {
+    int agg_count_dst = 0;
+    int agg_count_src = 0;
+    for (int32_t id : unit.nodes) {
+      const Node& node = b.graph().node(id);
+      if (IsAggregation(node.kind)) {
+        (node.type == GraphType::kDst ? agg_count_dst : agg_count_src) += 1;
+      }
+    }
+    EXPECT_TRUE(agg_count_dst == 0 || agg_count_src == 0)
+        << "unit mixes aggregation orientations";
+  }
+}
+
+TEST(FusionTest, TwoParallelSameOrientationAggsCanShareAUnit) {
+  // sum(exp(e)) and sum(exp(e) * h) both A:D from the same edge chain: one
+  // kernel can accumulate both.
+  GirBuilder b;
+  Value e = Exp(b.Src("eu", 1) + b.Dst("ev", 1));
+  Value s1 = AggSum(e);
+  Value s2 = AggSum(e * b.Src("h", 4));
+  Value out = s2 / s1;  // D-type post op.
+  b.MarkOutput(out, "out");
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  EXPECT_EQ(plan.units.size(), 1u);
+  EXPECT_TRUE(plan.units[0].has_aggregation);
+}
+
+TEST(FusionTest, NoFusionAblationMaterializesEverything) {
+  GirBuilder b = BuildGat();
+  FusionOptions options;
+  options.enable_fusion = false;
+  ExecutionPlan plan = BuildExecutionPlan(b.graph(), options);
+  int compute_nodes = 0;
+  for (const Node& node : b.graph().nodes()) {
+    if (!IsLeaf(node.kind) && node.type != GraphType::kParam) {
+      ++compute_nodes;
+      EXPECT_TRUE(plan.materialized[static_cast<size_t>(node.id)] ||
+                  !b.graph().IsOutput(node.id));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(plan.units.size()), compute_nodes);
+}
+
+TEST(FusionTest, UnitsAreTopologicallyOrdered) {
+  GirBuilder b = BuildGat();
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  // Every cross-unit edge must point from an earlier unit to a later one.
+  for (const Node& node : b.graph().nodes()) {
+    const int32_t my_unit = node.id < static_cast<int32_t>(plan.unit_of.size())
+                                ? plan.unit_of[static_cast<size_t>(node.id)]
+                                : -1;
+    if (my_unit < 0) {
+      continue;
+    }
+    for (int32_t input : node.inputs) {
+      const int32_t in_unit = plan.unit_of[static_cast<size_t>(input)];
+      if (in_unit >= 0 && in_unit != my_unit) {
+        EXPECT_LT(in_unit, my_unit);
+      }
+    }
+  }
+}
+
+TEST(FusionTest, BackwardGirIsFusible) {
+  // §6.3.4: the backward pass follows the seastar pattern too; the FSM must
+  // find fused units with aggregations in the (optimized) backward GIR.
+  GirBuilder b = BuildGat();
+  BackwardGir bwd = BuildBackward(b.graph(), b.graph().outputs()[0]);
+  OptimizeBackward(&bwd);
+  ExecutionPlan plan = BuildExecutionPlan(bwd.graph);
+  int fused_units_with_multiple_ops = 0;
+  for (const FusedUnit& unit : plan.units) {
+    if (unit.nodes.size() > 1) {
+      ++fused_units_with_multiple_ops;
+    }
+  }
+  EXPECT_GT(fused_units_with_multiple_ops, 0);
+}
+
+TEST(FusionTest, PlanToStringMentionsUnits) {
+  GirBuilder b = BuildGat();
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  const std::string dump = plan.ToString(b.graph());
+  EXPECT_NE(dump.find("unit 0"), std::string::npos);
+  EXPECT_NE(dump.find("unit 1"), std::string::npos);
+  EXPECT_NE(dump.find("agg"), std::string::npos);
+}
+
+TEST(FusionTest, PureVertexWiseUnitSkipsEdgeLoop) {
+  GirBuilder b;
+  Value x = b.Dst("x", 4);
+  b.MarkOutput(Tanh(x * 2.0f), "out");
+  ExecutionPlan plan = BuildExecutionPlan(b.graph());
+  ASSERT_EQ(plan.units.size(), 1u);
+  EXPECT_FALSE(plan.units[0].needs_edge_loop);
+  EXPECT_FALSE(plan.units[0].has_aggregation);
+}
+
+}  // namespace
+}  // namespace seastar

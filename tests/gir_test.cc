@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "src/gir/autodiff.h"
+#include "src/gir/builder.h"
+#include "src/gir/ir.h"
+#include "src/gir/passes.h"
+
+namespace seastar {
+namespace {
+
+// Builds the forward GIR of GAT's attention kernel (paper Figs. 3/6):
+//   e  = Exp(LeakyRelu(u.eu + v.ev))     E-type
+//   s  = AggSum(e)                        D-type
+//   a  = e / s                            E-type
+//   out= AggSum(a * u.h)                  D-type
+GirBuilder BuildGat(int32_t width = 4) {
+  GirBuilder b;
+  Value eu = b.Src("eu", 1);
+  Value ev = b.Dst("ev", 1);
+  Value e = Exp(LeakyRelu(eu + ev, 0.2f));
+  Value s = AggSum(e);
+  Value a = e / s;
+  Value out = AggSum(a * b.Src("h", width));
+  b.MarkOutput(out, "out");
+  return b;
+}
+
+TEST(TypeInferenceTest, ElementwiseRules) {
+  using GT = GraphType;
+  // Rule 2: single type passes through.
+  EXPECT_EQ(InferElementwiseType({GT::kSrc}), GT::kSrc);
+  EXPECT_EQ(InferElementwiseType({GT::kDst, GT::kDst}), GT::kDst);
+  // Rule 3: mixing two or more of {S, D, E} yields E.
+  EXPECT_EQ(InferElementwiseType({GT::kSrc, GT::kDst}), GT::kEdge);
+  EXPECT_EQ(InferElementwiseType({GT::kSrc, GT::kEdge}), GT::kEdge);
+  EXPECT_EQ(InferElementwiseType({GT::kDst, GT::kEdge}), GT::kEdge);
+  EXPECT_EQ(InferElementwiseType({GT::kSrc, GT::kDst, GT::kEdge}), GT::kEdge);
+  // Rule 4: P is neutral.
+  EXPECT_EQ(InferElementwiseType({GT::kSrc, GT::kParam}), GT::kSrc);
+  EXPECT_EQ(InferElementwiseType({GT::kParam, GT::kParam}), GT::kParam);
+}
+
+TEST(BuilderTest, GatTypesMatchPaperFig6) {
+  GirBuilder b = BuildGat();
+  const GirGraph& g = b.graph();
+  // Walk nodes and record: Add is E, LeakyRelu E, Exp E, first AggSum D,
+  // Div E, Mul E, second AggSum D.
+  std::vector<std::pair<OpKind, GraphType>> expected{
+      {OpKind::kAdd, GraphType::kEdge},     {OpKind::kLeakyRelu, GraphType::kEdge},
+      {OpKind::kExp, GraphType::kEdge},     {OpKind::kAggSum, GraphType::kDst},
+      {OpKind::kDiv, GraphType::kEdge},     {OpKind::kMul, GraphType::kEdge},
+      {OpKind::kAggSum, GraphType::kDst},
+  };
+  size_t next = 0;
+  for (const Node& node : g.nodes()) {
+    if (IsLeaf(node.kind)) {
+      continue;
+    }
+    ASSERT_LT(next, expected.size());
+    EXPECT_EQ(node.kind, expected[next].first) << "node " << node.id;
+    EXPECT_EQ(node.type, expected[next].second) << "node " << node.id;
+    ++next;
+  }
+  EXPECT_EQ(next, expected.size());
+}
+
+TEST(BuilderTest, LeafDeduplication) {
+  GirBuilder b;
+  Value h1 = b.Src("h", 8);
+  Value h2 = b.Src("h", 8);
+  EXPECT_EQ(h1.id(), h2.id());
+  // Same key accessed from the other side is a distinct node.
+  Value h3 = b.Dst("h", 8);
+  EXPECT_NE(h1.id(), h3.id());
+}
+
+TEST(BuilderTest, WidthBroadcastRules) {
+  GirBuilder b;
+  Value a = b.Src("a", 1);
+  Value h = b.Src("h", 8);
+  Value m = a * h;  // width-1 broadcast
+  EXPECT_EQ(m.width(), 8);
+  EXPECT_EQ((h + 1.0f).width(), 8);
+}
+
+TEST(BuilderTest, DefaultAggregationOrientation) {
+  GirBuilder b;
+  Value s_in = b.Src("x", 2);
+  Value d_in = b.Dst("y", 2);
+  // Rule 1: S -> D, D -> S, E -> D (forward default).
+  EXPECT_EQ(AggSum(s_in).type(), GraphType::kDst);
+  EXPECT_EQ(AggSum(d_in).type(), GraphType::kSrc);
+  EXPECT_EQ(AggSum(s_in + d_in).type(), GraphType::kDst);
+  // Explicit orientation override.
+  EXPECT_EQ(AggSum(s_in + d_in, AggTo::kSrc).type(), GraphType::kSrc);
+}
+
+TEST(BuilderTest, ScalarConstIsParamType) {
+  GirBuilder b;
+  Value c = b.Const(3.5f);
+  EXPECT_EQ(c.type(), GraphType::kParam);
+  EXPECT_EQ(c.width(), 1);
+}
+
+TEST(IrTest, ToStringContainsAnnotatedTypes) {
+  GirBuilder b = BuildGat();
+  const std::string dump = b.graph().ToString();
+  EXPECT_NE(dump.find("AggSum"), std::string::npos);
+  EXPECT_NE(dump.find(":E["), std::string::npos);
+  EXPECT_NE(dump.find(":D["), std::string::npos);
+  EXPECT_NE(dump.find("// output"), std::string::npos);
+}
+
+TEST(IrTest, ConsumerLists) {
+  GirBuilder b;
+  Value x = b.Src("x", 1);
+  Value y = Exp(x);
+  Value z = y + y;
+  (void)z;
+  auto consumers = b.graph().BuildConsumerLists();
+  EXPECT_EQ(consumers[static_cast<size_t>(x.id())].size(), 1u);
+  EXPECT_EQ(consumers[static_cast<size_t>(y.id())].size(), 2u);
+}
+
+// ---- Passes --------------------------------------------------------------------------------------
+
+TEST(PassTest, DceRemovesUnreachable) {
+  GirBuilder b;
+  Value x = b.Src("x", 1);
+  Value used = Exp(x);
+  Value dead = Log(x);
+  (void)dead;
+  b.MarkOutput(AggSum(used), "out");
+  const int32_t before = b.graph().num_nodes();
+  PassResult result = DeadCodeElimination(b.graph());
+  EXPECT_EQ(result.graph.num_nodes(), before - 1);
+  EXPECT_EQ(result.remap[static_cast<size_t>(dead.id())], -1);
+  EXPECT_GE(result.remap[static_cast<size_t>(used.id())], 0);
+}
+
+TEST(PassTest, CseMergesIdenticalSubexpressions) {
+  GirBuilder b;
+  Value x = b.Src("x", 1);
+  Value e1 = Exp(x);
+  Value e2 = Exp(x);
+  b.MarkOutput(AggSum(e1 + e2), "out");
+  PassResult result = CommonSubexpressionElimination(b.graph());
+  EXPECT_EQ(result.remap[static_cast<size_t>(e1.id())],
+            result.remap[static_cast<size_t>(e2.id())]);
+  // One Exp remains.
+  int exp_count = 0;
+  for (const Node& node : result.graph.nodes()) {
+    exp_count += node.kind == OpKind::kExp ? 1 : 0;
+  }
+  EXPECT_EQ(exp_count, 1);
+}
+
+TEST(PassTest, CseKeepsDifferentAttrsApart) {
+  GirBuilder b;
+  Value x = b.Src("x", 1);
+  Value l1 = LeakyRelu(x, 0.1f);
+  Value l2 = LeakyRelu(x, 0.2f);
+  b.MarkOutput(AggSum(l1 + l2), "out");
+  PassResult result = CommonSubexpressionElimination(b.graph());
+  EXPECT_NE(result.remap[static_cast<size_t>(l1.id())],
+            result.remap[static_cast<size_t>(l2.id())]);
+}
+
+TEST(PassTest, ConstantFoldingFoldsPureConstExpressions) {
+  GirBuilder b;
+  Value c = b.Const(2.0f) * b.Const(3.0f);
+  Value x = b.Src("x", 1);
+  b.MarkOutput(AggSum(x * c), "out");
+  PassResult result = ConstantFold(b.graph());
+  bool found_const6 = false;
+  for (const Node& node : result.graph.nodes()) {
+    if (node.kind == OpKind::kConst && node.attr == 6.0f) {
+      found_const6 = true;
+    }
+    EXPECT_NE(node.kind == OpKind::kMul && node.type == GraphType::kParam, true)
+        << "const-only Mul should have been folded";
+  }
+  EXPECT_TRUE(found_const6);
+}
+
+TEST(PassTest, AlgebraicIdentities) {
+  GirBuilder b;
+  Value x = b.Src("x", 4);
+  Value y = (x * 1.0f) + 0.0f;  // Should collapse to x.
+  b.MarkOutput(AggSum(y), "out");
+  PassResult result = RunStandardPasses(b.graph());
+  // Only the input, the AggSum, and no arithmetic should remain.
+  int compute_nodes = 0;
+  for (const Node& node : result.graph.nodes()) {
+    if (!IsLeaf(node.kind)) {
+      ++compute_nodes;
+    }
+  }
+  EXPECT_EQ(compute_nodes, 1);  // just AggSum
+}
+
+TEST(PassTest, StandardPassesPreserveOutputs) {
+  GirBuilder b = BuildGat();
+  PassResult result = RunStandardPasses(b.graph());
+  ASSERT_EQ(result.graph.outputs().size(), 1u);
+  EXPECT_EQ(result.graph.output_names()[0], "out");
+}
+
+// ---- Autodiff ------------------------------------------------------------------------------------
+
+TEST(AutodiffGirTest, GradInputHasOutputTypeAndWidth) {
+  GirBuilder b = BuildGat(8);
+  const GirGraph& fwd = b.graph();
+  BackwardGir bwd = BuildBackward(fwd, fwd.outputs()[0]);
+  // Find the __grad input.
+  bool found = false;
+  for (const Node& node : bwd.graph.nodes()) {
+    if (node.kind == OpKind::kInput && node.name == kGradInputKey) {
+      EXPECT_EQ(node.type, GraphType::kDst);
+      EXPECT_EQ(node.width, 8);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AutodiffGirTest, GatBackwardProducesGradsForAllInputs) {
+  GirBuilder b = BuildGat();
+  const GirGraph& fwd = b.graph();
+  BackwardGir bwd = BuildBackward(fwd, fwd.outputs()[0]);
+  ASSERT_EQ(bwd.input_grads.size(), 3u);  // eu (S), ev (D), h (S)
+  std::set<std::string> keys;
+  for (const auto& info : bwd.input_grads) {
+    keys.insert(info.key);
+    EXPECT_GE(info.backward_output, 0);
+  }
+  EXPECT_EQ(keys, (std::set<std::string>{"eu", "ev", "h"}));
+}
+
+TEST(AutodiffGirTest, BackwardContainsBothAggregationOrientations) {
+  // Paper Fig. 6: GAT's backward GIR aggregates onto sources (grads of
+  // u.eu / u.h) and onto destinations (grad of v.ev).
+  GirBuilder b = BuildGat();
+  const GirGraph& fwd = b.graph();
+  BackwardGir bwd = BuildBackward(fwd, fwd.outputs()[0]);
+  bool has_to_src = false;
+  bool has_to_dst = false;
+  for (const Node& node : bwd.graph.nodes()) {
+    if (node.kind == OpKind::kAggSum) {
+      has_to_src = has_to_src || node.type == GraphType::kSrc;
+      has_to_dst = has_to_dst || node.type == GraphType::kDst;
+    }
+  }
+  EXPECT_TRUE(has_to_src);
+  EXPECT_TRUE(has_to_dst);
+}
+
+TEST(AutodiffGirTest, BroadcastMulBackwardUsesDotProduct) {
+  // out = AggSum(a * h) with width(a)=1, width(h)=8: grad of a needs a
+  // feature-dimension reduction (dot product).
+  GirBuilder b;
+  Value a = b.Edge("a", 1);
+  Value h = b.Src("h", 8);
+  b.MarkOutput(AggSum(a * h), "out");
+  BackwardGir bwd = BuildBackward(b.graph(), b.graph().outputs()[0]);
+  bool has_dot = false;
+  for (const Node& node : bwd.graph.nodes()) {
+    has_dot = has_dot || node.kind == OpKind::kDotProduct;
+  }
+  EXPECT_TRUE(has_dot);
+}
+
+TEST(AutodiffGirTest, MeanBackwardDividesByDegree) {
+  GirBuilder b;
+  Value h = b.Src("h", 4);
+  b.MarkOutput(AggMean(h), "out");
+  BackwardGir bwd = BuildBackward(b.graph(), b.graph().outputs()[0]);
+  bool has_degree = false;
+  for (const Node& node : bwd.graph.nodes()) {
+    has_degree = has_degree || node.kind == OpKind::kDegree;
+  }
+  EXPECT_TRUE(has_degree);
+}
+
+TEST(AutodiffGirTest, MaxBackwardUsesEqualMask) {
+  GirBuilder b;
+  Value h = b.Src("h", 4);
+  b.MarkOutput(AggMax(h), "out");
+  BackwardGir bwd = BuildBackward(b.graph(), b.graph().outputs()[0]);
+  bool has_mask = false;
+  for (const Node& node : bwd.graph.nodes()) {
+    has_mask = has_mask || node.kind == OpKind::kEqualMask;
+  }
+  EXPECT_TRUE(has_mask);
+}
+
+TEST(AutodiffGirTest, OptimizeBackwardKeepsTablesCoherent) {
+  GirBuilder b = BuildGat();
+  const GirGraph& fwd = b.graph();
+  BackwardGir bwd = BuildBackward(fwd, fwd.outputs()[0]);
+  const size_t grads_before = bwd.input_grads.size();
+  OptimizeBackward(&bwd);
+  EXPECT_EQ(bwd.input_grads.size(), grads_before);
+  for (const auto& info : bwd.input_grads) {
+    ASSERT_GE(info.backward_output, 0);
+    ASSERT_LT(info.backward_output, bwd.graph.num_nodes());
+    EXPECT_TRUE(bwd.graph.IsOutput(info.backward_output));
+  }
+  // forward_copy entries are either -1 (eliminated) or valid ids.
+  for (int32_t copy : bwd.forward_copy) {
+    EXPECT_LT(copy, bwd.graph.num_nodes());
+  }
+}
+
+TEST(AutodiffGirTest, TypedSrcGradUsesTypedAggregation) {
+  GirBuilder b;
+  Value wh = b.TypedSrc("wh", 4);
+  Value norm = b.Src("norm", 1);
+  b.MarkOutput(AggSum(wh * norm), "out");
+  BackwardGir bwd = BuildBackward(b.graph(), b.graph().outputs()[0]);
+  bool has_typed = false;
+  for (const Node& node : bwd.graph.nodes()) {
+    has_typed = has_typed || node.kind == OpKind::kAggTypedToSrc;
+  }
+  EXPECT_TRUE(has_typed);
+}
+
+}  // namespace
+}  // namespace seastar

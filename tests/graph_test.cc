@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/graph/datasets.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+
+namespace seastar {
+namespace {
+
+// The example graph of paper Fig. 7: edges A->B etc. Vertices A=0,B=1,C=2,D=3.
+Graph Fig7Graph(bool sorted) {
+  // 7 directed edges: in-degrees A:3, B:2, C:1, D:1.
+  std::vector<int32_t> src{1, 3, 2, 3, 1, 2, 0};
+  std::vector<int32_t> dst{0, 0, 0, 1, 2, 3, 1};
+  GraphOptions options;
+  options.sort_by_degree = sorted;
+  return Graph::FromCoo(4, std::move(src), std::move(dst), {}, 1, options);
+}
+
+TEST(CsrTest, DegreeSortedPositionsDescending) {
+  Graph g = Fig7Graph(/*sorted=*/true);
+  const Csr& csr = g.in_csr();
+  for (int64_t k = 0; k + 1 < csr.num_vertices; ++k) {
+    EXPECT_GE(csr.DegreeAtPosition(k), csr.DegreeAtPosition(k + 1));
+  }
+  // Vertex A (id 0, in-degree 3) must be at position 0.
+  EXPECT_EQ(csr.position_vertex[0], 0);
+  EXPECT_EQ(csr.vertex_position[0], 0);
+}
+
+TEST(CsrTest, UnsortedKeepsIdentityPermutation) {
+  Graph g = Fig7Graph(/*sorted=*/false);
+  const Csr& csr = g.in_csr();
+  for (int64_t k = 0; k < csr.num_vertices; ++k) {
+    EXPECT_EQ(csr.position_vertex[static_cast<size_t>(k)], k);
+  }
+}
+
+TEST(CsrTest, OffsetsConsistentWithDegrees) {
+  Graph g = Fig7Graph(true);
+  const Csr& csr = g.in_csr();
+  EXPECT_EQ(csr.offsets.front(), 0);
+  EXPECT_EQ(csr.offsets.back(), g.num_edges());
+  EXPECT_EQ(g.InDegree(0), 3);
+  EXPECT_EQ(g.InDegree(1), 2);
+  EXPECT_EQ(g.InDegree(2), 1);
+  EXPECT_EQ(g.InDegree(3), 1);
+}
+
+TEST(CsrTest, SlotsContainExactlyTheInNeighbors) {
+  Graph g = Fig7Graph(true);
+  const Csr& csr = g.in_csr();
+  const int64_t pos = csr.vertex_position[0];  // vertex A
+  std::multiset<int32_t> nbrs;
+  for (int64_t s = csr.offsets[static_cast<size_t>(pos)];
+       s < csr.offsets[static_cast<size_t>(pos) + 1]; ++s) {
+    nbrs.insert(csr.nbr_ids[static_cast<size_t>(s)]);
+  }
+  EXPECT_EQ(nbrs, (std::multiset<int32_t>{1, 2, 3}));
+}
+
+TEST(CsrTest, EdgeIdsMapBackToCooEndpoints) {
+  Graph g = Fig7Graph(true);
+  const Csr& csr = g.in_csr();
+  for (int64_t k = 0; k < csr.num_vertices; ++k) {
+    const int32_t dst = csr.position_vertex[static_cast<size_t>(k)];
+    for (int64_t s = csr.offsets[static_cast<size_t>(k)];
+         s < csr.offsets[static_cast<size_t>(k) + 1]; ++s) {
+      const int32_t eid = csr.edge_ids[static_cast<size_t>(s)];
+      EXPECT_EQ(g.edge_dst()[static_cast<size_t>(eid)], dst);
+      EXPECT_EQ(g.edge_src()[static_cast<size_t>(eid)], csr.nbr_ids[static_cast<size_t>(s)]);
+    }
+  }
+}
+
+TEST(CsrTest, ReverseCsrCarriesForwardEdgeIds) {
+  // §6.3.4: after flipping, the edge-id array must still identify original
+  // edges (slot index alone would not).
+  Graph g = Fig7Graph(true);
+  const Csr& csr = g.out_csr();
+  for (int64_t k = 0; k < csr.num_vertices; ++k) {
+    const int32_t src = csr.position_vertex[static_cast<size_t>(k)];
+    for (int64_t s = csr.offsets[static_cast<size_t>(k)];
+         s < csr.offsets[static_cast<size_t>(k) + 1]; ++s) {
+      const int32_t eid = csr.edge_ids[static_cast<size_t>(s)];
+      EXPECT_EQ(g.edge_src()[static_cast<size_t>(eid)], src);
+      EXPECT_EQ(g.edge_dst()[static_cast<size_t>(eid)], csr.nbr_ids[static_cast<size_t>(s)]);
+    }
+  }
+}
+
+TEST(CsrTest, EveryEdgeIdAppearsOncePerCsr) {
+  Graph g = Fig7Graph(true);
+  for (const Csr* csr : {&g.in_csr(), &g.out_csr()}) {
+    std::set<int32_t> seen(csr->edge_ids.begin(), csr->edge_ids.end());
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), g.num_edges());
+  }
+}
+
+TEST(GraphTest, HeteroSlotsSortedByType) {
+  Rng rng(1);
+  CooEdges edges = ErdosRenyi(50, 600, rng);
+  auto types = RandomEdgeTypes(600, 5, rng);
+  Graph g = Graph::FromCoo(50, std::move(edges.src), std::move(edges.dst), std::move(types), 5);
+  for (const Csr* csr : {&g.in_csr(), &g.out_csr()}) {
+    ASSERT_EQ(csr->edge_types.size(), 600u);
+    for (int64_t k = 0; k < csr->num_vertices; ++k) {
+      for (int64_t s = csr->offsets[static_cast<size_t>(k)] + 1;
+           s < csr->offsets[static_cast<size_t>(k) + 1]; ++s) {
+        EXPECT_LE(csr->edge_types[static_cast<size_t>(s - 1)],
+                  csr->edge_types[static_cast<size_t>(s)]);
+      }
+    }
+  }
+}
+
+TEST(GraphTest, HeteroEdgeTypesMatchCooAfterSorting) {
+  Rng rng(2);
+  CooEdges edges = ErdosRenyi(20, 100, rng);
+  auto types = RandomEdgeTypes(100, 3, rng);
+  auto types_copy = types;
+  Graph g = Graph::FromCoo(20, std::move(edges.src), std::move(edges.dst), std::move(types), 3);
+  const Csr& csr = g.in_csr();
+  for (int64_t s = 0; s < g.num_edges(); ++s) {
+    const int32_t eid = csr.edge_ids[static_cast<size_t>(s)];
+    EXPECT_EQ(csr.edge_types[static_cast<size_t>(s)], types_copy[static_cast<size_t>(eid)]);
+  }
+}
+
+TEST(GraphTest, StatsAndDebugString) {
+  Graph g = Fig7Graph(true);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 7);
+  EXPECT_EQ(g.MaxInDegree(), 3);
+  EXPECT_NEAR(g.AverageInDegree(), 1.75, 1e-9);
+  EXPECT_GT(g.IndexBytes(), 0u);
+  EXPECT_NE(g.DebugString().find("|V|=4"), std::string::npos);
+}
+
+TEST(GeneratorTest, ErdosRenyiCountsAndDeterminism) {
+  Rng rng1(7);
+  Rng rng2(7);
+  CooEdges a = ErdosRenyi(100, 500, rng1);
+  CooEdges b = ErdosRenyi(100, 500, rng2);
+  EXPECT_EQ(a.src.size(), 500u);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  for (int32_t v : a.src) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(GeneratorTest, RmatProducesHeavierSkewThanErdosRenyi) {
+  Rng rng(11);
+  const int64_t n = 2000;
+  const int64_t m = 20000;
+  Graph er = ToGraph(ErdosRenyi(n, m, rng));
+  Graph rm = ToGraph(Rmat(n, m, rng));
+  EXPECT_GT(rm.MaxInDegree(), 2 * er.MaxInDegree());
+}
+
+TEST(GeneratorTest, DeterministicShapes) {
+  CooEdges star = Star(5);
+  EXPECT_EQ(star.src.size(), 4u);
+  for (int32_t d : star.dst) {
+    EXPECT_EQ(d, 0);
+  }
+  EXPECT_EQ(Chain(5).src.size(), 4u);
+  EXPECT_EQ(Cycle(5).src.size(), 5u);
+  EXPECT_EQ(Complete(4).src.size(), 12u);
+}
+
+TEST(GeneratorTest, SelfLoopsAddOnePerVertex) {
+  CooEdges edges = Chain(4);
+  const size_t before = edges.src.size();
+  AddSelfLoops(edges);
+  EXPECT_EQ(edges.src.size(), before + 4);
+  Graph g = ToGraph(std::move(edges));
+  for (int32_t v = 0; v < 4; ++v) {
+    EXPECT_GE(g.InDegree(v), 1);
+  }
+}
+
+TEST(GeneratorTest, EdgeTypesInRangeAndSkewed) {
+  Rng rng(13);
+  auto types = RandomEdgeTypes(10000, 10, rng);
+  std::vector<int> counts(10, 0);
+  for (int32_t t : types) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 10);
+    ++counts[static_cast<size_t>(t)];
+  }
+  EXPECT_GT(counts[0], counts[9]);  // Zipf-ish bias.
+}
+
+TEST(DatasetTest, CatalogMatchesPaperTable2) {
+  ASSERT_EQ(DatasetCatalog().size(), 12u);
+  const DatasetSpec* reddit = FindDataset("reddit");
+  ASSERT_NE(reddit, nullptr);
+  EXPECT_EQ(reddit->num_vertices, 198021);
+  EXPECT_EQ(reddit->num_edges, 84120742);
+  EXPECT_EQ(reddit->feature_dim, 602);
+  const DatasetSpec* bgs = FindDataset("bgs");
+  ASSERT_NE(bgs, nullptr);
+  EXPECT_EQ(bgs->num_relations, 206);
+  EXPECT_EQ(HomogeneousDatasets().size(), 9u);
+  EXPECT_EQ(HeterogeneousDatasets().size(), 3u);
+  EXPECT_EQ(FindDataset("nope"), nullptr);
+}
+
+TEST(DatasetTest, ScaledMaterialization) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  options.max_feature_dim = 64;
+  Dataset d = MakeDatasetByName("pubmed", options);
+  EXPECT_NEAR(d.spec.num_vertices, 1972, 2);
+  EXPECT_EQ(d.spec.feature_dim, 64);
+  EXPECT_EQ(d.features.dim(0), d.spec.num_vertices);
+  EXPECT_EQ(d.features.dim(1), 64);
+  EXPECT_EQ(static_cast<int64_t>(d.labels.size()), d.spec.num_vertices);
+  EXPECT_FALSE(d.train_mask.empty());
+  for (int32_t label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, d.spec.num_classes);
+  }
+}
+
+TEST(DatasetTest, SelfLoopsGiveNonzeroNorm) {
+  DatasetOptions options;
+  options.scale = 0.2;
+  Dataset d = MakeDatasetByName("cora", options);
+  for (int64_t v = 0; v < d.spec.num_vertices; ++v) {
+    EXPECT_GT(d.gcn_norm.at(v, 0), 0.0f);
+    EXPECT_LE(d.gcn_norm.at(v, 0), 1.0f);
+  }
+}
+
+TEST(DatasetTest, HeteroDatasetHasTypesAndNoFeatures) {
+  DatasetOptions options;
+  options.scale = 0.2;
+  Dataset d = MakeDatasetByName("aifb", options);
+  EXPECT_GT(d.graph.num_edge_types(), 1);
+  EXPECT_FALSE(d.features.defined());
+  EXPECT_EQ(d.graph.edge_type().size(), static_cast<size_t>(d.graph.num_edges()));
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  Dataset a = MakeDatasetByName("citeseer", options);
+  Dataset b = MakeDatasetByName("citeseer", options);
+  EXPECT_EQ(a.graph.edge_src(), b.graph.edge_src());
+  EXPECT_TRUE(a.features.AllClose(b.features));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace seastar

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace {
+
+TEST(LoggingTest, SeverityOverrideRoundTrips) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  SEASTAR_CHECK(true) << "never printed";
+  SEASTAR_CHECK_EQ(2 + 2, 4);
+  SEASTAR_CHECK_NE(1, 2);
+  SEASTAR_CHECK_LT(1, 2);
+  SEASTAR_CHECK_LE(2, 2);
+  SEASTAR_CHECK_GT(3, 2);
+  SEASTAR_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH({ SEASTAR_CHECK(1 == 2) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ SEASTAR_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingTest, NonFatalSeveritiesDoNotAbort) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kFatal);  // Mute output during the test.
+  SEASTAR_LOG(Debug) << "quiet";
+  SEASTAR_LOG(Info) << "quiet";
+  SEASTAR_LOG(Warning) << "quiet";
+  SEASTAR_LOG(Error) << "quiet";
+  SetMinLogSeverity(original);
+}
+
+}  // namespace
+}  // namespace seastar

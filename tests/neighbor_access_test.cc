@@ -1,0 +1,100 @@
+// Correctness of the Fig. 12 micro-benchmark kernels: every strategy must
+// produce the identical neighbor-feature sum.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/exec/neighbor_access.h"
+#include "src/graph/generators.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+namespace {
+
+struct GraphPair {
+  Graph sorted;
+  Graph unsorted;
+};
+
+GraphPair MakeGraphs(int64_t n, int64_t m, uint64_t seed, bool skewed) {
+  Rng rng(seed);
+  CooEdges edges = skewed ? Rmat(n, m, rng) : ErdosRenyi(n, m, rng);
+  CooEdges copy = edges;
+  GraphOptions unsorted_options;
+  unsorted_options.sort_by_degree = false;
+  GraphPair pair{ToGraph(std::move(edges)), ToGraph(std::move(copy), {}, 1, unsorted_options)};
+  return pair;
+}
+
+Tensor ReferenceNeighborSum(const Graph& g, const Tensor& features) {
+  const int64_t n = g.num_vertices();
+  const int64_t d = features.dim(1);
+  Tensor out = Tensor::Zeros({n, d});
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    const int32_t src = g.edge_src()[static_cast<size_t>(e)];
+    const int32_t dst = g.edge_dst()[static_cast<size_t>(e)];
+    for (int64_t j = 0; j < d; ++j) {
+      out.at(dst, j) += features.at(src, j);
+    }
+  }
+  return out;
+}
+
+class NeighborAccessTest
+    : public ::testing::TestWithParam<std::tuple<NeighborAccessStrategy, int>> {};
+
+TEST_P(NeighborAccessTest, MatchesReference) {
+  const auto [strategy, feature_dim] = GetParam();
+  GraphPair graphs = MakeGraphs(300, 3000, 42, /*skewed=*/true);
+  Rng rng(1);
+  Tensor features =
+      ops::RandomNormal({graphs.sorted.num_vertices(), feature_dim}, 0, 1, rng);
+  Tensor expected = ReferenceNeighborSum(graphs.sorted, features);
+  Tensor out = RunNeighborAccess(strategy, graphs.sorted, graphs.unsorted, features);
+  EXPECT_TRUE(out.AllClose(expected, 1e-3f))
+      << NeighborAccessStrategyName(strategy) << " D=" << feature_dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAndWidths, NeighborAccessTest,
+    ::testing::Combine(::testing::Values(NeighborAccessStrategy::kDglBinarySearch,
+                                         NeighborAccessStrategy::kBasic,
+                                         NeighborAccessStrategy::kFaUnsorted,
+                                         NeighborAccessStrategy::kFaSortedAtomic,
+                                         NeighborAccessStrategy::kFaSortedDynamic),
+                       ::testing::Values(1, 2, 16, 33, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<NeighborAccessStrategy, int>>& info) {
+      std::string name = NeighborAccessStrategyName(std::get<0>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_D" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(NeighborAccessStrategyTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (auto s : {NeighborAccessStrategy::kDglBinarySearch, NeighborAccessStrategy::kBasic,
+                 NeighborAccessStrategy::kFaUnsorted, NeighborAccessStrategy::kFaSortedAtomic,
+                 NeighborAccessStrategy::kFaSortedDynamic}) {
+    names.insert(NeighborAccessStrategyName(s));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(NeighborAccessTest, EmptyGraphProducesZeros) {
+  GraphPair graphs;
+  GraphOptions unsorted_options;
+  unsorted_options.sort_by_degree = false;
+  graphs.sorted = Graph::FromCoo(5, {}, {});
+  graphs.unsorted = Graph::FromCoo(5, {}, {}, {}, 1, unsorted_options);
+  Rng rng(2);
+  Tensor features = ops::RandomNormal({5, 4}, 0, 1, rng);
+  for (auto s : {NeighborAccessStrategy::kBasic, NeighborAccessStrategy::kFaSortedDynamic}) {
+    Tensor out = RunNeighborAccess(s, graphs.sorted, graphs.unsorted, features);
+    EXPECT_TRUE(out.AllClose(Tensor::Zeros({5, 4}), 1e-6f));
+  }
+}
+
+}  // namespace
+}  // namespace seastar

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/tensor/allocator.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.ShapeString(), "Tensor[2x3]");
+}
+
+TEST(TensorTest, ZerosOnesFull) {
+  EXPECT_FLOAT_EQ(Tensor::Zeros({4}).at(3), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::Ones({4}).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::Full({2, 2}, 7.5f).at(1, 1), 7.5f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b = a.Clone();
+  b.at(0) = 99.0f;
+  EXPECT_FLOAT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  b.at(0, 0) = 42.0f;
+  EXPECT_FLOAT_EQ(a.at(0, 0), 42.0f);
+  EXPECT_EQ(b.dim(0), 3);
+}
+
+TEST(TensorTest, AllCloseDetectsDifference) {
+  Tensor a({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b({3}, {1.0f, 2.0f, 3.0f});
+  EXPECT_TRUE(a.AllClose(b));
+  b.at(2) = 3.001f;
+  EXPECT_FALSE(a.AllClose(b, 1e-5f));
+  EXPECT_TRUE(a.AllClose(b, 1e-2f));
+}
+
+TEST(TensorTest, RowAccess) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(a.Row(1)[2], 6.0f);
+}
+
+TEST(AllocatorTest, TracksLiveAndPeak) {
+  TensorAllocator& alloc = TensorAllocator::Get();
+  const uint64_t live_before = alloc.live_bytes();
+  alloc.ResetPeak();
+  {
+    Tensor big({1024, 1024});  // 4 MB
+    EXPECT_GE(alloc.live_bytes(), live_before + (4u << 20));
+    EXPECT_GE(alloc.peak_bytes(), live_before + (4u << 20));
+  }
+  EXPECT_EQ(alloc.live_bytes(), live_before);
+  // Peak persists after free.
+  EXPECT_GE(alloc.peak_bytes(), live_before + (4u << 20));
+}
+
+TEST(AllocatorTest, SoftBudgetFlags) {
+  TensorAllocator& alloc = TensorAllocator::Get();
+  alloc.SetSoftBudgetBytes(alloc.live_bytes() + (1u << 20));
+  EXPECT_FALSE(alloc.budget_exceeded());
+  {
+    Tensor big({1024, 1024});  // 4 MB > 1 MB budget
+    EXPECT_TRUE(alloc.budget_exceeded());
+  }
+  alloc.SetSoftBudgetBytes(0);
+  EXPECT_FALSE(alloc.budget_exceeded());
+}
+
+TEST(OpsTest, ElementwiseBasics) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  EXPECT_TRUE(ops::Add(a, b).AllClose(Tensor({2, 2}, {11, 22, 33, 44})));
+  EXPECT_TRUE(ops::Sub(b, a).AllClose(Tensor({2, 2}, {9, 18, 27, 36})));
+  EXPECT_TRUE(ops::Mul(a, a).AllClose(Tensor({2, 2}, {1, 4, 9, 16})));
+  EXPECT_TRUE(ops::Div(b, a).AllClose(Tensor({2, 2}, {10, 10, 10, 10})));
+  EXPECT_TRUE(ops::Neg(a).AllClose(Tensor({2, 2}, {-1, -2, -3, -4})));
+}
+
+TEST(OpsTest, ScalarBroadcast) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor s = Tensor::FromScalar(2.0f);
+  EXPECT_TRUE(ops::Mul(a, s).AllClose(Tensor({3}, {2, 4, 6})));
+  EXPECT_TRUE(ops::AddScalar(a, 1.0f).AllClose(Tensor({3}, {2, 3, 4})));
+  EXPECT_TRUE(ops::MulScalar(a, -1.0f).AllClose(Tensor({3}, {-1, -2, -3})));
+}
+
+TEST(OpsTest, Activations) {
+  Tensor a({4}, {-2, -0.5, 0.5, 2});
+  EXPECT_TRUE(ops::Relu(a).AllClose(Tensor({4}, {0, 0, 0.5, 2})));
+  EXPECT_TRUE(ops::LeakyRelu(a, 0.1f).AllClose(Tensor({4}, {-0.2f, -0.05f, 0.5f, 2.0f})));
+  const Tensor sig = ops::Sigmoid(a);
+  EXPECT_NEAR(sig.at(3), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6);
+  const Tensor th = ops::Tanh(a);
+  EXPECT_NEAR(th.at(0), std::tanh(-2.0f), 1e-6);
+}
+
+TEST(OpsTest, ExpLog) {
+  Tensor a({3}, {0.0f, 1.0f, 2.0f});
+  const Tensor e = ops::Exp(a);
+  EXPECT_NEAR(e.at(2), std::exp(2.0f), 1e-4);
+  EXPECT_TRUE(ops::Log(e).AllClose(a, 1e-5f));
+}
+
+TEST(OpsTest, RowBroadcasts) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row({3}, {10, 20, 30});
+  EXPECT_TRUE(ops::AddRowBroadcast(m, row).AllClose(Tensor({2, 3}, {11, 22, 33, 14, 25, 36})));
+  Tensor col({2, 1}, {2, 3});
+  EXPECT_TRUE(ops::MulColBroadcast(m, col).AllClose(Tensor({2, 3}, {2, 4, 6, 12, 15, 18})));
+}
+
+TEST(OpsTest, MatmulAgainstHandComputed) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  EXPECT_TRUE(ops::Matmul(a, b).AllClose(Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(OpsTest, MatmulTransposesConsistent) {
+  Rng rng(1);
+  Tensor a = ops::RandomNormal({5, 4}, 0, 1, rng);
+  Tensor b = ops::RandomNormal({4, 6}, 0, 1, rng);
+  Tensor c = ops::Matmul(a, b);
+  // a @ b == MatmulTransposeB(a, b^T).
+  EXPECT_TRUE(ops::MatmulTransposeB(a, ops::Transpose(b)).AllClose(c, 1e-4f));
+  // a^T @ c2 via MatmulTransposeA.
+  Tensor c2 = ops::RandomNormal({5, 3}, 0, 1, rng);
+  Tensor expected = ops::Matmul(ops::Transpose(a), c2);
+  EXPECT_TRUE(ops::MatmulTransposeA(a, c2).AllClose(expected, 1e-4f));
+}
+
+TEST(OpsTest, MatmulLargeParallelMatchesSmallChunks) {
+  Rng rng(2);
+  Tensor a = ops::RandomNormal({300, 40}, 0, 1, rng);
+  Tensor b = ops::RandomNormal({40, 20}, 0, 1, rng);
+  Tensor c = ops::Matmul(a, b);
+  // Spot check a few entries against naive dot products.
+  for (int64_t i : {0L, 150L, 299L}) {
+    for (int64_t j : {0L, 10L, 19L}) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < 40; ++k) {
+        acc += a.at(i, k) * b.at(k, j);
+      }
+      EXPECT_NEAR(c.at(i, j), acc, 1e-3);
+    }
+  }
+}
+
+TEST(OpsTest, BatchedMatmul) {
+  Rng rng(3);
+  Tensor a = ops::RandomNormal({3, 4, 5}, 0, 1, rng);
+  Tensor b = ops::RandomNormal({3, 5, 2}, 0, 1, rng);
+  Tensor c = ops::BatchedMatmul(a, b);
+  ASSERT_EQ(c.dim(0), 3);
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    Tensor ai({4, 5});
+    Tensor bi_m({5, 2});
+    std::copy(a.data() + bi * 20, a.data() + (bi + 1) * 20, ai.data());
+    std::copy(b.data() + bi * 10, b.data() + (bi + 1) * 10, bi_m.data());
+    Tensor expected = ops::Matmul(ai, bi_m);
+    for (int64_t i = 0; i < 4; ++i) {
+      for (int64_t j = 0; j < 2; ++j) {
+        EXPECT_NEAR(c.data()[bi * 8 + i * 2 + j], expected.at(i, j), 1e-4);
+      }
+    }
+  }
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(ops::SumAll(a), 21.0f);
+  EXPECT_FLOAT_EQ(ops::MeanAll(a), 3.5f);
+  EXPECT_FLOAT_EQ(ops::MaxAll(a), 6.0f);
+  EXPECT_TRUE(ops::RowSum(a).AllClose(Tensor({2, 1}, {6, 15})));
+  EXPECT_TRUE(ops::RowMax(a).AllClose(Tensor({2, 1}, {3, 6})));
+  EXPECT_TRUE(ops::ColSum(a).AllClose(Tensor({3}, {5, 7, 9})));
+  const auto argmax = ops::RowArgmax(a);
+  EXPECT_EQ(argmax[0], 2);
+  EXPECT_EQ(argmax[1], 2);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(4);
+  Tensor a = ops::RandomNormal({10, 7}, 0, 3, rng);
+  Tensor s = ops::Softmax(a);
+  for (int64_t i = 0; i < 10; ++i) {
+    float total = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0f);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(5);
+  Tensor a = ops::RandomNormal({6, 5}, 0, 2, rng);
+  EXPECT_TRUE(ops::LogSoftmax(a).AllClose(ops::Log(ops::Softmax(a)), 1e-4f));
+}
+
+TEST(OpsTest, SoftmaxNumericallyStableForLargeInputs) {
+  Tensor a({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor s = ops::Softmax(a);
+  EXPECT_FALSE(std::isnan(s.at(0, 0)));
+  EXPECT_NEAR(s.at(0, 0) + s.at(0, 1) + s.at(0, 2), 1.0f, 1e-5);
+}
+
+TEST(OpsTest, NllLossHandComputed) {
+  // log_probs for 2 rows, labels pick -1.0 and -0.5.
+  Tensor lp({2, 2}, {-1.0f, -0.3f, -0.5f, -2.0f});
+  EXPECT_NEAR(ops::NllLoss(lp, {0, 0}, {}), 0.75f, 1e-6);
+  EXPECT_NEAR(ops::NllLoss(lp, {0, 0}, {1}), 0.5f, 1e-6);
+}
+
+TEST(OpsTest, DropoutMaskConsistency) {
+  Rng rng(6);
+  Tensor a = Tensor::Ones({1000});
+  auto result = ops::Dropout(a, 0.5f, rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    const float m = result.mask.at(i);
+    EXPECT_TRUE(m == 0.0f || std::fabs(m - 2.0f) < 1e-6);
+    EXPECT_FLOAT_EQ(result.output.at(i), m);
+    zeros += m == 0.0f ? 1 : 0;
+  }
+  EXPECT_NEAR(zeros, 500, 60);
+}
+
+TEST(OpsTest, GatherScatterRoundTrip) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = ops::GatherRows(a, {2, 0, 2});
+  EXPECT_TRUE(g.AllClose(Tensor({3, 2}, {5, 6, 1, 2, 5, 6})));
+  Tensor s = ops::ScatterAddRows(g, {0, 0, 1}, 2);
+  EXPECT_TRUE(s.AllClose(Tensor({2, 2}, {6, 8, 5, 6})));
+}
+
+TEST(OpsTest, SegmentSum) {
+  Tensor a({4, 2}, {1, 1, 2, 2, 3, 3, 4, 4});
+  Tensor s = ops::SegmentSum(a, {0, 1, 1, 4});
+  EXPECT_TRUE(s.AllClose(Tensor({3, 2}, {1, 1, 0, 0, 9, 9})));
+}
+
+TEST(OpsTest, ConcatAndSlice) {
+  Tensor a({2, 1}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = ops::ConcatCols({a, b});
+  EXPECT_TRUE(c.AllClose(Tensor({2, 3}, {1, 3, 4, 2, 5, 6})));
+  EXPECT_TRUE(ops::SliceRows(c, 1, 2).AllClose(Tensor({1, 3}, {2, 5, 6})));
+}
+
+TEST(OpsTest, XavierBoundsRespectFanInOut) {
+  Rng rng(7);
+  Tensor w = ops::XavierUniform(100, 50, rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  EXPECT_LE(ops::MaxAll(w), bound);
+  EXPECT_GE(-ops::MaxAll(ops::Neg(w)), -bound);
+}
+
+TEST(OpsTest, OneHot) {
+  Tensor t = ops::OneHot({1, 0, 2}, 3);
+  EXPECT_TRUE(t.AllClose(Tensor({3, 3}, {0, 1, 0, 1, 0, 0, 0, 0, 1})));
+}
+
+}  // namespace
+}  // namespace seastar
