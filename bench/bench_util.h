@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/profiler.h"
 #include "src/common/string_util.h"
 #include "src/core/train.h"
 #include "src/graph/datasets.h"
@@ -31,6 +32,10 @@ struct BenchOptions {
   // Models the paper's 11 GB GPU, scaled with the dataset (memory use on a
   // graph scaled by s shrinks by roughly s).
   double memory_budget_gb = 11.0;
+  // --profile=<path>: record per-unit/per-op spans for every timed run and
+  // write a Chrome-trace JSON there (plus a summary table on stdout).
+  // Empty = profiling off (the default; keeps timed numbers clean).
+  std::string profile_path;
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -44,8 +49,39 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   if (!filter.empty()) {
     options.dataset_filter = Split(filter, ',');
   }
+  options.profile_path = FlagValue(argc, argv, "profile", "");
   return options;
 }
+
+// Owns the bench's Profiler when --profile= was given. sink() is null when
+// profiling is off, so benches can unconditionally forward it into
+// TrainConfig::profiler / RunContext and pay nothing by default.
+class BenchProfile {
+ public:
+  explicit BenchProfile(const BenchOptions& options)
+      : path_(options.profile_path), profiler_(!options.profile_path.empty()) {}
+
+  Profiler* sink() { return path_.empty() ? nullptr : &profiler_; }
+
+  // Writes the Chrome trace and prints the aggregate summary table. Call
+  // once, after the last profiled run.
+  void Finish() {
+    if (path_.empty() || profiler_.events().empty()) {
+      return;
+    }
+    if (profiler_.WriteChromeTrace(path_)) {
+      std::printf("\nprofile: %zu spans -> %s (open in chrome://tracing)\n",
+                  profiler_.events().size(), path_.c_str());
+    } else {
+      std::fprintf(stderr, "profile: failed to write %s\n", path_.c_str());
+    }
+    std::printf("%s", profiler_.SummaryTable().c_str());
+  }
+
+ private:
+  std::string path_;
+  Profiler profiler_;
+};
 
 inline bool DatasetSelected(const BenchOptions& options, const std::string& name) {
   if (options.dataset_filter.empty()) {

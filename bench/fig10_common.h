@@ -21,6 +21,7 @@ using ModelFactory =
 inline int RunFig10(const char* figure, const char* model_name, int argc, char** argv,
                     const ModelFactory& factory) {
   BenchOptions options = ParseBenchOptions(argc, argv);
+  BenchProfile profile(options);
   std::printf("%s: per-epoch time (ms) of %s training — paper Fig. 10\n", figure, model_name);
   std::printf("(scale multiplier %.3g, %d timed epochs + %d warmup, feature cap %lld)\n\n",
               options.scale_multiplier, options.epochs, options.warmup,
@@ -45,6 +46,9 @@ inline int RunFig10(const char* figure, const char* model_name, int argc, char**
       BackendConfig config;
       config.backend = backends[i];
       std::unique_ptr<GnnModel> model = factory(data, config);
+      train.profiler = profile.sink();
+      ProfileScope bench_span(profile.sink(),
+                              spec.name + "/" + BackendName(backends[i]), "bench");
       TrainResult result = TrainNodeClassification(*model, data, train);
       cells[i] = TimeCell(result);
       if (backends[i] == Backend::kDglLike) {
@@ -63,6 +67,7 @@ inline int RunFig10(const char* figure, const char* model_name, int argc, char**
   }
   std::printf("\npaper shape: Seastar fastest on every dataset; largest gains on\n"
               "high-average-degree graphs (amz_comp, reddit).\n");
+  profile.Finish();
   return 0;
 }
 

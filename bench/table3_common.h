@@ -20,6 +20,7 @@ inline constexpr RgcnMode kTableModes[] = {
 // `metric`: true => per-epoch ms (Table 3); false => peak MB (Table 4).
 inline int RunRgcnTable(const char* table, bool time_metric, int argc, char** argv) {
   BenchOptions options = ParseBenchOptions(argc, argv);
+  BenchProfile profile(options);
   if (!time_metric) {
     options.epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 3));
   }
@@ -47,6 +48,8 @@ inline int RunRgcnTable(const char* table, bool time_metric, int argc, char** ar
       config.mode = mode;
       Rgcn model(data, config);
       ResetKernelLaunchCount();
+      train.profiler = profile.sink();
+      ProfileScope bench_span(profile.sink(), spec.name + "/" + RgcnModeName(mode), "bench");
       TrainResult result = TrainNodeClassification(model, data, train);
       const int64_t launches_per_epoch =
           result.epochs_run > 0 ? KernelLaunchCount() / result.epochs_run : 0;
@@ -71,6 +74,7 @@ inline int RunRgcnTable(const char* table, bool time_metric, int argc, char** ar
     std::printf("\npaper shape: Seastar ~= DGL-bmm < DGL < PyG-bmm ~= PyG;\n"
                 "PyG(-bmm) OOM on bgs at full scale.\n");
   }
+  profile.Finish();
   return 0;
 }
 

@@ -51,7 +51,7 @@ class MaxPoolGnn : public GnnModel {
   Var Forward(bool training) override {
     Var h = ag::Relu(in_layer_.Forward(features_));
     h = program_.Run(data_.graph, {.vertex = {{"h", h}}, .edge = {{"w", edge_weight_}}},
-                     backend_);
+                     backend_, {.profiler = profiler()});
     return out_layer_.Forward(h);
   }
 

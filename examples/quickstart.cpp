@@ -30,8 +30,14 @@ int main(int argc, char** argv) {
   std::printf("dataset: %s  %s\n", data.spec.name.c_str(), data.graph.DebugString().c_str());
 
   // 2. Model: 2-layer GCN, hidden 16, on the chosen backend.
+  const std::optional<Backend> parsed_backend = BackendFromString(backend_name);
+  if (!parsed_backend.has_value()) {
+    std::fprintf(stderr, "unknown backend '%s' (valid choices: %s)\n", backend_name.c_str(),
+                 BackendChoices());
+    return 1;
+  }
   BackendConfig backend;
-  backend.backend = BackendFromString(backend_name);
+  backend.backend = *parsed_backend;
   GcnConfig config;
   Gcn model(data, config, backend);
 

@@ -10,12 +10,14 @@
 //        --backend=seastar|seastar-nofuse|dgl|pyg  --epochs --warmup --lr
 //        --scale --max-feat --hidden --budget-gb --csv
 //        --edges=<file.tsv|file.mtx>  (train on your own graph instead)
+//        --profile=<trace.json>  (Chrome-trace of the run; see docs/INTERNALS.md)
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/common/string_util.h"
 #include "src/core/models/appnp.h"
 #include "src/core/models/gat.h"
@@ -101,6 +103,7 @@ int Run(int argc, char** argv) {
   const int64_t hidden = FlagInt(argc, argv, "hidden", 0);  // 0 = model default.
   const double budget_gb = FlagDouble(argc, argv, "budget-gb", 0.0);
   const bool csv = FlagBool(argc, argv, "csv", false);
+  const std::string profile_path = FlagValue(argc, argv, "profile", "");
 
   Dataset data;
   if (!edge_file.empty()) {
@@ -113,8 +116,14 @@ int Run(int argc, char** argv) {
     data = MakeDatasetByName(dataset_name, options);
   }
 
+  const std::optional<Backend> parsed_backend = BackendFromString(backend_name);
+  if (!parsed_backend.has_value()) {
+    std::fprintf(stderr, "unknown backend '%s' (valid choices: %s)\n", backend_name.c_str(),
+                 BackendChoices());
+    return 1;
+  }
   BackendConfig backend;
-  backend.backend = BackendFromString(backend_name);
+  backend.backend = *parsed_backend;
 
   std::unique_ptr<GnnModel> model;
   if (model_name == "gcn") {
@@ -174,7 +183,23 @@ int Run(int argc, char** argv) {
   if (budget_gb > 0.0) {
     train.memory_budget_bytes = static_cast<uint64_t>(budget_gb * 1024.0 * 1024.0 * 1024.0);
   }
+  Profiler profiler(!profile_path.empty());
+  if (!profile_path.empty()) {
+    train.profiler = &profiler;
+  }
   TrainResult result = TrainNodeClassification(*model, data, train);
+
+  if (!profile_path.empty()) {
+    if (profiler.WriteChromeTrace(profile_path)) {
+      std::printf("profile: %zu spans -> %s (open in chrome://tracing)\n",
+                  profiler.events().size(), profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "profile: failed to write %s\n", profile_path.c_str());
+    }
+    if (!csv) {
+      std::printf("%s", profiler.SummaryTable().c_str());
+    }
+  }
 
   if (csv) {
     std::printf("model,dataset,backend,epochs,avg_epoch_ms,final_loss,train_acc,peak_mb,oom\n");

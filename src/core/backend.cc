@@ -18,7 +18,7 @@ const char* BackendName(Backend backend) {
   return "?";
 }
 
-Backend BackendFromString(const std::string& name) {
+std::optional<Backend> BackendFromString(const std::string& name) {
   if (name == "seastar") {
     return Backend::kSeastar;
   }
@@ -31,35 +31,35 @@ Backend BackendFromString(const std::string& name) {
   if (name == "pyg") {
     return Backend::kPygLike;
   }
-  SEASTAR_LOG(Fatal) << "unknown backend '" << name << "' (use seastar|seastar-nofuse|dgl|pyg)";
-  return Backend::kSeastar;
+  return std::nullopt;
 }
 
+const char* BackendChoices() { return "seastar|seastar-nofuse|dgl|pyg"; }
+
 RunResult RunWithBackend(const BackendConfig& config, const GirGraph& gir, const Graph& graph,
-                         const FeatureMap& features, const SeedMap* seed,
-                         const std::vector<int32_t>* retain) {
+                         const FeatureMap& features, const RunContext& ctx) {
   switch (config.backend) {
     case Backend::kSeastar: {
       SeastarExecutor executor(config.seastar_options);
-      return executor.Run(gir, graph, features, seed);
+      return executor.Run(gir, graph, features, ctx);
     }
     case Backend::kSeastarNoFusion: {
       SeastarExecutorOptions options = config.seastar_options;
       options.enable_fusion = false;
       SeastarExecutor executor(options);
-      return executor.Run(gir, graph, features, seed);
+      return executor.Run(gir, graph, features, ctx);
     }
     case Backend::kDglLike: {
       BaselineExecutorOptions options = config.baseline_options;
       options.flavor = BaselineFlavor::kDglLike;
       BaselineExecutor executor(options);
-      return executor.Run(gir, graph, features, seed, retain);
+      return executor.Run(gir, graph, features, ctx);
     }
     case Backend::kPygLike: {
       BaselineExecutorOptions options = config.baseline_options;
       options.flavor = BaselineFlavor::kPygLike;
       BaselineExecutor executor(options);
-      return executor.Run(gir, graph, features, seed, retain);
+      return executor.Run(gir, graph, features, ctx);
     }
   }
   SEASTAR_LOG(Fatal) << "unknown backend";

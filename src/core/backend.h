@@ -5,6 +5,7 @@
 #ifndef SRC_CORE_BACKEND_H_
 #define SRC_CORE_BACKEND_H_
 
+#include <optional>
 #include <string>
 
 #include "src/exec/baseline_executor.h"
@@ -22,7 +23,12 @@ enum class Backend {
 const char* BackendName(Backend backend);
 
 // Parses "seastar" / "dgl" / "pyg" / "seastar-nofuse" (used by bench CLIs).
-Backend BackendFromString(const std::string& name);
+// Returns nullopt for unrecognized names so CLIs can report the bad flag and
+// exit cleanly instead of aborting.
+std::optional<Backend> BackendFromString(const std::string& name);
+
+// The accepted spellings for BackendFromString, for CLI error messages.
+const char* BackendChoices();
 
 struct BackendConfig {
   Backend backend = Backend::kSeastar;
@@ -30,13 +36,11 @@ struct BackendConfig {
   BaselineExecutorOptions baseline_options;
 };
 
-// Runs `gir` under `config`. Thin dispatch wrapper over the executors.
-// `retain` (baseline executors only): node ids autograd must keep alive;
-// everything else is freed eagerly. Ignored by the Seastar executor, which
-// materializes only unit-crossing values in the first place.
+// Runs `gir` under `config`. Thin dispatch wrapper over the executors; `ctx`
+// carries the per-run state (seed values, retain set, profiler) through to
+// whichever executor the config selects — see RunContext in exec/runtime.h.
 RunResult RunWithBackend(const BackendConfig& config, const GirGraph& gir, const Graph& graph,
-                         const FeatureMap& features, const SeedMap* seed = nullptr,
-                         const std::vector<int32_t>* retain = nullptr);
+                         const FeatureMap& features, const RunContext& ctx = {});
 
 // True when the backend materializes (and must keep alive for backward)
 // every intermediate — i.e. the whole-graph tensor systems.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/common/stopwatch.h"
 #include "src/core/nn.h"
 #include "src/core/program.h"
@@ -49,12 +50,21 @@ MiniBatchResult TrainMiniBatchGcn(const Dataset& data, const MiniBatchConfig& co
   double accuracy_acc = 0.0;
   int accuracy_batches = 0;
 
+  Profiler* profiler =
+      config.profiler != nullptr && config.profiler->enabled() ? config.profiler : nullptr;
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     const bool last_epoch = epoch + 1 == config.epochs;
     for (const std::vector<int32_t>& seeds :
          MakeSeedBatches(data.spec.num_vertices, config.batch_size, rng)) {
       Stopwatch watch;
-      SampledSubgraph block = SampleNeighborhood(data.graph, seeds, config.fanouts, rng);
+      ProfileScope batch_span(
+          profiler, "batch " + std::to_string(result.batches_run), "minibatch");
+      SampledSubgraph block;
+      {
+        ProfileScope sample_span(profiler, "sample", "minibatch");
+        block = SampleNeighborhood(data.graph, seeds, config.fanouts, rng);
+      }
 
       // Block-local features, labels, and 1/sqrt(deg) norms.
       Var h = Var::Leaf(GatherLocalFeatures(block, data.features), /*requires_grad=*/false);
@@ -69,7 +79,8 @@ MiniBatchResult TrainMiniBatchGcn(const Dataset& data, const MiniBatchConfig& co
       for (size_t layer = 0; layer < layers.size(); ++layer) {
         Var transformed = layers[layer].Forward(h);
         Var aggregated = programs[layer].Run(
-            block.graph, {.vertex = {{"h", transformed}, {"norm", norm_var}}}, backend);
+            block.graph, {.vertex = {{"h", transformed}, {"norm", norm_var}}}, backend,
+            {.profiler = profiler});
         h = ag::AddRowBroadcast(aggregated, biases[layer]);
         if (layer + 1 < layers.size()) {
           h = ag::Relu(h);

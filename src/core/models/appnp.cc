@@ -31,8 +31,8 @@ Var Appnp::Forward(bool training) {
 
   Var h_k = h0;
   for (int hop = 0; hop < config_.num_hops; ++hop) {
-    h_k = propagate_.Run(data_.graph,
-                         {.vertex = {{"h", h_k}, {"norm", norm_}, {"h0", h0}}}, backend_);
+    h_k = propagate_.Run(data_.graph, {.vertex = {{"h", h_k}, {"norm", norm_}, {"h0", h0}}},
+                         backend_, {.profiler = profiler()});
   }
   return h_k;
 }

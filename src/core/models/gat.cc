@@ -46,7 +46,7 @@ Var Gat::RunHead(const Layer& layer, const Head& head, const Var& h) const {
   Var eu = ag::Matmul(f, head.attn_left);      // [N, 1]
   Var ev = ag::Matmul(f, head.attn_right);     // [N, 1]
   return layer.program.Run(data_.graph, {.vertex = {{"eu", eu}, {"ev", ev}, {"h", f}}},
-                           backend_);
+                           backend_, {.profiler = profiler()});
 }
 
 Var Gat::Forward(bool training) {

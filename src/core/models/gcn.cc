@@ -36,7 +36,8 @@ Var Gcn::Forward(bool training) {
     h = ag::Dropout(h, config_.dropout, rng_, training);
     Var transformed = layers_[layer].Forward(h);
     Var aggregated = programs_[layer].Run(
-        data_.graph, {.vertex = {{"h", transformed}, {"norm", norm_}}}, backend_);
+        data_.graph, {.vertex = {{"h", transformed}, {"norm", norm_}}}, backend_,
+        {.profiler = profiler()});
     h = ag::AddRowBroadcast(aggregated, biases_[layer]);
     if (!last) {
       h = ag::Relu(h);

@@ -33,7 +33,8 @@ Var Gin::Forward(bool training) {
   for (size_t layer_index = 0; layer_index < layers_.size(); ++layer_index) {
     const Layer& layer = layers_[layer_index];
     const bool last = layer_index + 1 == layers_.size();
-    Var aggregated = layer.program.Run(data_.graph, {.vertex = {{"h", h}}}, backend_);
+    Var aggregated = layer.program.Run(data_.graph, {.vertex = {{"h", h}}}, backend_,
+                                       {.profiler = profiler()});
     h = layer.mlp_out.Forward(ag::Relu(layer.mlp_hidden.Forward(aggregated)));
     if (!last) {
       h = ag::Relu(h);

@@ -14,6 +14,8 @@
 
 namespace seastar {
 
+class Profiler;
+
 class GnnModel {
  public:
   virtual ~GnnModel() = default;
@@ -26,6 +28,15 @@ class GnnModel {
   virtual std::vector<Var> Parameters() const = 0;
 
   virtual const char* name() const = 0;
+
+  // Observability: the training loop installs its run profiler here for the
+  // duration of a run; models thread it into every vertex-program launch via
+  // RunContext. Null (the default) disables all recording.
+  void SetProfiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() const { return profiler_; }
+
+ private:
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace seastar

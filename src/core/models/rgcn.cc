@@ -147,14 +147,15 @@ Var Rgcn::ForwardLayer(const Layer& layer, const Var& h, bool last) {
       Var h_r = ag::Matmul(h, layer.relation_weights[r]);
       Var out_r = layer.per_relation_program.Run(
           relation_subgraphs_[r],
-          {.vertex = {{"h", h_r}}, .edge = {{"norm", relation_edge_norms_[r]}}}, backend);
+          {.vertex = {{"h", h_r}}, .edge = {{"norm", relation_edge_norms_[r]}}}, backend,
+          {.profiler = profiler()});
       aggregated = aggregated.defined() ? ag::Add(aggregated, out_r) : out_r;
     }
   } else {
     Var stack = StackedRelationMatmul(h, layer.relation_weights);  // [R, N, out]
     aggregated = layer.typed_program.Run(
-        data_.graph, {.edge = {{"norm", edge_norm_}}, .typed_vertex = {{"wh", stack}}},
-        backend);
+        data_.graph, {.edge = {{"norm", edge_norm_}}, .typed_vertex = {{"wh", stack}}}, backend,
+        {.profiler = profiler()});
   }
   Var out = ag::Add(aggregated, ag::Matmul(h, layer.self_weight));
   out = ag::AddRowBroadcast(out, layer.bias);

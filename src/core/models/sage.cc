@@ -45,10 +45,12 @@ Var Sage::Forward(bool training) {
 
     Var aggregated;
     if (config_.aggregator == SageAggregator::kMean) {
-      aggregated = layer.program.Run(data_.graph, {.vertex = {{"h", h}}}, backend_);
+      aggregated = layer.program.Run(data_.graph, {.vertex = {{"h", h}}}, backend_,
+                                     {.profiler = profiler()});
     } else {
       Var pooled_in = layer.pool_transform.Forward(h);
-      aggregated = layer.program.Run(data_.graph, {.vertex = {{"p", pooled_in}}}, backend_);
+      aggregated = layer.program.Run(data_.graph, {.vertex = {{"p", pooled_in}}}, backend_,
+                                     {.profiler = profiler()});
     }
     h = ag::Add(layer.self_transform.Forward(h), layer.neighbor_transform.Forward(aggregated));
     if (!last) {

@@ -22,8 +22,7 @@ Sgc::Sgc(const Dataset& data, const SgcConfig& config, const BackendConfig& back
     FeatureMap features;
     features.vertex["h"] = propagated_;
     features.vertex["norm"] = data.gcn_norm;
-    RunResult result =
-        RunWithBackend(backend, propagate.forward(), data.graph, features, nullptr);
+    RunResult result = RunWithBackend(backend, propagate.forward(), data.graph, features);
     propagated_ = result.outputs.at("out");
   }
   propagated_var_ = Var::Leaf(propagated_, /*requires_grad=*/false);

@@ -3,11 +3,77 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/gir/fusion.h"
 #include "src/gir/passes.h"
 #include "src/tensor/ops.h"
 
 namespace seastar {
+namespace {
+
+std::string ShapeString(const std::vector<int64_t>& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    os << (i > 0 ? ", " : "") << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+// Checks that every feature the traced program declared is present with the
+// declared shape, and fails naming the offending input — a mis-bound feature
+// otherwise surfaces as an opaque out-of-bounds read deep inside a kernel.
+void ValidateInputs(const GirGraph& gir, const Graph& graph,
+                    const VertexProgram::Inputs& inputs) {
+  const int64_t num_vertices = graph.num_vertices();
+  const int64_t num_edges = graph.num_edges();
+  for (const Node& node : gir.nodes()) {
+    if (node.kind == OpKind::kInputTypedSrc) {
+      auto it = inputs.typed_vertex.find(node.name);
+      SEASTAR_CHECK(it != inputs.typed_vertex.end())
+          << "vertex program: missing typed_vertex input '" << node.name << "'";
+      const Tensor& value = it->second.value();
+      SEASTAR_CHECK(value.defined()) << "vertex program: typed_vertex input '" << node.name
+                                     << "' is an undefined tensor";
+      SEASTAR_CHECK(value.ndim() == 3 && value.dim(0) == graph.num_edge_types() &&
+                    value.dim(1) == num_vertices && value.dim(2) == node.width)
+          << "vertex program: typed_vertex input '" << node.name << "' has shape "
+          << ShapeString(value.shape()) << ", expected [" << graph.num_edge_types() << ", "
+          << num_vertices << ", " << node.width << "]";
+      continue;
+    }
+    if (node.kind != OpKind::kInput) {
+      continue;
+    }
+    if (node.type == GraphType::kEdge) {
+      auto it = inputs.edge.find(node.name);
+      SEASTAR_CHECK(it != inputs.edge.end())
+          << "vertex program: missing edge input '" << node.name << "'";
+      const Tensor& value = it->second.value();
+      SEASTAR_CHECK(value.defined())
+          << "vertex program: edge input '" << node.name << "' is an undefined tensor";
+      SEASTAR_CHECK(value.ndim() == 2 && value.dim(0) == num_edges && value.dim(1) == node.width)
+          << "vertex program: edge input '" << node.name << "' has shape "
+          << ShapeString(value.shape()) << ", expected [" << num_edges << ", " << node.width
+          << "]";
+    } else {
+      auto it = inputs.vertex.find(node.name);
+      SEASTAR_CHECK(it != inputs.vertex.end())
+          << "vertex program: missing vertex input '" << node.name << "'";
+      const Tensor& value = it->second.value();
+      SEASTAR_CHECK(value.defined())
+          << "vertex program: vertex input '" << node.name << "' is an undefined tensor";
+      SEASTAR_CHECK(value.ndim() == 2 && value.dim(0) == num_vertices &&
+                    value.dim(1) == node.width)
+          << "vertex program: vertex input '" << node.name << "' has shape "
+          << ShapeString(value.shape()) << ", expected [" << num_vertices << ", " << node.width
+          << "]";
+    }
+  }
+}
+
+}  // namespace
 
 struct VertexProgram::Data {
   GirGraph forward;
@@ -37,10 +103,13 @@ const BackwardGir& VertexProgram::backward() const {
   return data_->backward;
 }
 
-Var VertexProgram::Run(const Graph& graph, const Inputs& inputs,
-                       const BackendConfig& config) const {
+Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config,
+                       const RunContext& ctx) const {
   SEASTAR_CHECK(data_ != nullptr);
   const std::shared_ptr<const Data> data = data_;
+  Profiler* profiler = ctx.profiler;
+
+  ValidateInputs(data->forward, graph, inputs);
 
   // Bind runtime tensors.
   FeatureMap features;
@@ -63,8 +132,14 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs,
       forward_retain.push_back(static_cast<int32_t>(fwd_id));
     }
   }
-  RunResult fwd = RunWithBackend(config, data->forward, graph, features, nullptr,
-                                 &forward_retain);
+  RunResult fwd;
+  {
+    ProfileScope forward_span(profiler, "vertex_program/forward", "program");
+    RunContext forward_ctx;
+    forward_ctx.retain = &forward_retain;
+    forward_ctx.profiler = profiler;
+    fwd = RunWithBackend(config, data->forward, graph, features, forward_ctx);
+  }
   SEASTAR_CHECK_EQ(fwd.outputs.size(), 1u);
   Tensor output = fwd.outputs.begin()->second;
 
@@ -120,9 +195,11 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs,
     grad_output_names.push_back(entry.grad_outputs);
   }
 
+  // The profiler pointer is captured raw: it must stay alive until backward
+  // runs (the training loop owns it for the whole step).
   const Graph* graph_ptr = &graph;
-  auto backward_fn = [data, config, features, saved, graph_ptr,
-                      grad_output_names](const Tensor& grad_out) {
+  auto backward_fn = [data, config, features, saved, graph_ptr, grad_output_names,
+                      profiler](const Tensor& grad_out) {
     FeatureMap backward_features = features;
     backward_features.vertex[kGradInputKey] = grad_out;
 
@@ -144,8 +221,16 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs,
 
     // Backward temporaries are released as soon as consumed (empty retain).
     const std::vector<int32_t> no_retain;
-    RunResult bwd = RunWithBackend(config, data->backward.graph, *graph_ptr, backward_features,
-                                   seed_ptr, &no_retain);
+    RunResult bwd;
+    {
+      ProfileScope backward_span(profiler, "vertex_program/backward", "program");
+      RunContext backward_ctx;
+      backward_ctx.seed = seed_ptr;
+      backward_ctx.retain = &no_retain;
+      backward_ctx.profiler = profiler;
+      bwd = RunWithBackend(config, data->backward.graph, *graph_ptr, backward_features,
+                           backward_ctx);
+    }
     std::vector<Tensor> grads;
     grads.reserve(grad_output_names.size());
     for (const auto& names : grad_output_names) {

@@ -48,7 +48,17 @@ class VertexProgram {
 
   // Executes forward under `config` and hooks the backward GIR into the
   // autograd tape. `graph` must outlive the tape (i.e. the training step).
-  Var Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config) const;
+  //
+  // Every feature the traced program declared must be present in `inputs`
+  // with the declared shape ([N, w] vertex, [E, w] edge, [T, N, w] typed);
+  // missing or mis-shaped inputs fail with an error naming the input.
+  //
+  // `ctx.profiler`, when set, records forward/backward program spans plus the
+  // executors' per-unit / per-op spans; seed and retain are managed
+  // internally by the autograd bridge, so callers normally set only the
+  // profiler field.
+  Var Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config,
+          const RunContext& ctx = {}) const;
 
   const GirGraph& forward() const;
   const BackwardGir& backward() const;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/common/stopwatch.h"
 #include "src/core/nn.h"
 #include "src/tensor/allocator.h"
@@ -17,6 +18,10 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
   TrainResult result;
   TensorAllocator& allocator = TensorAllocator::Get();
   allocator.SetSoftBudgetBytes(config.memory_budget_bytes);
+
+  Profiler* profiler =
+      config.profiler != nullptr && config.profiler->enabled() ? config.profiler : nullptr;
+  model.SetProfiler(profiler);
 
   std::vector<Var> parameters = model.Parameters();
   std::unique_ptr<Adam> adam;
@@ -36,15 +41,27 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     Stopwatch epoch_watch;
     allocator.ResetPeak();
 
-    Var logits = model.Forward(/*training=*/true);
-    Var loss = ag::NllLoss(ag::LogSoftmax(logits), data.labels, data.train_mask);
-    Backward(loss, Tensor::Ones({1}));
-    if (adam != nullptr) {
-      adam->Step();
-      adam->ZeroGrad();
-    } else {
-      sgd->Step();
-      sgd->ZeroGrad();
+    ProfileScope epoch_span(profiler, "epoch " + std::to_string(epoch), "train");
+    Var logits;
+    Var loss;
+    {
+      ProfileScope forward_span(profiler, "forward", "train");
+      logits = model.Forward(/*training=*/true);
+      loss = ag::NllLoss(ag::LogSoftmax(logits), data.labels, data.train_mask);
+    }
+    {
+      ProfileScope backward_span(profiler, "backward", "train");
+      Backward(loss, Tensor::Ones({1}));
+    }
+    {
+      ProfileScope step_span(profiler, "optimizer_step", "train");
+      if (adam != nullptr) {
+        adam->Step();
+        adam->ZeroGrad();
+      } else {
+        sgd->Step();
+        sgd->ZeroGrad();
+      }
     }
 
     result.final_loss = loss.value().at(0);
@@ -67,6 +84,7 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     }
   }
 
+  model.SetProfiler(nullptr);
   allocator.SetSoftBudgetBytes(0);
   result.total_seconds = total_watch.ElapsedSeconds();
   result.avg_epoch_ms = timed_epochs > 0 ? timed_ms / timed_epochs : 0.0;

@@ -13,6 +13,8 @@
 
 namespace seastar {
 
+class Profiler;
+
 struct TrainConfig {
   int epochs = 200;
   int warmup_epochs = 3;  // Discarded from timing (paper §7).
@@ -22,6 +24,10 @@ struct TrainConfig {
   // training stops and the result is flagged oom.
   uint64_t memory_budget_bytes = 0;
   bool verbose = false;
+  // When set, the loop installs this profiler on the model for the run and
+  // records epoch / forward / backward / optimizer spans around the
+  // executors' per-unit spans. Null = no recording, no overhead.
+  Profiler* profiler = nullptr;
 };
 
 struct TrainResult {

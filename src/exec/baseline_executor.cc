@@ -7,9 +7,11 @@
 #include <functional>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/exec/kernel_counter.h"
 #include "src/exec/pointwise.h"
 #include "src/parallel/thread_pool.h"
+#include "src/tensor/allocator.h"
 
 namespace seastar {
 namespace {
@@ -74,8 +76,17 @@ struct EdgeOperand {
 }  // namespace
 
 RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
-                                const FeatureMap& features, const SeedMap* seed,
-                                const std::vector<int32_t>* retain) const {
+                                const FeatureMap& features, const RunContext& ctx) const {
+  const SeedMap* seed = ctx.seed;
+  const std::vector<int32_t>* retain = ctx.retain;
+  Profiler* profiler =
+      ctx.profiler != nullptr && ctx.profiler->enabled() ? ctx.profiler : nullptr;
+  ProfileScope run_span(profiler,
+                        options_.flavor == BaselineFlavor::kDglLike ? "dgl" : "pyg", "exec");
+  const uint64_t run_live_before = TensorAllocator::Get().live_bytes();
+  const uint64_t run_peak_before = TensorAllocator::Get().peak_bytes();
+  const int64_t run_launches_before = KernelLaunchCount();
+
   const int64_t num_vertices = graph.num_vertices();
   const int64_t num_edges = graph.num_edges();
   const int32_t num_types = graph.num_edge_types();
@@ -457,22 +468,14 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
   };
 
   // ---- Main interpretation loop ------------------------------------------------------------------
-  for (const Node& node : gir.nodes()) {
-    if (seed != nullptr) {
-      auto it = seed->find(node.id);
-      if (it != seed->end()) {
-        (*saved)[node.id] = it->second;
-        continue;
-      }
-    }
-    if (fused_away[static_cast<size_t>(node.id)]) {
-      continue;
-    }
+  // One operator evaluation, factored out so the loop below can wrap it in a
+  // profiler span without duplicating the dispatch.
+  const auto exec_node = [&](const Node& node) {
     switch (node.kind) {
       case OpKind::kConst:
         scalar_value[static_cast<size_t>(node.id)] = node.attr;
         is_scalar[static_cast<size_t>(node.id)] = true;
-        continue;
+        return;
       case OpKind::kInput: {
         if (node.type == GraphType::kEdge) {
           auto it = features.edge.find(node.name);
@@ -484,14 +487,14 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
               << "missing vertex feature '" << node.name << "'";
           (*saved)[node.id] = it->second;
         }
-        continue;
+        return;
       }
       case OpKind::kInputTypedSrc: {
         auto it = features.typed_vertex.find(node.name);
         SEASTAR_CHECK(it != features.typed_vertex.end())
             << "missing typed feature '" << node.name << "'";
         (*saved)[node.id] = it->second;
-        continue;
+        return;
       }
       case OpKind::kDegree: {
         Tensor degree({num_vertices, 1});
@@ -501,7 +504,7 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
                                                    : graph.OutDegree(static_cast<int32_t>(v)));
         }
         (*saved)[node.id] = std::move(degree);
-        continue;
+        return;
       }
       default:
         break;
@@ -537,7 +540,7 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
       }
       scalar_value[static_cast<size_t>(node.id)] = value;
       is_scalar[static_cast<size_t>(node.id)] = true;
-      continue;
+      return;
     }
 
     if (IsAggregation(node.kind)) {
@@ -547,13 +550,13 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
         (*saved)[node.id] = eval_aggregate(node);
       }
       release_inputs(node);
-      continue;
+      return;
     }
 
     if (node.type == GraphType::kEdge) {
       (*saved)[node.id] = eval_edge_pointwise(node);
       release_inputs(node);
-      continue;
+      return;
     }
 
     // Vertex-wise pointwise op (S- or D-typed): plain tensor kernel.
@@ -591,6 +594,48 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
       (*saved)[node.id] = std::move(out);
       release_inputs(node);
     }
+  };
+
+  for (const Node& node : gir.nodes()) {
+    if (seed != nullptr) {
+      auto it = seed->find(node.id);
+      if (it != seed->end()) {
+        (*saved)[node.id] = it->second;
+        continue;
+      }
+    }
+    if (fused_away[static_cast<size_t>(node.id)]) {
+      continue;
+    }
+    // Leaves and scalar params are bookkeeping, not kernels — keep them out
+    // of the trace so per-op spans correspond to launched kernels.
+    const bool is_kernel = node.kind != OpKind::kConst && node.kind != OpKind::kInput &&
+                           node.kind != OpKind::kInputTypedSrc && node.type != GraphType::kParam;
+    if (profiler == nullptr || !is_kernel) {
+      exec_node(node);
+      continue;
+    }
+    ProfileScope op_span(profiler, OpKindName(node.kind), "op");
+    const uint64_t live_before = TensorAllocator::Get().live_bytes();
+    const uint64_t peak_before = TensorAllocator::Get().peak_bytes();
+    const int64_t launches_before = KernelLaunchCount();
+    exec_node(node);
+    if (ProfileEvent* event = op_span.event()) {
+      // Edge-wise ops and aggregations are the graph-traversal kernels; the
+      // rest are plain vertex/param tensor kernels.
+      if (IsAggregation(node.kind) || node.type == GraphType::kEdge) {
+        event->edges = num_edges;
+      }
+      auto out_it = saved->find(node.id);
+      if (out_it != saved->end()) {
+        event->bytes_materialized = static_cast<int64_t>(out_it->second.nbytes());
+      }
+      event->kernel_launches = KernelLaunchCount() - launches_before;
+      event->alloc_delta_bytes = static_cast<int64_t>(TensorAllocator::Get().live_bytes()) -
+                                 static_cast<int64_t>(live_before);
+      event->peak_delta_bytes = static_cast<int64_t>(TensorAllocator::Get().peak_bytes()) -
+                                static_cast<int64_t>(peak_before);
+    }
   }
 
   RunResult result;
@@ -598,6 +643,14 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
   for (size_t i = 0; i < gir.outputs().size(); ++i) {
     const int32_t id = gir.outputs()[i];
     result.outputs[gir.output_names()[i]] = value_of(id);
+  }
+
+  if (ProfileEvent* event = run_span.event()) {
+    event->kernel_launches = KernelLaunchCount() - run_launches_before;
+    event->alloc_delta_bytes = static_cast<int64_t>(TensorAllocator::Get().live_bytes()) -
+                               static_cast<int64_t>(run_live_before);
+    event->peak_delta_bytes = static_cast<int64_t>(TensorAllocator::Get().peak_bytes()) -
+                              static_cast<int64_t>(run_peak_before);
   }
   return result;
 }

@@ -40,18 +40,23 @@ class BaselineExecutor {
  public:
   explicit BaselineExecutor(BaselineExecutorOptions options = {}) : options_(options) {}
 
-  // `seed` maps node ids to already-known values (the forward intermediates
-  // saved by a previous Run) — seeded nodes are not recomputed, modelling
-  // autograd backward functions reading their saved tensors.
+  // `ctx.seed` maps node ids to already-known values (the forward
+  // intermediates saved by a previous Run) — seeded nodes are not
+  // recomputed, modelling autograd backward functions reading their saved
+  // tensors.
   //
-  // `retain` (optional) lists node ids whose values must survive the run —
-  // the tensors autograd saves for backward. When given, every other
+  // `ctx.retain` (optional) lists node ids whose values must survive the
+  // run — the tensors autograd saves for backward. When given, every other
   // intermediate is freed as soon as its last consumer has executed, the way
   // a real tensor framework releases temporaries; when null, everything is
   // kept (useful for tests and for seeding).
+  //
+  // `ctx.profiler`, when set, receives one span per operator kernel with
+  // edges traversed, bytes materialized, kernel-launch and allocator
+  // watermark deltas — the whole-graph tensor-system counterpart of the
+  // Seastar executor's per-unit spans.
   RunResult Run(const GirGraph& gir, const Graph& graph, const FeatureMap& features,
-                const SeedMap* seed = nullptr,
-                const std::vector<int32_t>* retain = nullptr) const;
+                const RunContext& ctx = {}) const;
 
   const BaselineExecutorOptions& options() const { return options_; }
 

@@ -6,9 +6,11 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/exec/kernel_counter.h"
 #include "src/exec/pointwise.h"
 #include "src/parallel/thread_pool.h"
+#include "src/tensor/allocator.h"
 
 namespace seastar {
 namespace {
@@ -104,6 +106,27 @@ inline void AtomicStoreRow(float* dst, const float* src, int32_t width) {
   }
 }
 
+// Trace label for a fused unit: "unit3:Mul+AggSum".
+std::string UnitLabel(const GirGraph& gir, const FusedUnit& fused, size_t index) {
+  std::string label = "unit" + std::to_string(index) + ":";
+  for (size_t i = 0; i < fused.nodes.size(); ++i) {
+    if (label.size() > 48) {
+      label += "+…";
+      break;
+    }
+    if (i > 0) {
+      label += "+";
+    }
+    label += OpKindName(gir.node(fused.nodes[i]).kind);
+  }
+  return label;
+}
+
+// Per-worker hot-loop counter, cacheline-padded against false sharing.
+struct alignas(64) WorkerEdgeCount {
+  int64_t edges = 0;
+};
+
 }  // namespace
 
 ExecutionPlan SeastarExecutor::Plan(const GirGraph& gir) const {
@@ -113,7 +136,15 @@ ExecutionPlan SeastarExecutor::Plan(const GirGraph& gir) const {
 }
 
 RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
-                               const FeatureMap& features, const SeedMap* /*seed*/) const {
+                               const FeatureMap& features, const RunContext& ctx) const {
+  // Hoisted once: with no (enabled) profiler installed every hook below is a
+  // null-pointer test on the orchestration path only.
+  Profiler* profiler =
+      ctx.profiler != nullptr && ctx.profiler->enabled() ? ctx.profiler : nullptr;
+  ProfileScope run_span(profiler, "seastar", "exec");
+  const uint64_t run_live_before = TensorAllocator::Get().live_bytes();
+  const uint64_t run_peak_before = TensorAllocator::Get().peak_bytes();
+
   const ExecutionPlan plan = Plan(gir);
   const int64_t num_vertices = graph.num_vertices();
   const int64_t num_edges = graph.num_edges();
@@ -234,7 +265,11 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
   };
 
   // ---- Compile and run each unit ----------------------------------------------------------------
-  for (const FusedUnit& fused : plan.units) {
+  for (size_t unit_index = 0; unit_index < plan.units.size(); ++unit_index) {
+    const FusedUnit& fused = plan.units[unit_index];
+    ProfileScope unit_span(
+        profiler, profiler != nullptr ? UnitLabel(gir, fused, unit_index) : std::string(),
+        "unit");
     AddKernelLaunches(1);
     CompiledUnit unit;
     unit.orientation = fused.orientation;
@@ -350,15 +385,24 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
     const int64_t typed_stride = num_vertices;
     const FatGeometry geometry =
         FatGeometry::Compute(num_vertices, unit.max_width, options_.block_size);
+    SimtLaunchStats launch_stats;
     SimtLaunchParams launch;
     launch.num_blocks = geometry.num_blocks;
     launch.schedule = options_.schedule;
     launch.chunk_size = options_.dynamic_chunk;
+    launch.stats = profiler != nullptr ? &launch_stats : nullptr;
 
     const int num_workers = ThreadPool::Get().num_threads() + 1;
     std::vector<std::vector<float>> scratch_per_worker(
         static_cast<size_t>(num_workers),
         std::vector<float>(static_cast<size_t>(std::max(unit.scratch_floats, 1))));
+
+    // Profiling-only per-worker traversal counters, merged after the launch
+    // (never touched when profiling is off; one padded slot per worker so
+    // the edge loop stays contention-free when it is on).
+    std::vector<WorkerEdgeCount> edge_counts(
+        profiler != nullptr ? static_cast<size_t>(num_workers) : 0);
+    WorkerEdgeCount* edge_slots = edge_counts.empty() ? nullptr : edge_counts.data();
 
     LaunchBlocks(launch, [&](int64_t block_id, int worker) {
       float* scratch = scratch_per_worker[static_cast<size_t>(worker)].data();
@@ -402,6 +446,9 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
         const int64_t end = unit.needs_edge_loop ? csr.offsets[static_cast<size_t>(k) + 1] : 0;
         const int64_t degree = end - begin;
         int32_t prev_type = -1;
+        if (edge_slots != nullptr) {
+          edge_slots[worker].edges += degree;
+        }
 
         // 3. Edge-sequential loop (Alg. 1 lines 8-14).
         for (int64_t slot = begin; slot < end; ++slot) {
@@ -525,6 +572,40 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
         }
       }
     });
+
+    if (ProfileEvent* event = unit_span.event()) {
+      int64_t edges = 0;
+      for (const WorkerEdgeCount& count : edge_counts) {
+        edges += count.edges;
+      }
+      event->edges = edges;
+      event->fat_groups = num_vertices;
+      event->fat_group_size = geometry.group_size;
+      event->num_blocks = geometry.num_blocks;
+      event->block_size = geometry.block_size;
+      event->dispatches = launch_stats.dispatches;
+      event->schedule = BlockScheduleName(options_.schedule);
+      event->kernel_launches = 1;
+      for (int32_t id : fused.nodes) {
+        if (!plan.materialized[static_cast<size_t>(id)]) {
+          continue;
+        }
+        const Node& node = gir.node(id);
+        const int64_t rows = node.kind == OpKind::kAggTypedToSrc
+                                 ? static_cast<int64_t>(num_types) * num_vertices
+                                 : (node.type == GraphType::kEdge ? num_edges : num_vertices);
+        event->bytes_materialized += rows * node.width * static_cast<int64_t>(sizeof(float));
+      }
+    }
+  }
+
+  if (ProfileEvent* event = run_span.event()) {
+    const TensorAllocator& allocator = TensorAllocator::Get();
+    event->kernel_launches = static_cast<int64_t>(plan.units.size());
+    event->alloc_delta_bytes = static_cast<int64_t>(allocator.live_bytes()) -
+                               static_cast<int64_t>(run_live_before);
+    event->peak_delta_bytes = static_cast<int64_t>(allocator.peak_bytes()) -
+                              static_cast<int64_t>(run_peak_before);
   }
 
   RunResult result;

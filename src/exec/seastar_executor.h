@@ -44,11 +44,15 @@ class SeastarExecutor {
  public:
   explicit SeastarExecutor(SeastarExecutorOptions options = {}) : options_(options) {}
 
-  // Executes `gir` over `graph` with `features`. `seed` is accepted for
-  // interface parity with the baselines but ignored: Seastar recomputes
-  // intra-unit values in backward kernels instead of saving them (§6.3.4).
+  // Executes `gir` over `graph` with `features`. `ctx.seed` / `ctx.retain`
+  // are accepted for interface parity with the baselines but ignored:
+  // Seastar recomputes intra-unit values in backward kernels instead of
+  // saving them (§6.3.4), and only materializes unit-crossing values in the
+  // first place. `ctx.profiler`, when set, receives one span per fused unit
+  // with the §6.3 kernel counters (FAT geometry, dispatch grants, edges
+  // traversed, bytes materialized, allocator watermark deltas).
   RunResult Run(const GirGraph& gir, const Graph& graph, const FeatureMap& features,
-                const SeedMap* seed = nullptr) const;
+                const RunContext& ctx = {}) const;
 
   ExecutionPlan Plan(const GirGraph& gir) const;
 

@@ -29,6 +29,16 @@ void LaunchBlocks(const SimtLaunchParams& params,
   ThreadPool& pool = ThreadPool::Get();
   const int participants = pool.num_threads() + 1;
 
+  // Each worker counts its grants locally and merges once on exit; the hot
+  // dispatch loops never touch shared profiling state.
+  const auto merge_stats = [stats = params.stats](int64_t dispatches, int64_t blocks) {
+    if (stats == nullptr) {
+      return;
+    }
+    std::atomic_ref<int64_t>(stats->dispatches).fetch_add(dispatches, std::memory_order_relaxed);
+    std::atomic_ref<int64_t>(stats->blocks_run).fetch_add(blocks, std::memory_order_relaxed);
+  };
+
   switch (params.schedule) {
     case BlockSchedule::kStatic: {
       const int64_t per_worker = (num_blocks + participants - 1) / participants;
@@ -38,19 +48,23 @@ void LaunchBlocks(const SimtLaunchParams& params,
         for (int64_t b = begin; b < end; ++b) {
           body(b, worker);
         }
+        merge_stats(end > begin ? 1 : 0, std::max<int64_t>(0, end - begin));
       });
       return;
     }
     case BlockSchedule::kAtomicPerBlock: {
       std::atomic<int64_t> next{0};
       pool.RunOnAllWorkers([&](int worker) {
+        int64_t grants = 0;
         for (;;) {
           // One contended RMW per block: this is the cost the paper's
           // FA+Sorting+Atomic variant pays and FA+Sorting+Dynamic avoids.
           const int64_t b = next.fetch_add(1, std::memory_order_relaxed);
           if (b >= num_blocks) {
+            merge_stats(grants, grants);
             return;
           }
+          ++grants;
           body(b, worker);
         }
       });
@@ -60,12 +74,17 @@ void LaunchBlocks(const SimtLaunchParams& params,
       const int64_t chunk = std::max<int64_t>(1, params.chunk_size);
       std::atomic<int64_t> next{0};
       pool.RunOnAllWorkers([&](int worker) {
+        int64_t grants = 0;
+        int64_t blocks = 0;
         for (;;) {
           const int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
           if (begin >= num_blocks) {
+            merge_stats(grants, blocks);
             return;
           }
           const int64_t end = std::min(begin + chunk, num_blocks);
+          ++grants;
+          blocks += end - begin;
           for (int64_t b = begin; b < end; ++b) {
             body(b, worker);
           }

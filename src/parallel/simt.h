@@ -39,11 +39,24 @@ enum class BlockSchedule {
 
 const char* BlockScheduleName(BlockSchedule schedule);
 
+// Dispatch accounting for one launch, filled when SimtLaunchParams.stats is
+// set. A "dispatch" is one successful work grant from the block scheduler:
+// one claimed range under kStatic, one fetch_add that yielded a block under
+// kAtomicPerBlock, one claimed chunk under kChunkedDynamic — the quantity
+// whose per-mode contrast §6.3.3 is about. Workers count locally and merge
+// once at exit, so the accounting adds no contention of its own.
+struct SimtLaunchStats {
+  int64_t dispatches = 0;
+  int64_t blocks_run = 0;
+};
+
 struct SimtLaunchParams {
   int64_t num_blocks = 0;
   BlockSchedule schedule = BlockSchedule::kChunkedDynamic;
   // Blocks claimed per dispatch for kChunkedDynamic.
   int64_t chunk_size = 16;
+  // Optional dispatch accounting (profiling); null = off.
+  SimtLaunchStats* stats = nullptr;
 };
 
 // Executes body(block_id, worker_index) for every block id in [0, num_blocks)

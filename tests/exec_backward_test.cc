@@ -201,7 +201,7 @@ TEST(ExecBackwardTest, AllBackendsComputeSameGradients) {
         seed.emplace(bwd_id, it->second);
       }
     }
-    RunResult rb = baseline->Run(p.backward.graph, g, bwd_features, &seed);
+    RunResult rb = baseline->Run(p.backward.graph, g, bwd_features, {.seed = &seed});
     for (const InputGradInfo& info : p.backward.input_grads) {
       SCOPED_TRACE(info.output_name);
       EXPECT_TRUE(rs.outputs.at(info.output_name).AllClose(rb.outputs.at(info.output_name), 1e-3f));
