@@ -2,6 +2,12 @@
 // with the Seastar backend.
 //
 //   ./quickstart [--epochs=50] [--backend=seastar|dgl|pyg] [--scale=1.0]
+//               [--checkpoint=gcn.ckpt] [--resume]
+//
+// With --checkpoint the run snapshots its full training state (parameters,
+// Adam moments, RNG stream, epoch) every 10 epochs, atomically; kill it at
+// any point and re-run with --resume to continue to the same final loss as
+// an uninterrupted run. See docs/INTERNALS.md §9.
 //
 // The model's graph kernel is the one-liner of the paper's Fig. 3:
 //
@@ -21,6 +27,12 @@ int main(int argc, char** argv) {
   const int64_t epochs = FlagInt(argc, argv, "epochs", 50);
   const std::string backend_name = FlagValue(argc, argv, "backend", "seastar");
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
+  const std::string checkpoint_path = FlagValue(argc, argv, "checkpoint", "");
+  const bool resume = FlagBool(argc, argv, "resume", false);
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint=<path>\n");
+    return 1;
+  }
 
   // 1. Data: a synthetic stand-in for cora (same |V|, |E|, feature width).
   DatasetOptions options;
@@ -46,7 +58,14 @@ int main(int argc, char** argv) {
   train.epochs = static_cast<int>(epochs);
   train.warmup_epochs = 3;
   train.verbose = true;
+  train.checkpoint_path = checkpoint_path;
+  train.checkpoint_every = checkpoint_path.empty() ? 0 : 10;
+  train.resume = resume;
   TrainResult result = TrainNodeClassification(model, data, train);
+  if (result.failed) {
+    std::fprintf(stderr, "training failed: %s\n", result.error.c_str());
+    return 2;
+  }
 
   std::printf("\nbackend           : %s\n", BackendName(backend.backend));
   std::printf("epochs            : %d\n", result.epochs_run);

@@ -11,11 +11,19 @@
 //        --scale --max-feat --hidden --budget-gb --csv
 //        --edges=<file.tsv|file.mtx>  (train on your own graph instead)
 //        --profile=<trace.json>  (Chrome-trace of the run; see docs/INTERNALS.md)
+//
+// Fault tolerance (docs/INTERNALS.md §9):
+//        --checkpoint=<path>       checkpoint file (written atomically)
+//        --checkpoint-every=<n>    snapshot cadence in epochs (default 10)
+//        --resume                  restore from --checkpoint before training
+//        --max-retries=<n>         rollback + lr-backoff budget (default 3)
+//        --faults=<spec>           arm the fault injector, e.g. "alloc:after=100"
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
 #include "src/common/string_util.h"
@@ -55,11 +63,14 @@ RgcnMode RgcnModeFromString(const std::string& name) {
 }
 
 // Wraps a user-supplied edge list as a Dataset with synthetic features.
-Dataset DatasetFromEdgeFile(const std::string& path, int64_t feature_dim, int64_t num_classes) {
-  std::optional<Graph> graph = StartsWith(path, "mm:") || path.ends_with(".mtx")
-                                   ? LoadMatrixMarket(path)
-                                   : LoadEdgeListTsv(path);
-  SEASTAR_CHECK(graph.has_value()) << "failed to load " << path;
+StatusOr<Dataset> DatasetFromEdgeFile(const std::string& path, int64_t feature_dim,
+                                      int64_t num_classes) {
+  StatusOr<Graph> graph = StartsWith(path, "mm:") || path.ends_with(".mtx")
+                              ? LoadMatrixMarket(path)
+                              : LoadEdgeListTsv(path);
+  if (!graph.has_value()) {
+    return graph.status();
+  }
   Dataset data;
   data.spec.name = path;
   data.spec.num_vertices = graph->num_vertices();
@@ -104,16 +115,55 @@ int Run(int argc, char** argv) {
   const double budget_gb = FlagDouble(argc, argv, "budget-gb", 0.0);
   const bool csv = FlagBool(argc, argv, "csv", false);
   const std::string profile_path = FlagValue(argc, argv, "profile", "");
+  const std::string checkpoint_path = FlagValue(argc, argv, "checkpoint", "");
+  const int64_t checkpoint_every = FlagInt(argc, argv, "checkpoint-every", 10);
+  const bool resume = FlagBool(argc, argv, "resume", false);
+  const int64_t max_retries = FlagInt(argc, argv, "max-retries", 3);
+  const std::string fault_spec = FlagValue(argc, argv, "faults", "");
+
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint=<path>\n");
+    return 1;
+  }
+  if (checkpoint_every <= 0) {
+    std::fprintf(stderr, "--checkpoint-every must be positive (got %lld)\n",
+                 static_cast<long long>(checkpoint_every));
+    return 1;
+  }
+  if (max_retries < 0) {
+    std::fprintf(stderr, "--max-retries must be non-negative (got %lld)\n",
+                 static_cast<long long>(max_retries));
+    return 1;
+  }
+  if (!fault_spec.empty()) {
+    std::string fault_error;
+    if (!FaultInjector::Get().ConfigureFromSpec(fault_spec, &fault_error)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", fault_error.c_str());
+      return 1;
+    }
+  }
+  FaultInjector::Get().ConfigureFromEnv();
 
   Dataset data;
   if (!edge_file.empty()) {
-    data = DatasetFromEdgeFile(edge_file, max_feat, 8);
+    StatusOr<Dataset> loaded = DatasetFromEdgeFile(edge_file, max_feat, 8);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "cannot load --edges graph: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = *std::move(loaded);
   } else {
     DatasetOptions options;
     options.scale = scale;
     options.max_feature_dim = max_feat;
     options.add_self_loops = model_name != "rgcn";
-    data = MakeDatasetByName(dataset_name, options);
+    StatusOr<Dataset> made = TryMakeDatasetByName(dataset_name, options);
+    if (!made.has_value()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    data = *std::move(made);
   }
 
   const std::optional<Backend> parsed_backend = BackendFromString(backend_name);
@@ -180,6 +230,10 @@ int Run(int argc, char** argv) {
   train.warmup_epochs = warmup;
   train.learning_rate = lr;
   train.verbose = !csv;
+  train.checkpoint_path = checkpoint_path;
+  train.checkpoint_every = checkpoint_path.empty() ? 0 : static_cast<int>(checkpoint_every);
+  train.resume = resume;
+  train.max_retries = static_cast<int>(max_retries);
   if (budget_gb > 0.0) {
     train.memory_budget_bytes = static_cast<uint64_t>(budget_gb * 1024.0 * 1024.0 * 1024.0);
   }
@@ -188,6 +242,16 @@ int Run(int argc, char** argv) {
     train.profiler = &profiler;
   }
   TrainResult result = TrainNodeClassification(*model, data, train);
+
+  for (const RecoveryEvent& event : result.recovery_events) {
+    std::fprintf(stderr, "recovery: epoch %d %s (%s) retry %d -> rollback to epoch %d, lr %g\n",
+                 event.epoch, event.kind.c_str(), event.detail.c_str(), event.retry,
+                 event.rollback_epoch, event.lr_after);
+  }
+  if (result.failed) {
+    std::fprintf(stderr, "training failed: %s\n", result.error.c_str());
+    return 2;
+  }
 
   if (!profile_path.empty()) {
     if (profiler.WriteChromeTrace(profile_path)) {
@@ -214,6 +278,17 @@ int Run(int argc, char** argv) {
                 result.epochs_run, result.avg_epoch_ms, result.final_loss,
                 result.train_accuracy, HumanBytes(result.peak_bytes).c_str(),
                 result.oom ? " [OOM]" : "");
+    if (result.start_epoch > 0) {
+      std::printf("resumed at epoch %d from %s\n", result.start_epoch, checkpoint_path.c_str());
+    }
+    if (result.checkpoints_written > 0) {
+      std::printf("checkpoints: %d written to %s\n", result.checkpoints_written,
+                  checkpoint_path.c_str());
+    }
+    if (result.rollbacks > 0) {
+      std::printf("recoveries: %d rollback(s), final lr after backoff preserved in checkpoint\n",
+                  result.rollbacks);
+    }
   }
   return 0;
 }

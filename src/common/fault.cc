@@ -1,0 +1,194 @@
+#include "src/common/fault.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace seastar {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kTensorAlloc:
+      return "alloc";
+    case FaultSite::kSimtWorker:
+      return "simt_worker";
+    case FaultSite::kCheckpointWrite:
+      return "ckpt_write";
+    case FaultSite::kCheckpointRead:
+      return "ckpt_read";
+    case FaultSite::kGraphRead:
+      return "graph_read";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "?";
+}
+
+std::optional<FaultSite> FaultSiteFromString(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(FaultSite::kNumSites); ++i) {
+    if (name == FaultSiteName(static_cast<FaultSite>(i))) {
+      return static_cast<FaultSite>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultSite site, int64_t after_n, int64_t count) {
+  SEASTAR_CHECK_GE(after_n, 0);
+  SEASTAR_CHECK_GT(count, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[static_cast<int>(site)];
+  state = SiteState();
+  state.armed = true;
+  state.fail_after = after_n;
+  state.fail_count = count;
+  RecomputeArmedMask();
+}
+
+void FaultInjector::ArmProbabilistic(FaultSite site, double probability, uint64_t seed) {
+  SEASTAR_CHECK_GE(probability, 0.0);
+  SEASTAR_CHECK_LE(probability, 1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[static_cast<int>(site)];
+  state = SiteState();
+  state.armed = true;
+  state.probability = probability;
+  state.rng.emplace(seed);
+  RecomputeArmedMask();
+}
+
+void FaultInjector::Disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[static_cast<int>(site)] = SiteState();
+  RecomputeArmedMask();
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SiteState& state : sites_) {
+    state = SiteState();
+  }
+  RecomputeArmedMask();
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[static_cast<int>(site)];
+  if (!state.armed) {
+    return false;
+  }
+  const int64_t hit = state.hits++;
+  bool fail;
+  if (state.rng.has_value()) {
+    fail = state.rng->NextBernoulli(state.probability);
+  } else {
+    fail = hit >= state.fail_after && hit < state.fail_after + state.fail_count;
+  }
+  if (fail) {
+    ++state.injected;
+  }
+  return fail;
+}
+
+int64_t FaultInjector::hits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_[static_cast<int>(site)].hits;
+}
+
+int64_t FaultInjector::injected(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_[static_cast<int>(site)].injected;
+}
+
+bool FaultInjector::ConfigureFromSpec(const std::string& spec, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  for (const std::string& site_spec : Split(spec, ';')) {
+    if (site_spec.empty()) {
+      continue;
+    }
+    const std::vector<std::string> pieces = Split(site_spec, ':');
+    const std::optional<FaultSite> site = FaultSiteFromString(pieces[0]);
+    if (!site.has_value()) {
+      return fail("unknown fault site '" + pieces[0] +
+                  "' (alloc|simt_worker|ckpt_write|ckpt_read|graph_read)");
+    }
+    int64_t after = -1;
+    int64_t count = 1;
+    double probability = -1.0;
+    uint64_t seed = 0x5ea57a2021ull;
+    for (size_t i = 1; i < pieces.size(); ++i) {
+      const std::vector<std::string> kv = Split(pieces[i], '=');
+      if (kv.size() != 2 || kv[1].empty()) {
+        return fail("malformed trigger '" + pieces[i] + "' in '" + site_spec + "'");
+      }
+      try {
+        if (kv[0] == "after") {
+          after = std::stoll(kv[1]);
+        } else if (kv[0] == "count") {
+          count = std::stoll(kv[1]);
+        } else if (kv[0] == "p") {
+          probability = std::stod(kv[1]);
+        } else if (kv[0] == "seed") {
+          seed = static_cast<uint64_t>(std::stoull(kv[1]));
+        } else {
+          return fail("unknown trigger key '" + kv[0] + "' (after|count|p|seed)");
+        }
+      } catch (...) {
+        return fail("bad number '" + kv[1] + "' in '" + pieces[i] + "'");
+      }
+    }
+    if (probability >= 0.0 && after >= 0) {
+      return fail("'" + site_spec + "': choose either after= or p=, not both");
+    }
+    if (probability >= 0.0) {
+      if (probability > 1.0) {
+        return fail("probability out of [0,1] in '" + site_spec + "'");
+      }
+      ArmProbabilistic(*site, probability, seed);
+    } else if (after >= 0) {
+      if (count <= 0) {
+        return fail("count must be positive in '" + site_spec + "'");
+      }
+      Arm(*site, after, count);
+    } else {
+      Arm(*site, /*after_n=*/0, /*count=*/1);  // Bare site name: fail the first hit.
+    }
+  }
+  return true;
+}
+
+void FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("SEASTAR_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') {
+    return;
+  }
+  std::string error;
+  if (!ConfigureFromSpec(spec, &error)) {
+    SEASTAR_LOG(Warning) << "ignoring malformed SEASTAR_FAULTS: " << error;
+    return;
+  }
+  SEASTAR_LOG(Info) << "fault injection armed from SEASTAR_FAULTS: " << spec;
+}
+
+void FaultInjector::RecomputeArmedMask() {
+  uint32_t mask = 0;
+  for (int i = 0; i < static_cast<int>(FaultSite::kNumSites); ++i) {
+    if (sites_[i].armed) {
+      mask |= 1u << i;
+    }
+  }
+  armed_sites_.store(mask, std::memory_order_relaxed);
+}
+
+}  // namespace seastar

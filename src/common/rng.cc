@@ -26,6 +26,24 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) {
+    state.words[i] = state_[i];
+  }
+  state.have_cached_gaussian = have_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = state.words[i];
+  }
+  have_cached_gaussian_ = state.have_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 uint64_t Rng::NextUint64() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -26,10 +26,22 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+// Serializable snapshot of an Rng (xoshiro words + Box-Muller cache).
+// Restoring it makes the stream continue exactly where the snapshot was
+// taken, which is what checkpoint/resume needs for bit-identical training.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool have_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 // xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5ea57a2021ull);  // "seastar 2021"
+
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
   // Uniform over the full 64-bit range.
   uint64_t NextUint64();

@@ -1,0 +1,127 @@
+// Status / StatusOr: recoverable-error propagation for operations whose
+// failure is an environmental condition, not a programming error.
+//
+// CHECK (logging.h) stays the tool for invariants; Status is for everything
+// the process must survive: unreadable or corrupt files, truncated
+// checkpoints, exhausted memory budgets, injected faults. Errors carry a
+// code plus a human-readable message that names the failing resource (file
+// path, byte offset, line number) so a recovery log is actionable.
+//
+// StatusOr<T> is deliberately interface-compatible with std::optional<T>
+// (has_value / operator bool / operator* / value) so call sites written
+// against the old optional-returning loaders keep compiling, while new code
+// can ask status() *why* the value is missing.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // Malformed input (bad flag value, bad file contents).
+  kNotFound,           // Missing file / unknown name.
+  kDataLoss,           // Corruption detected (bad magic, checksum mismatch, truncation).
+  kResourceExhausted,  // Memory budget breach / injected allocation failure.
+  kUnavailable,        // Transient I/O failure; retrying may succeed.
+  kInternal,           // Invariant violated while recovering (should not happen).
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: ckpt.bin: checksum mismatch at offset 128" / "OK".
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Stream-style builder: return ErrorStatus(kDataLoss) << path << ": bad magic";
+class ErrorStatus {
+ public:
+  explicit ErrorStatus(StatusCode code) : code_(code) {}
+
+  template <typename T>
+  ErrorStatus& operator<<(const T& part) {
+    stream_ << part;
+    return *this;
+  }
+
+  operator Status() const { return Status::Error(code_, stream_.str()); }  // NOLINT
+
+ private:
+  StatusCode code_;
+  std::ostringstream stream_;
+};
+
+// A value or the Status explaining its absence. Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SEASTAR_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(const ErrorStatus& error) : StatusOr(static_cast<Status>(error)) {}  // NOLINT
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  // The error when has_value() is false; OK otherwise.
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    SEASTAR_CHECK(has_value()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    SEASTAR_CHECK(has_value()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SEASTAR_CHECK(has_value()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,322 @@
+#include "src/core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/fault.h"
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+// Serialized header: magic + version + payload size + checksum.
+constexpr size_t kHeaderBytes = sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+// Decode-time guard against absurd counts from corrupt length fields that
+// happen to pass the checksum of a truncated read path.
+constexpr uint64_t kSanityLimit = uint64_t{1} << 32;
+
+// ---- payload writer ------------------------------------------------------------------------------
+
+class PayloadWriter {
+ public:
+  template <typename T>
+  void Pod(const T& value) {
+    const char* bytes = reinterpret_cast<const char*>(&value);
+    buffer_.append(bytes, sizeof(T));
+  }
+
+  void Bytes(const void* data, size_t size) {
+    buffer_.append(reinterpret_cast<const char*>(data), size);
+  }
+
+  void TensorValue(const Tensor& t) {
+    Pod(static_cast<uint32_t>(t.ndim()));
+    for (int64_t axis = 0; axis < t.ndim(); ++axis) {
+      Pod(static_cast<int64_t>(t.dim(static_cast<size_t>(axis))));
+    }
+    Bytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+// ---- payload reader ------------------------------------------------------------------------------
+
+// Cursor over the verified payload. Reads that run past the end set a
+// Status naming the absolute file offset, checked once by the caller.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& payload, const std::string& path)
+      : payload_(payload), path_(path) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    if (!RequireBytes(sizeof(T), "fixed-width field")) {
+      return false;
+    }
+    std::memcpy(value, payload_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return true;
+  }
+
+  bool TensorValue(Tensor* out, const char* what) {
+    uint32_t ndim = 0;
+    if (!Pod(&ndim) || ndim > 8) {
+      return Fail(std::string(what) + ": bad rank");
+    }
+    std::vector<int64_t> shape(ndim);
+    int64_t numel = 1;
+    for (uint32_t axis = 0; axis < ndim; ++axis) {
+      if (!Pod(&shape[axis]) || shape[axis] < 0 ||
+          shape[axis] > static_cast<int64_t>(kSanityLimit)) {
+        return Fail(std::string(what) + ": bad dimension");
+      }
+      numel *= shape[axis];
+    }
+    if (numel < 0 || static_cast<uint64_t>(numel) > kSanityLimit ||
+        !RequireBytes(static_cast<size_t>(numel) * sizeof(float), what)) {
+      return false;
+    }
+    Tensor t(shape);
+    std::memcpy(t.data(), payload_.data() + cursor_, static_cast<size_t>(numel) * sizeof(float));
+    cursor_ += static_cast<size_t>(numel) * sizeof(float);
+    *out = std::move(t);
+    return true;
+  }
+
+  bool Fail(const std::string& reason) {
+    if (status_.ok()) {
+      status_ = ErrorStatus(StatusCode::kDataLoss)
+                << path_ << ": " << reason << " at byte offset " << (kHeaderBytes + cursor_);
+    }
+    return false;
+  }
+
+  bool exhausted() const { return cursor_ == payload_.size(); }
+  const Status& status() const { return status_; }
+  size_t cursor() const { return cursor_; }
+
+ private:
+  bool RequireBytes(size_t count, const char* what) {
+    if (cursor_ + count > payload_.size()) {
+      return Fail(std::string("truncated ") + what);
+    }
+    return true;
+  }
+
+  const std::string& payload_;
+  const std::string& path_;
+  size_t cursor_ = 0;
+  Status status_;
+};
+
+void SerializeRngState(PayloadWriter& writer, const RngState& state) {
+  for (uint64_t word : state.words) {
+    writer.Pod(word);
+  }
+  writer.Pod(static_cast<uint8_t>(state.have_cached_gaussian ? 1 : 0));
+  writer.Pod(state.cached_gaussian);
+}
+
+bool DeserializeRngState(PayloadReader& reader, RngState* state) {
+  for (uint64_t& word : state->words) {
+    if (!reader.Pod(&word)) {
+      return false;
+    }
+  }
+  uint8_t have_cached = 0;
+  if (!reader.Pod(&have_cached) || !reader.Pod(&state->cached_gaussian)) {
+    return false;
+  }
+  state->have_cached_gaussian = have_cached != 0;
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint8_t>(data[i]);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path) {
+  PayloadWriter writer;
+  writer.Pod(checkpoint.epoch);
+  writer.Pod(checkpoint.learning_rate);
+  writer.Pod(checkpoint.retries_used);
+  writer.Pod(checkpoint.best_loss);
+  writer.Pod(static_cast<uint8_t>(checkpoint.model_rng.has_value() ? 1 : 0));
+  if (checkpoint.model_rng.has_value()) {
+    SerializeRngState(writer, *checkpoint.model_rng);
+  }
+  writer.Pod(static_cast<uint32_t>(checkpoint.parameters.size()));
+  for (const Tensor& param : checkpoint.parameters) {
+    SEASTAR_CHECK(param.defined()) << "cannot checkpoint an undefined parameter";
+    writer.TensorValue(param);
+  }
+  writer.Pod(static_cast<uint8_t>(checkpoint.has_adam ? 1 : 0));
+  if (checkpoint.has_adam) {
+    SEASTAR_CHECK_EQ(checkpoint.adam_m.size(), checkpoint.parameters.size());
+    SEASTAR_CHECK_EQ(checkpoint.adam_v.size(), checkpoint.parameters.size());
+    writer.Pod(checkpoint.adam_t);
+    for (const Tensor& m : checkpoint.adam_m) {
+      writer.TensorValue(m);
+    }
+    for (const Tensor& v : checkpoint.adam_v) {
+      writer.TensorValue(v);
+    }
+  }
+
+  const std::string& payload = writer.buffer();
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  const std::string tmp_path = path + ".tmp";
+
+  FaultInjector& faults = FaultInjector::Get();
+  const bool inject_truncation = faults.enabled() && faults.ShouldFail(FaultSite::kCheckpointWrite);
+
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return ErrorStatus(StatusCode::kUnavailable)
+             << tmp_path << ": cannot open for writing";
+    }
+    out.write(kMagic, sizeof(kMagic));
+    const uint64_t payload_size = payload.size();
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    out.write(reinterpret_cast<const char*>(&payload_size), sizeof(payload_size));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    if (inject_truncation) {
+      // Simulated kill mid-write: half the payload reaches disk, the tmp
+      // file is left behind, and — crucially — `path` is never replaced.
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size() / 2));
+      out.flush();
+      return ErrorStatus(StatusCode::kUnavailable)
+             << tmp_path << ": injected fault: checkpoint write truncated at payload byte "
+             << payload.size() / 2 << " of " << payload.size();
+    }
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      return ErrorStatus(StatusCode::kUnavailable) << tmp_path << ": short write";
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return ErrorStatus(StatusCode::kUnavailable)
+           << path << ": rename from " << tmp_path << " failed";
+  }
+  return Status::Ok();
+}
+
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
+  FaultInjector& faults = FaultInjector::Get();
+  if (faults.enabled() && faults.ShouldFail(FaultSite::kCheckpointRead)) {
+    return ErrorStatus(StatusCode::kUnavailable) << path << ": injected I/O fault";
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ErrorStatus(StatusCode::kNotFound) << path << ": cannot open for reading";
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": bad magic at byte offset 0 (not a seastar checkpoint)";
+  }
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) {
+    return ErrorStatus(StatusCode::kDataLoss) << path << ": truncated header";
+  }
+  if (version != kVersion) {
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << path << ": unsupported checkpoint version " << version << " (expected " << kVersion
+           << ")";
+  }
+  if (payload_size > kSanityLimit) {
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": implausible payload size " << payload_size;
+  }
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<uint64_t>(in.gcount()) != payload_size) {
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": truncated payload: expected " << payload_size << " bytes, got "
+           << in.gcount() << " (file cut at byte offset " << (kHeaderBytes + in.gcount()) << ")";
+  }
+  const uint64_t actual_checksum = Fnv1a64(payload.data(), payload.size());
+  if (actual_checksum != checksum) {
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": checksum mismatch (stored " << checksum << ", computed "
+           << actual_checksum << "): checkpoint is corrupt";
+  }
+
+  TrainCheckpoint checkpoint;
+  PayloadReader reader(payload, path);
+  uint8_t has_rng = 0;
+  if (!reader.Pod(&checkpoint.epoch) || !reader.Pod(&checkpoint.learning_rate) ||
+      !reader.Pod(&checkpoint.retries_used) || !reader.Pod(&checkpoint.best_loss) ||
+      !reader.Pod(&has_rng)) {
+    return reader.status();
+  }
+  if (has_rng != 0) {
+    RngState rng_state;
+    if (!DeserializeRngState(reader, &rng_state)) {
+      return reader.status();
+    }
+    checkpoint.model_rng = rng_state;
+  }
+  uint32_t num_params = 0;
+  if (!reader.Pod(&num_params) || num_params > (1u << 20)) {
+    reader.Fail("bad parameter count");
+    return reader.status();
+  }
+  checkpoint.parameters.resize(num_params);
+  for (uint32_t p = 0; p < num_params; ++p) {
+    if (!reader.TensorValue(&checkpoint.parameters[p], "parameter tensor")) {
+      return reader.status();
+    }
+  }
+  uint8_t has_adam = 0;
+  if (!reader.Pod(&has_adam)) {
+    return reader.status();
+  }
+  checkpoint.has_adam = has_adam != 0;
+  if (checkpoint.has_adam) {
+    if (!reader.Pod(&checkpoint.adam_t)) {
+      return reader.status();
+    }
+    checkpoint.adam_m.resize(num_params);
+    checkpoint.adam_v.resize(num_params);
+    for (uint32_t p = 0; p < num_params; ++p) {
+      if (!reader.TensorValue(&checkpoint.adam_m[p], "adam m tensor")) {
+        return reader.status();
+      }
+    }
+    for (uint32_t p = 0; p < num_params; ++p) {
+      if (!reader.TensorValue(&checkpoint.adam_v[p], "adam v tensor")) {
+        return reader.status();
+      }
+    }
+  }
+  if (!reader.exhausted()) {
+    reader.Fail("trailing bytes after checkpoint payload");
+    return reader.status();
+  }
+  return checkpoint;
+}
+
+}  // namespace seastar

@@ -1,0 +1,62 @@
+// Training checkpoints: versioned, checksummed snapshots of everything a
+// resumed run needs to continue *bit-identically* — model parameters, Adam
+// moments and step counter, the model's RNG stream (dropout masks), the
+// completed-epoch counter, and the recovery-policy state (current learning
+// rate, retries used, best loss seen).
+//
+// Durability contract:
+//  * Writes are atomic: the snapshot is serialized to "<path>.tmp" and
+//    renamed over <path> only after a complete, flushed write. A crash (or
+//    an injected FaultSite::kCheckpointWrite) mid-write leaves the previous
+//    checkpoint untouched and resumable.
+//  * Reads verify a 64-bit FNV-1a checksum over the whole payload before
+//    decoding, so corruption anywhere in the file is detected up front and
+//    reported with the file name; decode errors additionally name the byte
+//    offset where the payload ended or went inconsistent.
+//
+// Layout (version 1): magic "SSCK", u32 version, u64 payload size, u64
+// checksum, then the payload (fixed-width little-endian fields; tensors as
+// u32 ndim + i64 dims + f32 data).
+#ifndef SRC_CORE_CHECKPOINT_H_
+#define SRC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+
+struct TrainCheckpoint {
+  int32_t epoch = 0;  // Completed epochs; resume starts at this epoch index.
+  float learning_rate = 0.0f;
+  int32_t retries_used = 0;
+  float best_loss = std::numeric_limits<float>::max();
+  std::optional<RngState> model_rng;  // Engaged for models with dropout.
+  std::vector<Tensor> parameters;
+  bool has_adam = false;
+  int64_t adam_t = 0;
+  std::vector<Tensor> adam_m;  // Same shapes as parameters.
+  std::vector<Tensor> adam_v;
+};
+
+// Serializes and atomically replaces `path`. On failure (I/O error or an
+// injected write fault) `path` still holds the previous snapshot.
+Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path);
+
+// Verifies magic, version, and checksum, then decodes. All failures are
+// Status errors naming the file (and byte offset where applicable); this
+// function never aborts on untrusted bytes.
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path);
+
+// 64-bit FNV-1a, exposed for tests that hand-corrupt checkpoint bytes.
+uint64_t Fnv1a64(const char* data, size_t size);
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_CHECKPOINT_H_

@@ -34,6 +34,7 @@ class Appnp : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "APPNP"; }
+  Rng* MutableRng() override { return &rng_; }
 
  private:
   const Dataset& data_;

@@ -35,6 +35,7 @@ class Gat : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "GAT"; }
+  Rng* MutableRng() override { return &rng_; }
 
  private:
   struct Head {

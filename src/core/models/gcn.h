@@ -32,6 +32,7 @@ class Gcn : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "GCN"; }
+  Rng* MutableRng() override { return &rng_; }
 
  private:
   const Dataset& data_;

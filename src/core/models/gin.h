@@ -32,6 +32,7 @@ class Gin : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "GIN"; }
+  Rng* MutableRng() override { return &rng_; }
 
  private:
   struct Layer {

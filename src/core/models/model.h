@@ -29,6 +29,11 @@ class GnnModel {
 
   virtual const char* name() const = 0;
 
+  // The model's private RNG (dropout etc.), checkpointed so a resumed run
+  // draws the exact dropout masks the uninterrupted run would have drawn.
+  // Null for models without stochastic state.
+  virtual Rng* MutableRng() { return nullptr; }
+
   // Observability: the training loop installs its run profiler here for the
   // duration of a run; models thread it into every vertex-program launch via
   // RunContext. Null (the default) disables all recording.

@@ -51,6 +51,7 @@ class Rgcn : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "R-GCN"; }
+  Rng* MutableRng() override { return &rng_; }
 
  private:
   struct Layer {

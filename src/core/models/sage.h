@@ -33,6 +33,7 @@ class Sage : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "GraphSAGE"; }
+  Rng* MutableRng() override { return &rng_; }
 
  private:
   struct Layer {

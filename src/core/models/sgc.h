@@ -30,6 +30,8 @@ class Sgc : public GnnModel {
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
   const char* name() const override { return "SGC"; }
+  // SGC is deterministic (no dropout): nothing stochastic to checkpoint, so
+  // the base-class null MutableRng() is correct.
 
   // The precomputed S^K X (exposed for tests).
   const Tensor& propagated_features() const { return propagated_; }

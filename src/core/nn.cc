@@ -137,6 +137,19 @@ void Adam::Step() {
   }
 }
 
+void Adam::RestoreState(const std::vector<Tensor>& m, const std::vector<Tensor>& v, int64_t t) {
+  SEASTAR_CHECK_EQ(m.size(), m_.size());
+  SEASTAR_CHECK_EQ(v.size(), v_.size());
+  SEASTAR_CHECK_GE(t, 0);
+  for (size_t p = 0; p < m_.size(); ++p) {
+    SEASTAR_CHECK_EQ(m[p].numel(), m_[p].numel());
+    SEASTAR_CHECK_EQ(v[p].numel(), v_[p].numel());
+    m_[p] = m[p].Clone();
+    v_[p] = v[p].Clone();
+  }
+  t_ = t;
+}
+
 void Adam::ZeroGrad() {
   for (Var& param : parameters_) {
     param.ClearGrad();

@@ -60,6 +60,10 @@ class Sgd {
   void Step();
   void ZeroGrad();
 
+  // Recovery policy hook: learning-rate backoff after a rollback.
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
  private:
   std::vector<Var> parameters_;
   float lr_;
@@ -72,6 +76,18 @@ class Adam {
 
   void Step();
   void ZeroGrad();
+
+  // Recovery policy hook: learning-rate backoff after a rollback.
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+  // Checkpointable optimizer state. Restoring the moments and step counter
+  // (with matching parameter values) makes a resumed run continue exactly
+  // as the uninterrupted one would have.
+  const std::vector<Tensor>& moments_m() const { return m_; }
+  const std::vector<Tensor>& moments_v() const { return v_; }
+  int64_t step_count() const { return t_; }
+  void RestoreState(const std::vector<Tensor>& m, const std::vector<Tensor>& v, int64_t t);
 
  private:
   std::vector<Var> parameters_;

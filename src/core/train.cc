@@ -1,23 +1,135 @@
 #include "src/core/train.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
 #include "src/common/stopwatch.h"
+#include "src/core/checkpoint.h"
 #include "src/core/nn.h"
 #include "src/tensor/allocator.h"
 #include "src/tensor/autograd.h"
 #include "src/tensor/ops.h"
 
 namespace seastar {
+namespace {
+
+bool TensorFinite(const Tensor& t) {
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(p[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// "" when every defined gradient is finite, else the index of the first
+// offending parameter (for the recovery log).
+std::string FirstNonFiniteGrad(const std::vector<Var>& parameters) {
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    const Tensor& grad = parameters[p].grad();
+    if (grad.defined() && !TensorFinite(grad)) {
+      return "parameter " + std::to_string(p) + " (" + grad.ShapeString() + ")";
+    }
+  }
+  return "";
+}
+
+// Rollback anchor / on-disk snapshot. Parameter and moment tensors are
+// deep-copied: the optimizer mutates them in place every step, and a
+// snapshot that shared their storage would silently track the live run.
+TrainCheckpoint MakeSnapshot(GnnModel& model, const std::vector<Var>& parameters,
+                             const Adam* adam, int epoch, float lr, int retries_used,
+                             float best_loss) {
+  TrainCheckpoint snapshot;
+  snapshot.epoch = epoch;
+  snapshot.learning_rate = lr;
+  snapshot.retries_used = retries_used;
+  snapshot.best_loss = best_loss;
+  if (const Rng* rng = model.MutableRng(); rng != nullptr) {
+    snapshot.model_rng = rng->SaveState();
+  }
+  snapshot.parameters.reserve(parameters.size());
+  for (const Var& param : parameters) {
+    snapshot.parameters.push_back(param.value().Clone());
+  }
+  if (adam != nullptr) {
+    snapshot.has_adam = true;
+    snapshot.adam_t = adam->step_count();
+    for (const Tensor& m : adam->moments_m()) {
+      snapshot.adam_m.push_back(m.Clone());
+    }
+    for (const Tensor& v : adam->moments_v()) {
+      snapshot.adam_v.push_back(v.Clone());
+    }
+  }
+  return snapshot;
+}
+
+// Copies a snapshot back into the live parameters / optimizer / model RNG.
+// Returns a Status instead of CHECKing: a file-loaded checkpoint is
+// untrusted (it may belong to a different model), and mismatches must
+// surface as a structured error.
+Status RestoreSnapshot(const TrainCheckpoint& snapshot, GnnModel& model,
+                       std::vector<Var>& parameters, Adam* adam, Sgd* sgd) {
+  if (snapshot.parameters.size() != parameters.size()) {
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << "checkpoint holds " << snapshot.parameters.size() << " parameters, model has "
+           << parameters.size();
+  }
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    Tensor& value = parameters[p].mutable_value();
+    const Tensor& saved = snapshot.parameters[p];
+    if (saved.shape() != value.shape()) {
+      return ErrorStatus(StatusCode::kInvalidArgument)
+             << "checkpoint parameter " << p << " is " << saved.ShapeString() << ", model expects "
+             << value.ShapeString();
+    }
+  }
+  if (snapshot.has_adam && adam == nullptr) {
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << "checkpoint carries Adam state but the run uses SGD";
+  }
+  if (!snapshot.has_adam && adam != nullptr) {
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << "checkpoint carries no Adam state but the run uses Adam";
+  }
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    Tensor& value = parameters[p].mutable_value();
+    std::copy(snapshot.parameters[p].data(), snapshot.parameters[p].data() + value.numel(),
+              value.data());
+    parameters[p].ClearGrad();
+  }
+  if (adam != nullptr) {
+    if (snapshot.adam_m.size() != parameters.size() ||
+        snapshot.adam_v.size() != parameters.size()) {
+      return ErrorStatus(StatusCode::kInvalidArgument)
+             << "checkpoint Adam moments do not match the parameter count";
+    }
+    adam->RestoreState(snapshot.adam_m, snapshot.adam_v, snapshot.adam_t);
+    adam->set_learning_rate(snapshot.learning_rate);
+  }
+  if (sgd != nullptr) {
+    sgd->set_learning_rate(snapshot.learning_rate);
+  }
+  if (Rng* rng = model.MutableRng(); rng != nullptr && snapshot.model_rng.has_value()) {
+    rng->RestoreState(*snapshot.model_rng);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
                                     const TrainConfig& config) {
   TrainResult result;
   TensorAllocator& allocator = TensorAllocator::Get();
   allocator.SetSoftBudgetBytes(config.memory_budget_bytes);
+  allocator.ClearInjectedFailure();
 
   Profiler* profiler =
       config.profiler != nullptr && config.profiler->enabled() ? config.profiler : nullptr;
@@ -32,28 +144,122 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     sgd = std::make_unique<Sgd>(parameters, config.learning_rate);
   }
 
+  // Ends the run with a structured error; never aborts.
+  const auto fail = [&](const Status& status) {
+    result.failed = true;
+    result.error = status.ToString();
+    SEASTAR_LOG(Error) << "training failed: " << result.error;
+    model.SetProfiler(nullptr);
+    allocator.SetSoftBudgetBytes(0);
+    return result;
+  };
+
+  float lr = config.learning_rate;
+  float best_loss = std::numeric_limits<float>::max();
+  int retries_used = 0;
+  int epoch = 0;
+
+  if (config.resume) {
+    if (config.checkpoint_path.empty()) {
+      return fail(Status::Error(StatusCode::kInvalidArgument,
+                                "resume requested but no checkpoint_path configured"));
+    }
+    StatusOr<TrainCheckpoint> loaded = LoadCheckpoint(config.checkpoint_path);
+    if (!loaded.has_value()) {
+      return fail(loaded.status());
+    }
+    if (Status restored = RestoreSnapshot(*loaded, model, parameters, adam.get(), sgd.get());
+        !restored.ok()) {
+      return fail(Status::Error(restored.code(),
+                                config.checkpoint_path + ": " + restored.message()));
+    }
+    epoch = loaded->epoch;
+    lr = loaded->learning_rate;
+    retries_used = loaded->retries_used;
+    best_loss = loaded->best_loss;
+    result.start_epoch = epoch;
+    result.epochs_run = epoch;
+    if (config.verbose) {
+      SEASTAR_LOG(Info) << model.name() << " resumed from " << config.checkpoint_path
+                        << " at epoch " << epoch << " (lr " << lr << ")";
+    }
+  }
+
+  // The rollback anchor: refreshed on the checkpoint cadence, restored on
+  // every recovery. Taken up front so epoch-0 failures have a target too.
+  TrainCheckpoint rollback =
+      MakeSnapshot(model, parameters, adam.get(), epoch, lr, retries_used, best_loss);
+
+  // Refreshes the anchor and, when configured, atomically rewrites the
+  // checkpoint file. A failed write (disk full, injected fault) is itself a
+  // recoverable condition: it is logged as a recovery event and training
+  // continues on the in-memory anchor.
+  const auto take_snapshot = [&](int completed_epoch) {
+    ProfileScope span(profiler, "checkpoint epoch " + std::to_string(completed_epoch),
+                      "checkpoint");
+    rollback =
+        MakeSnapshot(model, parameters, adam.get(), completed_epoch, lr, retries_used, best_loss);
+    if (config.checkpoint_path.empty()) {
+      return;
+    }
+    if (Status saved = SaveCheckpoint(rollback, config.checkpoint_path); !saved.ok()) {
+      SEASTAR_LOG(Warning) << "checkpoint write failed (continuing): " << saved.ToString();
+      result.recovery_events.push_back({.epoch = completed_epoch,
+                                        .kind = "checkpoint_error",
+                                        .detail = saved.ToString(),
+                                        .retry = retries_used,
+                                        .lr_after = lr,
+                                        .rollback_epoch = -1});
+    } else {
+      ++result.checkpoints_written;
+    }
+  };
+
   Stopwatch total_watch;
   double timed_ms = 0.0;
   int timed_epochs = 0;
+  int processed_epochs = 0;  // Epochs executed in this process (for warmup).
   Tensor last_logits;
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  while (epoch < config.epochs) {
     Stopwatch epoch_watch;
     allocator.ResetPeak();
+
+    // What went wrong this epoch ("" = healthy) and the log detail.
+    std::string problem;
+    std::string detail;
 
     ProfileScope epoch_span(profiler, "epoch " + std::to_string(epoch), "train");
     Var logits;
     Var loss;
+    float loss_value = 0.0f;
     {
       ProfileScope forward_span(profiler, "forward", "train");
       logits = model.Forward(/*training=*/true);
       loss = ag::NllLoss(ag::LogSoftmax(logits), data.labels, data.train_mask);
+      loss_value = loss.value().at(0);
     }
-    {
+    if (config.health_checks) {
+      if (!std::isfinite(loss_value)) {
+        problem = "non_finite_loss";
+        detail = "loss = " + std::to_string(loss_value);
+      } else if (loss_value > config.divergence_threshold) {
+        problem = "divergence";
+        detail = "loss " + std::to_string(loss_value) + " above threshold " +
+                 std::to_string(config.divergence_threshold);
+      }
+    }
+    if (problem.empty()) {
       ProfileScope backward_span(profiler, "backward", "train");
       Backward(loss, Tensor::Ones({1}));
+      if (config.health_checks) {
+        if (std::string bad = FirstNonFiniteGrad(parameters); !bad.empty()) {
+          problem = "non_finite_grad";
+          detail = "NaN/Inf gradient in " + bad;
+        }
+      }
     }
-    {
+    if (problem.empty()) {
       ProfileScope step_span(profiler, "optimizer_step", "train");
       if (adam != nullptr) {
         adam->Step();
@@ -64,13 +270,74 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
       }
     }
 
-    result.final_loss = loss.value().at(0);
+    // Allocator verdicts, polled once per epoch. A soft-budget breach is the
+    // paper's OOM outcome: graceful stop, oom flagged. An injected
+    // allocation failure is transient by definition: recover.
+    if (config.memory_budget_bytes != 0 && allocator.budget_exceeded()) {
+      result.final_loss = loss_value;
+      result.peak_bytes = std::max(result.peak_bytes, allocator.peak_bytes());
+      result.oom = true;
+      result.epochs_run = epoch + 1;
+      break;
+    }
+    if (allocator.failure_injected()) {
+      allocator.ClearInjectedFailure();
+      if (problem.empty()) {
+        problem = "alloc_failure";
+        detail = "injected allocation failure mid-epoch";
+      }
+    }
+
+    if (!problem.empty()) {
+      ++retries_used;
+      ++result.rollbacks;
+      {
+        ProfileScope recovery_span(profiler, problem, "recovery");
+        // Grads of a poisoned epoch must not leak into the retry.
+        if (adam != nullptr) {
+          adam->ZeroGrad();
+        } else {
+          sgd->ZeroGrad();
+        }
+        lr *= config.lr_backoff;
+        if (adam != nullptr) {
+          adam->set_learning_rate(lr);
+        } else {
+          sgd->set_learning_rate(lr);
+        }
+        // The anchor matches this model/optimizer by construction; restore
+        // cannot fail here.
+        rollback.learning_rate = lr;
+        Status restored = RestoreSnapshot(rollback, model, parameters, adam.get(), sgd.get());
+        SEASTAR_CHECK(restored.ok()) << restored.ToString();
+      }
+      result.recovery_events.push_back({.epoch = epoch,
+                                        .kind = problem,
+                                        .detail = detail,
+                                        .retry = retries_used,
+                                        .lr_after = lr,
+                                        .rollback_epoch = rollback.epoch});
+      SEASTAR_LOG(Warning) << model.name() << " epoch " << epoch << ": " << problem << " ("
+                           << detail << "); rollback to epoch " << rollback.epoch << ", lr -> "
+                           << lr << " (retry " << retries_used << "/" << config.max_retries
+                           << ")";
+      if (retries_used > config.max_retries) {
+        return fail(ErrorStatus(StatusCode::kResourceExhausted)
+                    << "retries exhausted after " << retries_used << " recoveries; last failure: "
+                    << problem << " at epoch " << epoch << " (" << detail << ")");
+      }
+      epoch = rollback.epoch;
+      continue;
+    }
+
+    result.final_loss = loss_value;
     last_logits = logits.value();
     result.peak_bytes = std::max(result.peak_bytes, allocator.peak_bytes());
-    ++result.epochs_run;
+    best_loss = std::min(best_loss, loss_value);
 
     const double epoch_ms = epoch_watch.ElapsedMillis();
-    if (epoch >= config.warmup_epochs) {
+    ++processed_epochs;
+    if (processed_epochs > config.warmup_epochs) {
       timed_ms += epoch_ms;
       ++timed_epochs;
     }
@@ -78,10 +345,18 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
       SEASTAR_LOG(Info) << model.name() << " epoch " << epoch << " loss=" << result.final_loss
                         << " (" << epoch_ms << " ms)";
     }
-    if (config.memory_budget_bytes != 0 && allocator.budget_exceeded()) {
-      result.oom = true;
-      break;
+
+    ++epoch;
+    result.epochs_run = epoch;
+    if (config.checkpoint_every > 0 && epoch % config.checkpoint_every == 0 &&
+        epoch < config.epochs) {
+      take_snapshot(epoch);
     }
+  }
+
+  // Final checkpoint so a follow-up run resumes from the end state.
+  if (!result.oom && !config.checkpoint_path.empty() && result.epochs_run == config.epochs) {
+    take_snapshot(config.epochs);
   }
 
   model.SetProfiler(nullptr);

@@ -127,8 +127,22 @@ Dataset MakeDataset(const DatasetSpec& spec, const DatasetOptions& options) {
 }
 
 Dataset MakeDatasetByName(const std::string& name, const DatasetOptions& options) {
+  StatusOr<Dataset> data = TryMakeDatasetByName(name, options);
+  SEASTAR_CHECK(data.has_value()) << data.status().ToString();
+  return *std::move(data);
+}
+
+StatusOr<Dataset> TryMakeDatasetByName(const std::string& name, const DatasetOptions& options) {
   const DatasetSpec* spec = FindDataset(name);
-  SEASTAR_CHECK(spec != nullptr) << "unknown dataset: " << name;
+  if (spec == nullptr) {
+    ErrorStatus error(StatusCode::kNotFound);
+    error << "unknown dataset '" << name << "' (valid choices:";
+    for (const DatasetSpec& entry : DatasetCatalog()) {
+      error << " " << entry.name;
+    }
+    error << ")";
+    return error;
+  }
   return MakeDataset(*spec, options);
 }
 

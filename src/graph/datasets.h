@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/graph/graph.h"
 #include "src/tensor/tensor.h"
 
@@ -79,6 +80,11 @@ Dataset MakeDataset(const DatasetSpec& spec, const DatasetOptions& options = {})
 
 // Convenience: look up by name and materialize; aborts on unknown name.
 Dataset MakeDatasetByName(const std::string& name, const DatasetOptions& options = {});
+
+// Recoverable variant for CLI / service callers: unknown names come back as
+// kNotFound listing the valid catalogue instead of killing the process.
+StatusOr<Dataset> TryMakeDatasetByName(const std::string& name,
+                                       const DatasetOptions& options = {});
 
 }  // namespace seastar
 

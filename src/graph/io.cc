@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 
@@ -45,6 +46,23 @@ bool ReadVector(std::ifstream& in, std::vector<T>* values, uint64_t sanity_limit
   return in.good() || (in.eof() && count == 0);
 }
 
+// Last consumed stream position, for error messages on truncated binaries;
+// -1 (EOF / failed stream) maps to "end of file".
+std::string OffsetString(std::ifstream& in) {
+  in.clear();
+  const std::streampos pos = in.tellg();
+  if (pos < 0) {
+    return "end of file";
+  }
+  return "byte offset " + std::to_string(static_cast<int64_t>(pos));
+}
+
+// Deterministic I/O-error injection shared by all three loaders.
+bool InjectedReadFault() {
+  FaultInjector& faults = FaultInjector::Get();
+  return faults.enabled() && faults.ShouldFail(FaultSite::kGraphRead);
+}
+
 }  // namespace
 
 bool SaveEdgeListTsv(const Graph& graph, const std::string& path) {
@@ -67,12 +85,14 @@ bool SaveEdgeListTsv(const Graph& graph, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertices_hint,
-                                     const GraphOptions& options) {
+StatusOr<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertices_hint,
+                                const GraphOptions& options) {
+  if (InjectedReadFault()) {
+    return ErrorStatus(StatusCode::kUnavailable) << path << ": injected I/O fault";
+  }
   std::ifstream in(path);
   if (!in) {
-    SEASTAR_LOG(Error) << "cannot open " << path;
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kNotFound) << path << ": cannot open for reading";
   }
   std::vector<int32_t> src;
   std::vector<int32_t> dst;
@@ -92,23 +112,24 @@ std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertic
     int64_t t = -1;
     fields >> s >> d;
     if (fields.fail() || s < 0 || d < 0) {
-      SEASTAR_LOG(Error) << path << ":" << line_number << ": malformed edge line";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kInvalidArgument)
+             << path << ":" << line_number << ": malformed edge line '" << line << "'";
     }
     const bool has_type = static_cast<bool>(fields >> t);
     const int columns = has_type ? 3 : 2;
     if (column_count == 0) {
       column_count = columns;
     } else if (column_count != columns) {
-      SEASTAR_LOG(Error) << path << ":" << line_number << ": inconsistent column count";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kInvalidArgument)
+             << path << ":" << line_number << ": inconsistent column count (expected "
+             << column_count << ", got " << columns << ")";
     }
     src.push_back(static_cast<int32_t>(s));
     dst.push_back(static_cast<int32_t>(d));
     if (has_type) {
       if (t < 0) {
-        SEASTAR_LOG(Error) << path << ":" << line_number << ": negative edge type";
-        return std::nullopt;
+        return ErrorStatus(StatusCode::kInvalidArgument)
+               << path << ":" << line_number << ": negative edge type " << t;
       }
       types.push_back(static_cast<int32_t>(t));
     }
@@ -123,38 +144,41 @@ std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertic
                         num_types, options);
 }
 
-std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOptions& options) {
+StatusOr<Graph> LoadMatrixMarket(const std::string& path, const GraphOptions& options) {
+  if (InjectedReadFault()) {
+    return ErrorStatus(StatusCode::kUnavailable) << path << ": injected I/O fault";
+  }
   std::ifstream in(path);
   if (!in) {
-    SEASTAR_LOG(Error) << "cannot open " << path;
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kNotFound) << path << ": cannot open for reading";
   }
   std::string header;
   if (!std::getline(in, header) || !StartsWith(header, "%%MatrixMarket")) {
-    SEASTAR_LOG(Error) << path << ": missing MatrixMarket banner";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kInvalidArgument) << path << ":1: missing MatrixMarket banner";
   }
   std::istringstream banner(header);
   std::string tag, object, format, field, symmetry;
   banner >> tag >> object >> format >> field >> symmetry;
   if (object != "matrix" || format != "coordinate") {
-    SEASTAR_LOG(Error) << path << ": only coordinate matrices are supported";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << path << ":1: only coordinate matrices are supported";
   }
   const bool has_values = field == "real" || field == "integer";
   if (!has_values && field != "pattern") {
-    SEASTAR_LOG(Error) << path << ": unsupported field '" << field << "'";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << path << ":1: unsupported field '" << field << "'";
   }
   const bool symmetric = symmetry == "symmetric";
   if (!symmetric && symmetry != "general") {
-    SEASTAR_LOG(Error) << path << ": unsupported symmetry '" << symmetry << "'";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << path << ":1: unsupported symmetry '" << symmetry << "'";
   }
 
   std::string line;
+  int64_t line_number = 1;
   // Skip comments.
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line[0] != '%') {
       break;
     }
@@ -165,8 +189,8 @@ std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOption
   int64_t entries = 0;
   size_line >> rows >> cols >> entries;
   if (size_line.fail() || rows <= 0 || cols <= 0 || entries < 0) {
-    SEASTAR_LOG(Error) << path << ": malformed size line";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << path << ":" << line_number << ": malformed size line '" << line << "'";
   }
 
   std::vector<int32_t> src;
@@ -178,16 +202,17 @@ std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOption
     int64_t c = 0;
     double value = 0.0;
     if (!(in >> r >> c)) {
-      SEASTAR_LOG(Error) << path << ": truncated entry list at " << i;
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kDataLoss)
+             << path << ": truncated entry list: entry " << i << " of " << entries << " missing";
     }
     if (has_values && !(in >> value)) {
-      SEASTAR_LOG(Error) << path << ": entry " << i << " missing value";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kDataLoss)
+             << path << ": entry " << i << " of " << entries << " missing its value";
     }
     if (r < 1 || r > rows || c < 1 || c > cols) {
-      SEASTAR_LOG(Error) << path << ": entry " << i << " out of bounds";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kInvalidArgument)
+             << path << ": entry " << i << " (" << r << ", " << c << ") out of bounds for "
+             << rows << "x" << cols;
     }
     src.push_back(static_cast<int32_t>(r - 1));
     dst.push_back(static_cast<int32_t>(c - 1));
@@ -214,24 +239,26 @@ bool SaveGraphBinary(const Graph& graph, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Graph> LoadGraphBinary(const std::string& path, const GraphOptions& options) {
+StatusOr<Graph> LoadGraphBinary(const std::string& path, const GraphOptions& options) {
+  if (InjectedReadFault()) {
+    return ErrorStatus(StatusCode::kUnavailable) << path << ": injected I/O fault";
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    SEASTAR_LOG(Error) << "cannot open " << path;
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kNotFound) << path << ": cannot open for reading";
   }
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
-    SEASTAR_LOG(Error) << path << ": bad magic";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": bad magic at byte offset 0 (not a seastar binary graph)";
   }
   int64_t num_vertices = 0;
   int32_t num_types = 0;
   if (!ReadPod(in, &num_vertices) || !ReadPod(in, &num_types) || num_vertices < 0 ||
       num_types < 1) {
-    SEASTAR_LOG(Error) << path << ": bad header";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": bad header at " << OffsetString(in);
   }
   constexpr uint64_t kSanityLimit = uint64_t{1} << 33;  // 8G entries.
   std::vector<int32_t> src;
@@ -240,25 +267,25 @@ std::optional<Graph> LoadGraphBinary(const std::string& path, const GraphOptions
   if (!ReadVector(in, &src, kSanityLimit) || !ReadVector(in, &dst, kSanityLimit) ||
       !ReadVector(in, &types, kSanityLimit) || src.size() != dst.size() ||
       (!types.empty() && types.size() != src.size())) {
-    SEASTAR_LOG(Error) << path << ": corrupt edge arrays";
-    return std::nullopt;
+    return ErrorStatus(StatusCode::kDataLoss)
+           << path << ": corrupt or truncated edge arrays at " << OffsetString(in);
   }
   for (int32_t v : src) {
     if (v < 0 || v >= num_vertices) {
-      SEASTAR_LOG(Error) << path << ": edge endpoint out of range";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kDataLoss)
+             << path << ": edge source " << v << " out of range [0, " << num_vertices << ")";
     }
   }
   for (int32_t v : dst) {
     if (v < 0 || v >= num_vertices) {
-      SEASTAR_LOG(Error) << path << ": edge endpoint out of range";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kDataLoss)
+             << path << ": edge destination " << v << " out of range [0, " << num_vertices << ")";
     }
   }
   for (int32_t t : types) {
     if (t < 0 || t >= num_types) {
-      SEASTAR_LOG(Error) << path << ": edge type out of range";
-      return std::nullopt;
+      return ErrorStatus(StatusCode::kDataLoss)
+             << path << ": edge type " << t << " out of range [0, " << num_types << ")";
     }
   }
   return Graph::FromCoo(num_vertices, std::move(src), std::move(dst), std::move(types),

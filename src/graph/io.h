@@ -7,14 +7,19 @@
 //    graph collections (SuiteSparse, SNAP mirrors) ship in;
 //  * a compact binary container for round-tripping Graphs losslessly.
 //
-// Loaders return std::nullopt on malformed input (with a logged reason)
-// rather than aborting: file contents are external, untrusted data.
+// Loaders return StatusOr<Graph> — never abort: file contents are external,
+// untrusted data. Errors name the file and the line (text formats) or byte
+// offset (binary) where parsing failed, so a recovery log pinpoints the
+// corruption. StatusOr is optional-compatible (has_value / operator*), so
+// call sites written against the earlier std::optional API still compile.
+// All loaders honour FaultSite::kGraphRead for deterministic I/O-error
+// injection in resilience tests.
 #ifndef SRC_GRAPH_IO_H_
 #define SRC_GRAPH_IO_H_
 
-#include <optional>
 #include <string>
 
+#include "src/common/status.h"
 #include "src/graph/graph.h"
 
 namespace seastar {
@@ -28,8 +33,8 @@ bool SaveEdgeListTsv(const Graph& graph, const std::string& path);
 // max id + 1 unless `num_vertices_hint` is larger. Lines starting with '#'
 // or empty lines are skipped. Type column is optional (all lines must agree
 // on having it or not).
-std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertices_hint = 0,
-                                     const GraphOptions& options = {});
+StatusOr<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertices_hint = 0,
+                                const GraphOptions& options = {});
 
 // ---- MatrixMarket --------------------------------------------------------------------------------
 
@@ -37,7 +42,7 @@ std::optional<Graph> LoadEdgeListTsv(const std::string& path, int64_t num_vertic
 // (general|symmetric)". 1-based indices per the spec; symmetric matrices
 // emit both edge directions. Values of real/integer matrices are ignored
 // (the adjacency structure is what GNN training consumes).
-std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOptions& options = {});
+StatusOr<Graph> LoadMatrixMarket(const std::string& path, const GraphOptions& options = {});
 
 // ---- Binary container ----------------------------------------------------------------------------
 
@@ -45,7 +50,7 @@ std::optional<Graph> LoadMatrixMarket(const std::string& path, const GraphOption
 // CSRs are rebuilt on load. Layout: magic "SSG1", then little-endian counts
 // and arrays.
 bool SaveGraphBinary(const Graph& graph, const std::string& path);
-std::optional<Graph> LoadGraphBinary(const std::string& path, const GraphOptions& options = {});
+StatusOr<Graph> LoadGraphBinary(const std::string& path, const GraphOptions& options = {});
 
 }  // namespace seastar
 

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/parallel/thread_pool.h"
 
 namespace seastar {
+namespace {
+
+// Fault injection (FaultSite::kSimtWorker): stall this worker for one
+// dispatch grant. A stall is latency, not failure — the launch must still
+// complete with every block run exactly once, with the dynamic schedules
+// shifting work to the healthy workers. One enabled() load per grant on the
+// orchestration path; the per-lane kernel loops are untouched.
+inline void MaybeInjectWorkerStall() {
+  FaultInjector& faults = FaultInjector::Get();
+  if (faults.enabled() && faults.ShouldFail(FaultSite::kSimtWorker)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace
 
 const char* BlockScheduleName(BlockSchedule schedule) {
   switch (schedule) {
@@ -45,6 +63,9 @@ void LaunchBlocks(const SimtLaunchParams& params,
       pool.RunOnAllWorkers([&](int worker) {
         const int64_t begin = static_cast<int64_t>(worker) * per_worker;
         const int64_t end = std::min(begin + per_worker, num_blocks);
+        if (end > begin) {
+          MaybeInjectWorkerStall();
+        }
         for (int64_t b = begin; b < end; ++b) {
           body(b, worker);
         }
@@ -65,6 +86,7 @@ void LaunchBlocks(const SimtLaunchParams& params,
             return;
           }
           ++grants;
+          MaybeInjectWorkerStall();
           body(b, worker);
         }
       });
@@ -84,6 +106,7 @@ void LaunchBlocks(const SimtLaunchParams& params,
           }
           const int64_t end = std::min(begin + chunk, num_blocks);
           ++grants;
+          MaybeInjectWorkerStall();
           blocks += end - begin;
           for (int64_t b = begin; b < end; ++b) {
             body(b, worker);

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace seastar {
@@ -12,6 +13,10 @@ TensorAllocator& TensorAllocator::Get() {
 }
 
 void* TensorAllocator::Allocate(size_t bytes) {
+  FaultInjector& faults = FaultInjector::Get();
+  if (faults.enabled() && faults.ShouldFail(FaultSite::kTensorAlloc)) {
+    failure_injected_.store(true, std::memory_order_relaxed);
+  }
   void* ptr = std::malloc(bytes > 0 ? bytes : 1);
   SEASTAR_CHECK(ptr != nullptr) << "host OOM allocating " << bytes << " bytes";
   uint64_t live = live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;

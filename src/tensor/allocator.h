@@ -40,6 +40,14 @@ class TensorAllocator {
   bool budget_exceeded() const { return budget_exceeded_.load(std::memory_order_relaxed); }
   void ClearBudgetExceeded() { budget_exceeded_.store(false, std::memory_order_relaxed); }
 
+  // Set when FaultInjector fired on FaultSite::kTensorAlloc: the allocation
+  // itself still succeeds (callers never see nullptr) but the failure is
+  // latched here, exactly like a soft-budget breach, and handled at the next
+  // epoch boundary. Distinct from budget_exceeded() so the training loop can
+  // treat it as transient (rollback + retry) rather than as OOM.
+  bool failure_injected() const { return failure_injected_.load(std::memory_order_relaxed); }
+  void ClearInjectedFailure() { failure_injected_.store(false, std::memory_order_relaxed); }
+
  private:
   TensorAllocator() = default;
 
@@ -48,6 +56,7 @@ class TensorAllocator {
   std::atomic<uint64_t> total_allocs_{0};
   std::atomic<uint64_t> soft_budget_{0};
   std::atomic<bool> budget_exceeded_{false};
+  std::atomic<bool> failure_injected_{false};
 };
 
 // RAII window for peak-memory measurement around one training epoch/run.

@@ -488,6 +488,24 @@ std::vector<int32_t> RowArgmax(const Tensor& a) {
 
 // ---- Softmax / losses -------------------------------------------------------------------------------
 
+namespace {
+
+// Shared stabilization for Softmax / LogSoftmax: logits are computed by
+// arbitrary models and can reach the edge of float range (or ±inf after an
+// upstream overflow), where the textbook log-sum-exp still breaks: ±inf
+// poisons the row max (inf - inf = NaN), and even for finite inputs the
+// float subtraction `x - log_denom` can overflow to -inf, which NllLoss then
+// turns into an infinite loss. Clamping every logit into the finite float
+// range keeps the max-subtracted exponent in (-inf, 0] and every log-prob
+// finite; NaN inputs stay NaN by design (the training health monitor is the
+// layer that reacts to those).
+inline double ClampLogit(float x) {
+  constexpr double kMaxMagnitude = 3.0e38;  // Just inside float range.
+  return std::min(kMaxMagnitude, std::max(-kMaxMagnitude, static_cast<double>(x)));
+}
+
+}  // namespace
+
 Tensor Softmax(const Tensor& a) {
   SEASTAR_CHECK_EQ(a.ndim(), 2);
   const int64_t n = a.dim(0);
@@ -496,13 +514,13 @@ Tensor Softmax(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < n; ++i) {
-    float row_max = pa[i * d];
+    double row_max = ClampLogit(pa[i * d]);
     for (int64_t j = 1; j < d; ++j) {
-      row_max = std::max(row_max, pa[i * d + j]);
+      row_max = std::max(row_max, ClampLogit(pa[i * d + j]));
     }
     double denom = 0.0;
     for (int64_t j = 0; j < d; ++j) {
-      const float e = std::exp(pa[i * d + j] - row_max);
+      const float e = static_cast<float>(std::exp(ClampLogit(pa[i * d + j]) - row_max));
       po[i * d + j] = e;
       denom += e;
     }
@@ -522,17 +540,22 @@ Tensor LogSoftmax(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < n; ++i) {
-    float row_max = pa[i * d];
+    double row_max = ClampLogit(pa[i * d]);
     for (int64_t j = 1; j < d; ++j) {
-      row_max = std::max(row_max, pa[i * d + j]);
+      row_max = std::max(row_max, ClampLogit(pa[i * d + j]));
     }
     double denom = 0.0;
     for (int64_t j = 0; j < d; ++j) {
-      denom += std::exp(pa[i * d + j] - row_max);
+      denom += std::exp(ClampLogit(pa[i * d + j]) - row_max);
     }
-    const float log_denom = static_cast<float>(std::log(denom)) + row_max;
+    // denom >= 1 (the max element contributes exp(0)), so the log is safe.
+    // Keep (x - row_max) and log(denom) separate: folding row_max into the
+    // log term would absorb log(denom) entirely when |row_max| ~ 1e38.
+    const double log_sum = std::log(denom);
+    constexpr double kFloatLowest = -3.4e38;  // Keep the cast back to float finite.
     for (int64_t j = 0; j < d; ++j) {
-      po[i * d + j] = pa[i * d + j] - log_denom;
+      po[i * d + j] = static_cast<float>(
+          std::max(kFloatLowest, (ClampLogit(pa[i * d + j]) - row_max) - log_sum));
     }
   }
   return out;

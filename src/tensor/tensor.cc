@@ -39,7 +39,9 @@ Tensor::Tensor(std::vector<int64_t> shape)
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values) : Tensor(std::move(shape)) {
   SEASTAR_CHECK_EQ(static_cast<int64_t>(values.size()), numel_);
-  std::memcpy(storage_->data, values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {  // An empty vector's data() may be null (UB for memcpy).
+    std::memcpy(storage_->data, values.data(), values.size() * sizeof(float));
+  }
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {

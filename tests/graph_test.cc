@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 
+#include "src/common/fault.h"
 #include "src/common/rng.h"
 #include "src/graph/datasets.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
+#include "src/graph/io.h"
 
 namespace seastar {
 namespace {
@@ -257,6 +261,140 @@ TEST(DatasetTest, DeterministicForSameSeed) {
   EXPECT_EQ(a.graph.edge_src(), b.graph.edge_src());
   EXPECT_TRUE(a.features.AllClose(b.features));
   EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(DatasetTest, UnknownNameIsAStructuredError) {
+  StatusOr<Dataset> missing = TryMakeDatasetByName("no-such-dataset", {});
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("no-such-dataset"), std::string::npos);
+  // The error lists the valid catalogue so the caller can self-correct.
+  EXPECT_NE(missing.status().message().find("cora"), std::string::npos);
+}
+
+// ---- Corrupt-fixture loader errors: every failure is a Status naming the
+// file and the line (text) or byte offset (binary) — loaders never abort.
+
+std::string CorruptFixturePath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteText(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+}
+
+TEST(GraphIoErrorTest, MalformedTsvNamesFileAndLine) {
+  const std::string path = CorruptFixturePath("corrupt_edges.tsv");
+  WriteText(path, "# comment\n0\t1\n2\tnot_a_vertex\n");
+  StatusOr<Graph> loaded = LoadEdgeListTsv(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(path + ":3"), std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, InconsistentTsvColumnsRejected) {
+  const std::string path = CorruptFixturePath("mixed_columns.tsv");
+  WriteText(path, "0\t1\t0\n1\t2\n");
+  StatusOr<Graph> loaded = LoadEdgeListTsv(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_NE(loaded.status().message().find(path + ":2"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("column"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, BadMatrixMarketBannerRejected) {
+  const std::string path = CorruptFixturePath("bad_banner.mtx");
+  WriteText(path, "%%NotMatrixMarket whatever\n3 3 1\n1 2\n");
+  StatusOr<Graph> loaded = LoadMatrixMarket(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(path + ":1"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, MatrixMarketIndexOutOfRangeRejected) {
+  const std::string path = CorruptFixturePath("oob_index.mtx");
+  WriteText(path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n"
+            "1 2\n"
+            "9 1\n");  // Row 9 of a 3x3 matrix.
+  StatusOr<Graph> loaded = LoadMatrixMarket(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("out of bounds"), std::string::npos)
+      << loaded.status().ToString();
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, MatrixMarketTruncatedEntryListIsDataLoss) {
+  const std::string path = CorruptFixturePath("short_entries.mtx");
+  WriteText(path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 4\n"  // Promises 4 entries, delivers 1.
+            "1 2\n");
+  StatusOr<Graph> loaded = LoadMatrixMarket(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, TruncatedBinaryNamesByteOffset) {
+  const std::string path = CorruptFixturePath("truncated_graph.ssg");
+  Graph g = Fig7Graph(/*sorted=*/false);
+  ASSERT_TRUE(SaveGraphBinary(g, path));
+  const uintmax_t full_size = std::filesystem::file_size(path);
+  ASSERT_GT(full_size, 12u);
+  std::filesystem::resize_file(path, full_size - 9);
+
+  StatusOr<Graph> loaded = LoadGraphBinary(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+  // The message pinpoints where the bytes ran out.
+  const bool names_offset =
+      loaded.status().message().find("byte offset") != std::string::npos ||
+      loaded.status().message().find("end of file") != std::string::npos;
+  EXPECT_TRUE(names_offset) << loaded.status().ToString();
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, BinaryWithWrongMagicRejectedUpFront) {
+  const std::string path = CorruptFixturePath("wrong_magic.ssg");
+  WriteText(path, "GIF89a definitely not a graph");
+  StatusOr<Graph> loaded = LoadGraphBinary(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIoErrorTest, MissingFileIsNotFound) {
+  StatusOr<Graph> loaded = LoadEdgeListTsv(CorruptFixturePath("never_written.tsv"));
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoErrorTest, InjectedReadFaultSurfacesAsUnavailable) {
+  ScopedFaultClear clear;
+  const std::string path = CorruptFixturePath("fault_inject.tsv");
+  WriteText(path, "0\t1\n1\t2\n");
+  FaultInjector::Get().Arm(FaultSite::kGraphRead, /*after_n=*/0, /*count=*/1);
+
+  StatusOr<Graph> faulted = LoadEdgeListTsv(path);
+  ASSERT_FALSE(faulted.has_value());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(faulted.status().message().find("injected"), std::string::npos);
+
+  // The single-shot window is spent: the very next read succeeds.
+  StatusOr<Graph> ok = LoadEdgeListTsv(path);
+  ASSERT_TRUE(ok.has_value()) << ok.status().ToString();
+  EXPECT_EQ(ok->num_edges(), 2);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -219,6 +219,58 @@ TEST(OpsTest, SoftmaxNumericallyStableForLargeInputs) {
   EXPECT_NEAR(s.at(0, 0) + s.at(0, 1) + s.at(0, 2), 1.0f, 1e-5);
 }
 
+// Regression: logits at the edge of float range (or overflowed to ±inf
+// upstream) must yield finite log-probs and a finite cross-entropy — the
+// naive x - logsumexp(x) underflows to -inf in float here, which then turns
+// the training loss into inf and kills a long run.
+TEST(OpsTest, LogSoftmaxFiniteAtExtremeMagnitudes) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a({4, 3},
+           {3.0e38f, -3.0e38f, 0.0f,     // Full float dynamic range in one row.
+            -3.0e38f, -3.0e38f, -3.0e38f,  // All minimal: uniform, not NaN.
+            inf, 0.0f, -inf,             // Overflowed inputs.
+            1e30f, 1e30f, 1e30f});
+  Tensor lp = ops::LogSoftmax(a);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FALSE(std::isnan(lp.at(i, j))) << "row " << i << " col " << j;
+      EXPECT_FALSE(std::isinf(lp.at(i, j))) << "row " << i << " col " << j;
+      EXPECT_LE(lp.at(i, j), 0.0f);
+    }
+  }
+  // Uniform rows stay uniform: log(1/3).
+  EXPECT_NEAR(lp.at(1, 0), std::log(1.0f / 3.0f), 1e-4f);
+  EXPECT_NEAR(lp.at(3, 1), std::log(1.0f / 3.0f), 1e-4f);
+  // The dominant logit keeps probability ~1.
+  EXPECT_NEAR(lp.at(0, 0), 0.0f, 1e-4f);
+  EXPECT_NEAR(lp.at(2, 0), 0.0f, 1e-4f);
+
+  // The loss built on top is finite as well.
+  const float loss = ops::NllLoss(lp, {1, 2, 2, 0}, {});
+  EXPECT_TRUE(std::isfinite(loss));
+
+  // And so is the fused cross-entropy gradient.
+  Tensor grad = ops::CrossEntropyGrad(lp, {1, 2, 2, 0}, {});
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(grad.data()[i]));
+  }
+}
+
+TEST(OpsTest, SoftmaxFiniteAtExtremeMagnitudes) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a({2, 3}, {3.0e38f, -3.0e38f, 0.0f, inf, -inf, 0.0f});
+  Tensor s = ops::Softmax(a);
+  for (int64_t i = 0; i < 2; ++i) {
+    float total = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(std::isfinite(s.at(i, j)));
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+    EXPECT_NEAR(s.at(i, 0), 1.0f, 1e-5f);  // The dominant entry wins.
+  }
+}
+
 TEST(OpsTest, NllLossHandComputed) {
   // log_probs for 2 rows, labels pick -1.0 and -0.5.
   Tensor lp({2, 2}, {-1.0f, -0.3f, -0.5f, -2.0f});
