@@ -1,0 +1,223 @@
+// Steady-state training cost: per-epoch wall time and allocator behaviour
+// for GCN/GAT on the synthetic datasets under the Seastar backend.
+//
+// This is the perf-trajectory bench for ISSUE 3's steady-state work (pool
+// allocator, plan cache, parallel pointwise layer): epoch 0 pays warmup
+// (pool cold, plans uncompiled), epochs >= kSteadyFirstEpoch should run with
+// ~zero fresh mallocs and zero plan-cache misses. Emits a machine-readable
+// JSON report (--out=, default BENCH_train_epoch.json) so CI can assert the
+// steady-state invariants and the numbers can be tracked across PRs.
+//
+// Flags (on top of the shared bench flags --datasets/--epochs/--warmup/
+// --scale/--max-feat/--profile):
+//   --models=gcn,gat   model filter (default: both)
+//   --out=<path>       JSON report path (default: BENCH_train_epoch.json)
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/core/backend.h"
+#include "src/core/models/gat.h"
+#include "src/core/models/gcn.h"
+#include "src/core/nn.h"
+#include "src/exec/plan_cache.h"
+#include "src/tensor/allocator.h"
+#include "src/tensor/autograd.h"
+
+namespace seastar {
+namespace bench {
+namespace {
+
+// First epoch counted as steady state (0-based): epoch 0 warms the pool and
+// the plan cache, epoch 1 absorbs any second-order effects (e.g. the
+// backward graph's first full reuse), epoch 2+ must be steady.
+constexpr int kSteadyFirstEpoch = 2;
+
+struct EpochStats {
+  double wall_ms = 0.0;
+  uint64_t alloc_requests = 0;  // TensorAllocator::total_allocations delta.
+  uint64_t fresh_mallocs = 0;   // Requests that reached std::malloc.
+  uint64_t pool_hits = 0;
+  uint64_t plan_misses = 0;  // PlanCache misses (compilations) this epoch.
+  float loss = 0.0f;
+};
+
+struct RunReport {
+  std::string model;
+  std::string dataset;
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  std::vector<EpochStats> epochs;
+  double steady_avg_ms = 0.0;
+  double steady_fresh_mallocs = 0.0;
+  double steady_alloc_requests = 0.0;
+};
+
+using ModelFactory =
+    std::function<std::unique_ptr<GnnModel>(const Dataset&, const BackendConfig&)>;
+
+RunReport RunOne(const std::string& model_name, const ModelFactory& factory,
+                 const DatasetSpec& spec, const BenchOptions& options, Profiler* profiler) {
+  Dataset data = LoadDataset(spec, options);
+  BackendConfig backend;
+  backend.backend = Backend::kSeastar;
+  std::unique_ptr<GnnModel> model = factory(data, backend);
+  model->SetProfiler(profiler);
+
+  std::vector<Var> parameters = model->Parameters();
+  Adam adam(parameters, /*lr=*/0.01f);
+
+  TensorAllocator& allocator = TensorAllocator::Get();
+  PlanCache& plans = PlanCache::Get();
+
+  RunReport report;
+  report.model = model_name;
+  report.dataset = spec.name;
+  report.num_vertices = data.spec.num_vertices;
+  report.num_edges = data.spec.num_edges;
+
+  const int epochs = options.epochs + options.warmup;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const uint64_t requests_before = allocator.total_allocations();
+    const uint64_t mallocs_before = allocator.fresh_mallocs();
+    const uint64_t hits_before = allocator.pool_hits();
+    const uint64_t plan_misses_before = plans.misses();
+    Stopwatch watch;
+
+    ProfileScope epoch_span(profiler, spec.name + "/" + model_name + " epoch", "bench");
+    Var logits = model->Forward(/*training=*/true);
+    Var loss = ag::NllLoss(ag::LogSoftmax(logits), data.labels, data.train_mask);
+    Backward(loss, Tensor::Ones({1}));
+    adam.Step();
+    adam.ZeroGrad();
+
+    EpochStats stats;
+    stats.wall_ms = watch.ElapsedMillis();
+    stats.loss = loss.value().at(0);
+    stats.alloc_requests = allocator.total_allocations() - requests_before;
+    stats.fresh_mallocs = allocator.fresh_mallocs() - mallocs_before;
+    stats.pool_hits = allocator.pool_hits() - hits_before;
+    stats.plan_misses = plans.misses() - plan_misses_before;
+    report.epochs.push_back(stats);
+  }
+
+  int steady = 0;
+  for (size_t e = kSteadyFirstEpoch; e < report.epochs.size(); ++e) {
+    report.steady_avg_ms += report.epochs[e].wall_ms;
+    report.steady_fresh_mallocs += static_cast<double>(report.epochs[e].fresh_mallocs);
+    report.steady_alloc_requests += static_cast<double>(report.epochs[e].alloc_requests);
+    ++steady;
+  }
+  if (steady > 0) {
+    report.steady_avg_ms /= steady;
+    report.steady_fresh_mallocs /= steady;
+    report.steady_alloc_requests /= steady;
+  }
+  model->SetProfiler(nullptr);
+  return report;
+}
+
+void WriteJson(const std::string& path, const std::vector<RunReport>& reports) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"train_epoch\",\n  \"steady_first_epoch\": %d,\n",
+               kSteadyFirstEpoch);
+  std::fprintf(file, "  \"runs\": [");
+  for (size_t r = 0; r < reports.size(); ++r) {
+    const RunReport& report = reports[r];
+    std::fprintf(file, "%s\n    {\"model\": \"%s\", \"dataset\": \"%s\",", r > 0 ? "," : "",
+                 report.model.c_str(), report.dataset.c_str());
+    std::fprintf(file, " \"num_vertices\": %lld, \"num_edges\": %lld,\n",
+                 static_cast<long long>(report.num_vertices),
+                 static_cast<long long>(report.num_edges));
+    std::fprintf(file,
+                 "     \"steady_avg_ms\": %.3f, \"steady_fresh_mallocs\": %.1f,"
+                 " \"steady_alloc_requests\": %.1f,\n",
+                 report.steady_avg_ms, report.steady_fresh_mallocs,
+                 report.steady_alloc_requests);
+    std::fprintf(file, "     \"epochs\": [");
+    for (size_t e = 0; e < report.epochs.size(); ++e) {
+      const EpochStats& stats = report.epochs[e];
+      std::fprintf(file,
+                   "%s\n       {\"epoch\": %zu, \"wall_ms\": %.3f, \"alloc_requests\": %llu,"
+                   " \"fresh_mallocs\": %llu, \"pool_hits\": %llu, \"plan_misses\": %llu,"
+                   " \"loss\": %.6f}",
+                   e > 0 ? "," : "", e, stats.wall_ms,
+                   static_cast<unsigned long long>(stats.alloc_requests),
+                   static_cast<unsigned long long>(stats.fresh_mallocs),
+                   static_cast<unsigned long long>(stats.pool_hits),
+                   static_cast<unsigned long long>(stats.plan_misses), stats.loss);
+    }
+    std::fprintf(file, "\n     ]}");
+  }
+  std::fprintf(file, "\n  ]\n}\n");
+  std::fclose(file);
+  std::printf("\nreport: %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = ParseBenchOptions(argc, argv);
+  const std::string out_path = FlagValue(argc, argv, "out", "BENCH_train_epoch.json");
+  const std::string model_filter = FlagValue(argc, argv, "models", "gcn,gat");
+  BenchProfile profile(options);
+
+  std::vector<std::pair<std::string, ModelFactory>> models;
+  for (const std::string& name : Split(model_filter, ',')) {
+    if (name == "gcn") {
+      models.emplace_back("GCN", [](const Dataset& data, const BackendConfig& config) {
+        GcnConfig gcn;
+        gcn.hidden_dim = 16;
+        return std::unique_ptr<GnnModel>(new Gcn(data, gcn, config));
+      });
+    } else if (name == "gat") {
+      models.emplace_back("GAT", [](const Dataset& data, const BackendConfig& config) {
+        GatConfig gat;
+        return std::unique_ptr<GnnModel>(new Gat(data, gat, config));
+      });
+    } else {
+      std::fprintf(stderr, "unknown model '%s' (expected gcn/gat)\n", name.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("steady-state per-epoch training cost (Seastar backend)\n");
+  std::printf("(scale multiplier %.3g, %d epochs total, steady state = epoch %d+)\n\n",
+              options.scale_multiplier, options.epochs + options.warmup, kSteadyFirstEpoch);
+  std::printf("%-6s %-12s %10s %10s %12s %14s %14s\n", "model", "dataset", "|V|", "|E|",
+              "steady ms", "mallocs/epoch", "requests/epoch");
+  PrintHeaderRule(84);
+
+  std::vector<RunReport> reports;
+  for (const auto& [model_name, factory] : models) {
+    for (const DatasetSpec& spec : HomogeneousDatasets()) {
+      if (!DatasetSelected(options, spec.name)) {
+        continue;
+      }
+      RunReport report = RunOne(model_name, factory, spec, options, profile.sink());
+      std::printf("%-6s %-12s %10lld %10lld %12.3f %14.1f %14.1f\n", report.model.c_str(),
+                  report.dataset.c_str(), static_cast<long long>(report.num_vertices),
+                  static_cast<long long>(report.num_edges), report.steady_avg_ms,
+                  report.steady_fresh_mallocs, report.steady_alloc_requests);
+      std::fflush(stdout);
+      reports.push_back(std::move(report));
+    }
+  }
+
+  WriteJson(out_path, reports);
+  profile.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seastar
+
+int main(int argc, char** argv) { return seastar::bench::Main(argc, argv); }

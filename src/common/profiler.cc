@@ -114,6 +114,10 @@ std::string Profiler::ChromeTraceJson() const {
     arg("kernel_launches", event.kernel_launches);
     arg("alloc_delta_bytes", event.alloc_delta_bytes);
     arg("peak_delta_bytes", event.peak_delta_bytes);
+    arg("plan_cache_hits", event.plan_cache_hits);
+    arg("plan_cache_misses", event.plan_cache_misses);
+    arg("pool_hits", event.pool_hits);
+    arg("pool_misses", event.pool_misses);
     if (!event.schedule.empty()) {
       if (!first_arg) {
         os << ",";
@@ -146,6 +150,10 @@ std::string Profiler::SummaryTable() const {
     int64_t bytes = 0;
     int64_t dispatches = 0;
     int64_t launches = 0;
+    int64_t plan_hits = 0;
+    int64_t plan_misses = 0;
+    int64_t pool_hits = 0;
+    int64_t pool_misses = 0;
   };
   // Keyed by (category, name); std::map gives a stable report order.
   std::map<std::pair<std::string, std::string>, Row> rows;
@@ -160,22 +168,41 @@ std::string Profiler::SummaryTable() const {
     row.bytes += event.bytes_materialized;
     row.dispatches += event.dispatches;
     row.launches += event.kernel_launches;
+    row.plan_hits += event.plan_cache_hits;
+    row.plan_misses += event.plan_cache_misses;
+    row.pool_hits += event.pool_hits;
+    row.pool_misses += event.pool_misses;
   }
 
   std::ostringstream os;
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-8s %-36s %7s %12s %10s %14s %12s %10s\n", "category",
-                "name", "count", "total ms", "avg ms", "edges", "mat bytes", "launches");
+  char line[320];
+  std::snprintf(line, sizeof(line), "%-8s %-36s %7s %12s %10s %14s %12s %10s %9s %9s\n",
+                "category", "name", "count", "total ms", "avg ms", "edges", "mat bytes",
+                "launches", "plan h/m", "pool hit%");
   os << line;
-  os << std::string(110, '-') << "\n";
+  os << std::string(130, '-') << "\n";
   for (const auto& [key, row] : rows) {
-    std::snprintf(line, sizeof(line), "%-8s %-36s %7lld %12.3f %10.4f %14lld %12s %10lld\n",
+    // "plan h/m" and "pool hit%" only apply to spans that recorded the
+    // caching counters (exec runs, epochs); blank elsewhere.
+    char plan[48] = "";
+    if (row.plan_hits + row.plan_misses > 0) {
+      std::snprintf(plan, sizeof(plan), "%lld/%lld", static_cast<long long>(row.plan_hits),
+                    static_cast<long long>(row.plan_misses));
+    }
+    char pool[32] = "";
+    if (row.pool_hits + row.pool_misses > 0) {
+      std::snprintf(pool, sizeof(pool), "%5.1f",
+                    100.0 * static_cast<double>(row.pool_hits) /
+                        static_cast<double>(row.pool_hits + row.pool_misses));
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-8s %-36s %7lld %12.3f %10.4f %14lld %12s %10lld %9s %9s\n",
                   key.first.c_str(), key.second.substr(0, 36).c_str(),
                   static_cast<long long>(row.count), row.total_us / 1e3,
                   row.total_us / 1e3 / static_cast<double>(std::max<int64_t>(1, row.count)),
                   static_cast<long long>(row.edges),
                   HumanBytes(static_cast<uint64_t>(std::max<int64_t>(0, row.bytes))).c_str(),
-                  static_cast<long long>(row.launches));
+                  static_cast<long long>(row.launches), plan, pool);
     os << line;
   }
   return os.str();

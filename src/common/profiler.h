@@ -52,6 +52,13 @@ struct ProfileEvent {
   int64_t kernel_launches = 0;     // Kernel launches attributed to the span.
   int64_t alloc_delta_bytes = 0;   // Allocator live-byte delta (signed).
   int64_t peak_delta_bytes = 0;    // Allocator watermark rise within span.
+  // Steady-state caching counters (ISSUE 3): whether this span's plan came
+  // from the PlanCache, and how the span's allocations split between pool
+  // reuse (hits) and fresh OS mallocs (misses).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
   std::string schedule;            // Block-dispatch mode name; "" if n/a.
 };
 

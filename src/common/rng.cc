@@ -110,6 +110,38 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
+void Rng::FillDropoutMask(float* mask, int64_t n, double p, float keep_scale) {
+  if (p <= 0.0 || p >= 1.0) {
+    const float value = p <= 0.0 ? keep_scale : 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      mask[i] = value;
+    }
+    return;
+  }
+  // Inlined NextUint64/NextDouble with the xoshiro words in locals; the
+  // sequence is draw-for-draw what the per-element path would produce.
+  uint64_t s0 = state_[0];
+  uint64_t s1 = state_[1];
+  uint64_t s2 = state_[2];
+  uint64_t s3 = state_[3];
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t bits = Rotl(s1 * 5, 7) * 9;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    mask[i] = u < p ? 0.0f : keep_scale;
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
 size_t Rng::NextWeighted(const std::vector<double>& weights) {
   SEASTAR_CHECK(!weights.empty());
   double total = 0.0;

@@ -62,6 +62,12 @@ class Rng {
   // Returns true with probability p (clamped to [0, 1]).
   bool NextBernoulli(double p);
 
+  // mask[i] = 0.0f with probability p, else keep_scale, for i in [0, n).
+  // Consumes exactly the draws n successive NextBernoulli(p) calls would
+  // (so checkpointed streams replay identically); batched so the generator
+  // state stays in registers across the fill instead of a call per element.
+  void FillDropoutMask(float* mask, int64_t n, double p, float keep_scale);
+
   // Samples an index in [0, weights.size()) proportionally to weights.
   // All weights must be non-negative with a positive sum.
   size_t NextWeighted(const std::vector<double>& weights);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/parallel/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace seastar {
@@ -82,6 +83,15 @@ Var StackedRelationMatmul(const Var& x, const std::vector<Var>& weights) {
                       "stacked_relation_matmul");
 }
 
+namespace {
+
+// Optimizer updates are per-element independent, so chunking across the
+// thread pool is bitwise identical to the serial loop. Small parameters
+// (biases) stay on the calling thread via the grain threshold.
+constexpr int64_t kOptimizerGrain = 16384;
+
+}  // namespace
+
 void Sgd::Step() {
   for (Var& param : parameters_) {
     const Tensor& grad = param.grad();
@@ -91,9 +101,17 @@ void Sgd::Step() {
     Tensor& value = param.mutable_value();
     float* pv = value.data();
     const float* pg = grad.data();
-    for (int64_t i = 0; i < value.numel(); ++i) {
-      pv[i] -= lr_ * pg[i];
-    }
+    const float lr = lr_;
+    ParallelFor(
+        value.numel(),
+        [=](int64_t begin, int64_t end) {
+          const float* __restrict__ g = pg;
+          float* __restrict__ v = pv;
+          for (int64_t i = begin; i < end; ++i) {
+            v[i] -= lr * g[i];
+          }
+        },
+        kOptimizerGrain);
   }
 }
 
@@ -127,13 +145,26 @@ void Adam::Step() {
     const float* pg = grad.data();
     float* pm = m_[p].data();
     float* pvv = v_[p].data();
-    for (int64_t i = 0; i < value.numel(); ++i) {
-      pm[i] = beta1_ * pm[i] + (1.0f - beta1_) * pg[i];
-      pvv[i] = beta2_ * pvv[i] + (1.0f - beta2_) * pg[i] * pg[i];
-      const float m_hat = pm[i] / bias1;
-      const float v_hat = pvv[i] / bias2;
-      pv[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    const float lr = lr_;
+    const float beta1 = beta1_;
+    const float beta2 = beta2_;
+    const float eps = eps_;
+    ParallelFor(
+        value.numel(),
+        [=](int64_t begin, int64_t end) {
+          const float* __restrict__ g = pg;
+          float* __restrict__ v = pv;
+          float* __restrict__ m1 = pm;
+          float* __restrict__ m2 = pvv;
+          for (int64_t i = begin; i < end; ++i) {
+            m1[i] = beta1 * m1[i] + (1.0f - beta1) * g[i];
+            m2[i] = beta2 * m2[i] + (1.0f - beta2) * g[i] * g[i];
+            const float m_hat = m1[i] / bias1;
+            const float v_hat = m2[i] / bias2;
+            v[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+          }
+        },
+        kOptimizerGrain);
   }
 }
 

@@ -1,6 +1,7 @@
 #include "src/core/train.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "src/common/stopwatch.h"
 #include "src/core/checkpoint.h"
 #include "src/core/nn.h"
+#include "src/parallel/thread_pool.h"
 #include "src/tensor/allocator.h"
 #include "src/tensor/autograd.h"
 #include "src/tensor/ops.h"
@@ -19,12 +21,34 @@ namespace {
 
 bool TensorFinite(const Tensor& t) {
   const float* p = t.data();
-  for (int64_t i = 0; i < t.numel(); ++i) {
-    if (!std::isfinite(p[i])) {
-      return false;
+  const int64_t n = t.numel();
+  // Per-epoch health scan over every gradient: chunked across the thread
+  // pool (order-independent — any chunk finding a NaN/Inf flips the flag).
+  constexpr int64_t kScanGrain = 65536;
+  if (n <= kScanGrain) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(p[i])) {
+        return false;
+      }
     }
+    return true;
   }
-  return true;
+  std::atomic<bool> finite{true};
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        if (!finite.load(std::memory_order_relaxed)) {
+          return;
+        }
+        for (int64_t i = begin; i < end; ++i) {
+          if (!std::isfinite(p[i])) {
+            finite.store(false, std::memory_order_relaxed);
+            return;
+          }
+        }
+      },
+      kScanGrain);
+  return finite.load(std::memory_order_relaxed);
 }
 
 // "" when every defined gradient is finite, else the index of the first
@@ -197,6 +221,10 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
   const auto take_snapshot = [&](int completed_epoch) {
     ProfileScope span(profiler, "checkpoint epoch " + std::to_string(completed_epoch),
                       "checkpoint");
+    // Release pooled (cached, non-live) blocks so process footprint at
+    // snapshot time reflects live tensors only; the next epoch re-warms the
+    // pool from its own frees.
+    allocator.Trim();
     rollback =
         MakeSnapshot(model, parameters, adam.get(), completed_epoch, lr, retries_used, best_loss);
     if (config.checkpoint_path.empty()) {
@@ -230,6 +258,8 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     std::string detail;
 
     ProfileScope epoch_span(profiler, "epoch " + std::to_string(epoch), "train");
+    const uint64_t epoch_pool_hits_before = allocator.pool_hits();
+    const uint64_t epoch_fresh_mallocs_before = allocator.fresh_mallocs();
     Var logits;
     Var loss;
     float loss_value = 0.0f;
@@ -310,6 +340,10 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
         rollback.learning_rate = lr;
         Status restored = RestoreSnapshot(rollback, model, parameters, adam.get(), sgd.get());
         SEASTAR_CHECK(restored.ok()) << restored.ToString();
+        // A recovery is a memory-pressure moment (the poisoned epoch's
+        // tensors were just dropped): return the pool's cache to the OS
+        // before retrying.
+        allocator.Trim();
       }
       result.recovery_events.push_back({.epoch = epoch,
                                         .kind = problem,
@@ -334,6 +368,11 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     last_logits = logits.value();
     result.peak_bytes = std::max(result.peak_bytes, allocator.peak_bytes());
     best_loss = std::min(best_loss, loss_value);
+    if (ProfileEvent* event = epoch_span.event()) {
+      event->pool_hits = static_cast<int64_t>(allocator.pool_hits() - epoch_pool_hits_before);
+      event->pool_misses =
+          static_cast<int64_t>(allocator.fresh_mallocs() - epoch_fresh_mallocs_before);
+    }
 
     const double epoch_ms = epoch_watch.ElapsedMillis();
     ++processed_epochs;

@@ -1,0 +1,50 @@
+#include "src/exec/plan_cache.h"
+
+namespace seastar {
+
+PlanCache& PlanCache::Get() {
+  static PlanCache* instance = new PlanCache();
+  return *instance;
+}
+
+std::shared_ptr<const CompiledProgram> PlanCache::GetOrCompile(const GirGraph& gir,
+                                                              const FusionOptions& options,
+                                                              bool* cache_hit) {
+  const std::pair<uint64_t, bool> key{gir.Fingerprint(), options.enable_fusion};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) {
+        *cache_hit = true;
+      }
+      return it->second;
+    }
+  }
+  // Compile outside the lock: compilation is the expensive part and two
+  // threads racing on the same new GIR just do redundant work once.
+  std::shared_ptr<const CompiledProgram> program = CompileProgram(gir, options);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kMaxEntries) {
+    entries_.clear();
+  }
+  auto [it, inserted] = entries_.emplace(key, std::move(program));
+  return it->second;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace seastar

@@ -1,0 +1,70 @@
+// Process-wide cache of CompiledPrograms, keyed by GIR content fingerprint
+// and the fusion options that shaped the plan.
+//
+// SeastarExecutor instances are throwaway (the backend constructs one per
+// call), so the cache must outlive them: it is a singleton, like the tensor
+// allocator. Keying by GirGraph::Fingerprint() rather than object identity
+// means a VertexProgram's forward and backward GIRs are planned and
+// register-compiled exactly once per process no matter how many epochs run,
+// and a rebuilt-but-identical GIR still hits.
+//
+// Invalidation rules:
+//   * options change  -> enable_fusion is part of the key; other executor
+//     options (block size, schedule) do not affect compilation, only launch
+//     geometry, which is memoized per (num_items, block_size) inside the
+//     CompiledProgram and so misses naturally when they change.
+//   * graph change    -> compilation never reads the graph; the per-graph
+//     state (geometry, degree tensors) is keyed by graph properties and
+//     cached on the Graph object itself.
+//   * GIR change      -> different fingerprint, different entry.
+// Clear() drops everything (tests use it to get deterministic miss counts).
+#ifndef SRC_EXEC_PLAN_CACHE_H_
+#define SRC_EXEC_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/exec/compiled_program.h"
+#include "src/gir/fusion.h"
+#include "src/gir/ir.h"
+
+namespace seastar {
+
+class PlanCache {
+ public:
+  static PlanCache& Get();
+
+  // Returns the cached program for (gir fingerprint, options), compiling on
+  // first sight. `cache_hit`, if non-null, reports whether this call was
+  // served from the cache.
+  std::shared_ptr<const CompiledProgram> GetOrCompile(const GirGraph& gir,
+                                                      const FusionOptions& options,
+                                                      bool* cache_hit = nullptr);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  void Clear();
+
+ private:
+  PlanCache() = default;
+
+  // A process runs a handful of distinct GIRs (a few per model layer); the
+  // bound only guards against a pathological caller compiling unbounded
+  // fresh GIRs. Eviction is wholesale — LRU bookkeeping is not worth it for
+  // a cache that is effectively never full.
+  static constexpr size_t kMaxEntries = 256;
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<uint64_t, bool>, std::shared_ptr<const CompiledProgram>> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_PLAN_CACHE_H_

@@ -11,30 +11,50 @@
 
 namespace seastar {
 
+// Applies a binary op with the broadcast pattern hoisted out of the element
+// loop: each variant is a tight loop over constant-stride operands the
+// compiler can autovectorize, instead of a per-element `wa == 1 ? 0 : j`
+// select. Semantics identical to the indexed form for every width mix.
+template <typename F>
+inline void BinaryBroadcastLoop(float* out, int32_t w, const float* a, int32_t wa, const float* b,
+                                int32_t wb, F f) {
+  if (wa == w && wb == 1) {
+    const float s = b[0];
+    for (int32_t j = 0; j < w; ++j) {
+      out[j] = f(a[j], s);
+    }
+  } else if (wa == 1 && wb == w) {
+    const float s = a[0];
+    for (int32_t j = 0; j < w; ++j) {
+      out[j] = f(s, b[j]);
+    }
+  } else if (wa == w && wb == w) {
+    for (int32_t j = 0; j < w; ++j) {
+      out[j] = f(a[j], b[j]);
+    }
+  } else {
+    for (int32_t j = 0; j < w; ++j) {
+      out[j] = f(a[wa == 1 ? 0 : j], b[wb == 1 ? 0 : j]);
+    }
+  }
+}
+
 // out[0..w) = op(a, b) with width-1 broadcast on either operand. For
 // kDotProduct / kReduceWidthSum, w is the *input* width and out has width 1.
 inline void PointwiseApply(OpKind kind, float attr, float* out, int32_t w, const float* a,
                            int32_t wa, const float* b, int32_t wb) {
   switch (kind) {
     case OpKind::kAdd:
-      for (int32_t j = 0; j < w; ++j) {
-        out[j] = a[wa == 1 ? 0 : j] + b[wb == 1 ? 0 : j];
-      }
+      BinaryBroadcastLoop(out, w, a, wa, b, wb, [](float x, float y) { return x + y; });
       return;
     case OpKind::kSub:
-      for (int32_t j = 0; j < w; ++j) {
-        out[j] = a[wa == 1 ? 0 : j] - b[wb == 1 ? 0 : j];
-      }
+      BinaryBroadcastLoop(out, w, a, wa, b, wb, [](float x, float y) { return x - y; });
       return;
     case OpKind::kMul:
-      for (int32_t j = 0; j < w; ++j) {
-        out[j] = a[wa == 1 ? 0 : j] * b[wb == 1 ? 0 : j];
-      }
+      BinaryBroadcastLoop(out, w, a, wa, b, wb, [](float x, float y) { return x * y; });
       return;
     case OpKind::kDiv:
-      for (int32_t j = 0; j < w; ++j) {
-        out[j] = a[wa == 1 ? 0 : j] / b[wb == 1 ? 0 : j];
-      }
+      BinaryBroadcastLoop(out, w, a, wa, b, wb, [](float x, float y) { return x / y; });
       return;
     case OpKind::kDotProduct: {
       float acc = 0.0f;

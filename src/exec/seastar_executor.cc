@@ -7,71 +7,15 @@
 
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
+#include "src/exec/compiled_program.h"
 #include "src/exec/kernel_counter.h"
+#include "src/exec/plan_cache.h"
 #include "src/exec/pointwise.h"
 #include "src/parallel/thread_pool.h"
 #include "src/tensor/allocator.h"
 
 namespace seastar {
 namespace {
-
-// Where an operand's bytes come from at kernel time.
-enum class Src : uint8_t {
-  kReg,        // Scratch register of the current FAT group.
-  kKeyRow,     // base + key_vertex * width (key-side vertex tensor).
-  kNbrRow,     // base + nbr_vertex * width.
-  kEdgeRow,    // base + edge_id * width.
-  kTypedRow,   // base + (edge_type * num_vertices + nbr_vertex) * width.
-  kScalar,     // Immediate.
-};
-
-struct Operand {
-  Src src = Src::kScalar;
-  int32_t reg = 0;
-  const float* base = nullptr;
-  int32_t width = 1;
-  float scalar = 0.0f;
-};
-
-// Where a computed value is written (if materialized).
-enum class MatKind : uint8_t { kNone, kKeyRow, kNbrRow, kEdgeRow };
-
-struct Instr {
-  OpKind kind = OpKind::kIdentity;
-  int32_t width = 1;
-  float attr = 0.0f;
-  Operand a;
-  Operand b;
-  bool binary = false;
-  int32_t out_reg = 0;
-  MatKind mat = MatKind::kNone;
-  float* mat_base = nullptr;
-};
-
-struct AggInstr {
-  OpKind kind = OpKind::kAggSum;
-  int32_t width = 1;
-  Operand input;
-  int32_t acc_reg = 0;    // Outer accumulator.
-  int32_t inner_reg = 0;  // Inner (per-type) accumulator for typed aggs.
-  // Materialization (aggregation results are key-side rows, except
-  // kAggTypedToSrc which writes a [num_types, N, width] stack).
-  float* mat_base = nullptr;
-  bool materialized = false;
-  int64_t typed_rows = 0;  // = num_vertices for kAggTypedToSrc.
-};
-
-struct CompiledUnit {
-  GraphType orientation = GraphType::kDst;
-  bool needs_edge_loop = false;
-  bool has_typed_agg = false;
-  std::vector<Instr> invariant;  // Key-side pre ops (loop hoisted).
-  std::vector<Instr> edge;       // Per-edge ops.
-  std::vector<AggInstr> aggs;
-  std::vector<Instr> post;       // Post-aggregation key-side ops.
-  int32_t scratch_floats = 0;
-  int32_t max_width = 1;
-};
 
 inline const float* Resolve(const Operand& op, const float* scratch, int64_t key, int64_t nbr,
                             int64_t eid, int32_t etype, int64_t typed_stride) {
@@ -106,26 +50,135 @@ inline void AtomicStoreRow(float* dst, const float* src, int32_t width) {
   }
 }
 
-// Trace label for a fused unit: "unit3:Mul+AggSum".
-std::string UnitLabel(const GirGraph& gir, const FusedUnit& fused, size_t index) {
-  std::string label = "unit" + std::to_string(index) + ":";
-  for (size_t i = 0; i < fused.nodes.size(); ++i) {
-    if (label.size() > 48) {
-      label += "+…";
-      break;
-    }
-    if (i > 0) {
-      label += "+";
-    }
-    label += OpKindName(gir.node(fused.nodes[i]).kind);
-  }
-  return label;
-}
-
 // Per-worker hot-loop counter, cacheline-padded against false sharing.
 struct alignas(64) WorkerEdgeCount {
   int64_t edges = 0;
 };
+
+// ---- FastPath edge loops ------------------------------------------------------------------------
+// Operand resolution for the specialized loops: registers, immediates and key
+// rows do not change across one vertex's edge loop and collapse to a single
+// pointer; nbr/edge rows index their base per slot.
+enum class RowVary : uint8_t { kFixed, kNbr, kEdge };
+
+inline RowVary ClassifyRow(const Operand& op, const float* scratch, int64_t key,
+                           const float** fixed) {
+  switch (op.src) {
+    case Src::kReg:
+      *fixed = scratch + op.reg;
+      return RowVary::kFixed;
+    case Src::kScalar:
+      *fixed = &op.scalar;
+      return RowVary::kFixed;
+    case Src::kKeyRow:
+      *fixed = op.base + key * op.width;
+      return RowVary::kFixed;
+    case Src::kNbrRow:
+      return RowVary::kNbr;
+    case Src::kEdgeRow:
+      return RowVary::kEdge;
+    case Src::kTypedRow:
+      break;  // Excluded by fast-path detection.
+  }
+  return RowVary::kFixed;
+}
+
+// Fused replacements for the interpreted edge loop (semantics identical; see
+// FastPath in compiled_program.h). These exist because per-edge dispatch —
+// two operand switches, an op switch and an agg switch — costs more than the
+// arithmetic itself at GNN feature widths.
+inline void RunFastEdgeLoop(const CompiledUnit& unit, const Csr& csr, float* scratch, int64_t key,
+                            int64_t begin, int64_t end) {
+  const AggInstr& agg = unit.aggs[0];
+  float* __restrict__ acc = scratch + agg.acc_reg;
+  const int32_t w = agg.width;
+
+  if (unit.fast_path == FastPath::kCopySum) {
+    const Operand& in = agg.input;
+    const float* fixed = nullptr;
+    const RowVary vary = ClassifyRow(in, scratch, key, &fixed);
+    const auto row = [&](int64_t slot) {
+      return vary == RowVary::kFixed
+                 ? fixed
+                 : in.base + (vary == RowVary::kNbr ? csr.nbr_ids[static_cast<size_t>(slot)]
+                                                    : csr.edge_ids[static_cast<size_t>(slot)]) *
+                                 in.width;
+    };
+    if (in.width == 1 && w > 1) {
+      for (int64_t slot = begin; slot < end; ++slot) {
+        const float s = row(slot)[0];
+        for (int32_t j = 0; j < w; ++j) {
+          acc[j] += s;
+        }
+      }
+    } else {
+      for (int64_t slot = begin; slot < end; ++slot) {
+        const float* __restrict__ x = row(slot);
+        for (int32_t j = 0; j < w; ++j) {
+          acc[j] += x[j];
+        }
+      }
+    }
+    return;
+  }
+
+  // kMulSum: acc[j] += a[j] * b[j], width-1 broadcast on either operand.
+  const Instr& mul = unit.edge[0];
+  const int32_t wa = mul.a.width;
+  const int32_t wb = mul.b.width;
+  const float* a_fixed = nullptr;
+  const float* b_fixed = nullptr;
+  const RowVary a_vary = ClassifyRow(mul.a, scratch, key, &a_fixed);
+  const RowVary b_vary = ClassifyRow(mul.b, scratch, key, &b_fixed);
+  const auto a_row = [&](int64_t slot) {
+    return a_vary == RowVary::kFixed
+               ? a_fixed
+               : mul.a.base + (a_vary == RowVary::kNbr ? csr.nbr_ids[static_cast<size_t>(slot)]
+                                                       : csr.edge_ids[static_cast<size_t>(slot)]) *
+                                  wa;
+  };
+  const auto b_row = [&](int64_t slot) {
+    return b_vary == RowVary::kFixed
+               ? b_fixed
+               : mul.b.base + (b_vary == RowVary::kNbr ? csr.nbr_ids[static_cast<size_t>(slot)]
+                                                       : csr.edge_ids[static_cast<size_t>(slot)]) *
+                                  wb;
+  };
+  if (wa == w && wb == 1) {
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const float* __restrict__ x = a_row(slot);
+      const float s = b_row(slot)[0];
+      for (int32_t j = 0; j < w; ++j) {
+        acc[j] += x[j] * s;
+      }
+    }
+  } else if (wa == 1 && wb == w) {
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const float s = a_row(slot)[0];
+      const float* __restrict__ y = b_row(slot);
+      for (int32_t j = 0; j < w; ++j) {
+        acc[j] += s * y[j];
+      }
+    }
+  } else if (wa == w && wb == w) {
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const float* __restrict__ x = a_row(slot);
+      const float* __restrict__ y = b_row(slot);
+      for (int32_t j = 0; j < w; ++j) {
+        acc[j] += x[j] * y[j];
+      }
+    }
+  } else {
+    // Unusual width mix; keep the broadcast-indexed form.
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const float* x = a_row(slot);
+      const float* y = b_row(slot);
+      for (int32_t j = 0; j < w; ++j) {
+        acc[j] += x[wa == 1 ? 0 : j] * y[wb == 1 ? 0 : j];
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -142,42 +195,36 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
   Profiler* profiler =
       ctx.profiler != nullptr && ctx.profiler->enabled() ? ctx.profiler : nullptr;
   ProfileScope run_span(profiler, "seastar", "exec");
-  const uint64_t run_live_before = TensorAllocator::Get().live_bytes();
-  const uint64_t run_peak_before = TensorAllocator::Get().peak_bytes();
+  const TensorAllocator& allocator = TensorAllocator::Get();
+  const uint64_t run_live_before = allocator.live_bytes();
+  const uint64_t run_peak_before = allocator.peak_bytes();
+  const uint64_t run_pool_hits_before = allocator.pool_hits();
+  const uint64_t run_fresh_mallocs_before = allocator.fresh_mallocs();
 
-  const ExecutionPlan plan = Plan(gir);
+  // Plan + register-compile once per distinct GIR, process-wide (keyed on
+  // content fingerprint and fusion options): epoch N>1 reuses the compiled
+  // template and only rebinds base pointers below.
+  FusionOptions fusion_options;
+  fusion_options.enable_fusion = options_.enable_fusion;
+  bool plan_hit = false;
+  const std::shared_ptr<const CompiledProgram> program =
+      PlanCache::Get().GetOrCompile(gir, fusion_options, &plan_hit);
+  const ExecutionPlan& plan = program->plan;
+
   const int64_t num_vertices = graph.num_vertices();
   const int64_t num_edges = graph.num_edges();
   const int32_t num_types = graph.num_edge_types();
 
-  // Degree tensors (width-1 vertex features) for kDegree leaves.
-  Tensor in_degree({num_vertices, 1});
-  Tensor out_degree({num_vertices, 1});
-  bool degrees_ready = false;
-  const auto ensure_degrees = [&] {
-    if (degrees_ready) {
-      return;
-    }
-    for (int64_t v = 0; v < num_vertices; ++v) {
-      in_degree.at(v, 0) = static_cast<float>(graph.InDegree(static_cast<int32_t>(v)));
-      out_degree.at(v, 0) = static_cast<float>(graph.OutDegree(static_cast<int32_t>(v)));
-    }
-    degrees_ready = true;
-  };
-
-  // Scalar values of P-typed nodes.
-  std::vector<float> scalar_value(static_cast<size_t>(gir.num_nodes()), 0.0f);
   // Materialized tensors by node id.
   auto saved = std::make_shared<std::map<int32_t, Tensor>>();
-  // Leaf bindings by node id (not owned by `saved` — they are caller inputs).
+  // Leaf bindings by node id (not owned by `saved` — caller inputs, plus the
+  // graph's cached degree tensors).
   std::map<int32_t, Tensor> leaf_value;
 
-  // Evaluate scalars and bind leaves up front.
+  // Bind leaves. Scalars (P-typed constants and arithmetic on them) were
+  // already evaluated at compile time into program->scalar_value.
   for (const Node& node : gir.nodes()) {
     switch (node.kind) {
-      case OpKind::kConst:
-        scalar_value[static_cast<size_t>(node.id)] = node.attr;
-        break;
       case OpKind::kInput: {
         if (node.type == GraphType::kEdge) {
           auto it = features.edge.find(node.name);
@@ -207,42 +254,17 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
         break;
       }
       case OpKind::kDegree:
-        ensure_degrees();
+        // Shallow copies of the graph's lazily-built caches.
+        leaf_value[node.id] =
+            node.type == GraphType::kDst ? graph.InDegreeTensor() : graph.OutDegreeTensor();
         break;
       default:
-        if (node.type == GraphType::kParam) {
-          // Scalar arithmetic on P values, evaluated host-side.
-          const auto sv = [&](int32_t id) { return scalar_value[static_cast<size_t>(id)]; };
-          float value = 0.0f;
-          switch (node.kind) {
-            case OpKind::kAdd:
-              value = sv(node.inputs[0]) + sv(node.inputs[1]);
-              break;
-            case OpKind::kSub:
-              value = sv(node.inputs[0]) - sv(node.inputs[1]);
-              break;
-            case OpKind::kMul:
-              value = sv(node.inputs[0]) * sv(node.inputs[1]);
-              break;
-            case OpKind::kDiv:
-              value = sv(node.inputs[0]) / sv(node.inputs[1]);
-              break;
-            case OpKind::kNeg:
-              value = -sv(node.inputs[0]);
-              break;
-            case OpKind::kExp:
-              value = std::exp(sv(node.inputs[0]));
-              break;
-            default:
-              SEASTAR_LOG(Fatal) << "unsupported scalar op " << OpKindName(node.kind);
-          }
-          scalar_value[static_cast<size_t>(node.id)] = value;
-        }
         break;
     }
   }
 
-  // Allocate materialized tensors.
+  // Allocate materialized tensors (served from the allocator's pool in
+  // steady state — same shapes every epoch).
   for (int32_t id = 0; id < gir.num_nodes(); ++id) {
     if (!plan.materialized[static_cast<size_t>(id)]) {
       continue;
@@ -259,132 +281,34 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
     (*saved)[id] = std::move(tensor);
   }
 
-  const auto materialized_base = [&](int32_t id) -> float* {
-    auto it = saved->find(id);
-    return it == saved->end() ? nullptr : it->second.data();
-  };
+  // Per-run base-pointer table, indexed by node id; PatchUnit splices these
+  // into copies of the compiled templates.
+  std::vector<float*> node_base(static_cast<size_t>(gir.num_nodes()), nullptr);
+  for (auto& [id, tensor] : leaf_value) {
+    node_base[static_cast<size_t>(id)] = tensor.data();
+  }
+  for (auto& [id, tensor] : *saved) {
+    node_base[static_cast<size_t>(id)] = tensor.data();
+  }
 
-  // ---- Compile and run each unit ----------------------------------------------------------------
+  // ---- Run each unit ----------------------------------------------------------------------------
   for (size_t unit_index = 0; unit_index < plan.units.size(); ++unit_index) {
     const FusedUnit& fused = plan.units[unit_index];
     ProfileScope unit_span(
-        profiler, profiler != nullptr ? UnitLabel(gir, fused, unit_index) : std::string(),
+        profiler, profiler != nullptr ? program->unit_labels[unit_index] : std::string(),
         "unit");
     AddKernelLaunches(1);
-    CompiledUnit unit;
-    unit.orientation = fused.orientation;
-    unit.needs_edge_loop = fused.needs_edge_loop;
+
+    CompiledUnit unit = program->units[unit_index];  // Copy the template...
+    PatchUnit(&unit, node_base, num_vertices);       // ...and bind this run's pointers.
 
     const Csr& csr =
         unit.orientation == GraphType::kDst ? graph.in_csr() : graph.out_csr();
 
-    // Register allocation.
-    std::map<int32_t, int32_t> reg_of;
-    int32_t cursor = 0;
-    for (int32_t id : fused.nodes) {
-      reg_of[id] = cursor;
-      cursor += gir.node(id).width;
-      unit.max_width = std::max(unit.max_width, gir.node(id).width);
-    }
-
-    const auto make_operand = [&](int32_t input_id) {
-      Operand op;
-      const Node& in = gir.node(input_id);
-      op.width = in.width;
-      auto reg_it = reg_of.find(input_id);
-      if (reg_it != reg_of.end()) {
-        op.src = Src::kReg;
-        op.reg = reg_it->second;
-        return op;
-      }
-      if (in.type == GraphType::kParam) {
-        op.src = Src::kScalar;
-        op.scalar = scalar_value[static_cast<size_t>(input_id)];
-        return op;
-      }
-      if (in.kind == OpKind::kDegree) {
-        op.src = in.type == unit.orientation ? Src::kKeyRow : Src::kNbrRow;
-        op.base = in.type == GraphType::kDst ? in_degree.data() : out_degree.data();
-        return op;
-      }
-      if (in.kind == OpKind::kInputTypedSrc) {
-        op.src = Src::kTypedRow;
-        op.base = leaf_value.at(input_id).data();
-        return op;
-      }
-      // Leaf input or another unit's materialized value.
-      const float* base = nullptr;
-      auto leaf_it = leaf_value.find(input_id);
-      if (leaf_it != leaf_value.end()) {
-        base = leaf_it->second.data();
-      } else {
-        base = materialized_base(input_id);
-        SEASTAR_CHECK(base != nullptr)
-            << "node %" << input_id << " consumed across units but not materialized";
-      }
-      op.base = base;
-      if (in.type == GraphType::kEdge) {
-        op.src = Src::kEdgeRow;
-      } else {
-        op.src = in.type == unit.orientation ? Src::kKeyRow : Src::kNbrRow;
-      }
-      return op;
-    };
-
-    for (int32_t id : fused.nodes) {
-      const Node& node = gir.node(id);
-      if (IsAggregation(node.kind)) {
-        AggInstr agg;
-        agg.kind = node.kind;
-        agg.width = node.width;
-        agg.input = make_operand(node.inputs[0]);
-        agg.acc_reg = reg_of.at(id);
-        if (node.kind == OpKind::kAggTypeSumThenMax || node.kind == OpKind::kAggTypedToSrc) {
-          agg.inner_reg = cursor;
-          cursor += node.width;
-          unit.has_typed_agg = true;
-        }
-        agg.materialized = plan.materialized[static_cast<size_t>(id)];
-        agg.mat_base = materialized_base(id);
-        agg.typed_rows = num_vertices;
-        unit.aggs.push_back(agg);
-        continue;
-      }
-      Instr instr;
-      instr.kind = node.kind;
-      instr.width = node.width;
-      instr.attr = node.attr;
-      instr.out_reg = reg_of.at(id);
-      instr.a = make_operand(node.inputs[0]);
-      if (node.inputs.size() > 1) {
-        instr.b = make_operand(node.inputs[1]);
-        instr.binary = true;
-      }
-      if (plan.materialized[static_cast<size_t>(id)]) {
-        instr.mat_base = materialized_base(id);
-        if (node.type == GraphType::kEdge) {
-          instr.mat = MatKind::kEdgeRow;
-        } else if (node.type == unit.orientation) {
-          instr.mat = MatKind::kKeyRow;
-        } else {
-          instr.mat = MatKind::kNbrRow;
-        }
-      }
-      const NodeStage stage = plan.stage[static_cast<size_t>(id)];
-      if (stage == NodeStage::kPost) {
-        unit.post.push_back(instr);
-      } else if (node.type == unit.orientation || node.type == GraphType::kParam) {
-        unit.invariant.push_back(instr);
-      } else {
-        unit.edge.push_back(instr);
-      }
-    }
-    unit.scratch_floats = cursor;
-
     // ---- Launch -------------------------------------------------------------------------------
     const int64_t typed_stride = num_vertices;
     const FatGeometry geometry =
-        FatGeometry::Compute(num_vertices, unit.max_width, options_.block_size);
+        program->GeometryFor(unit_index, num_vertices, options_.block_size);
     SimtLaunchStats launch_stats;
     SimtLaunchParams launch;
     launch.num_blocks = geometry.num_blocks;
@@ -450,7 +374,11 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
           edge_slots[worker].edges += degree;
         }
 
-        // 3. Edge-sequential loop (Alg. 1 lines 8-14).
+        // 3. Edge-sequential loop (Alg. 1 lines 8-14) — fused fast path when
+        // the unit's shape allows, interpreted otherwise.
+        if (unit.fast_path != FastPath::kNone) {
+          RunFastEdgeLoop(unit, csr, scratch, key, begin, end);
+        } else
         for (int64_t slot = begin; slot < end; ++slot) {
           const int64_t nbr = csr.nbr_ids[static_cast<size_t>(slot)];
           const int64_t eid = csr.edge_ids[static_cast<size_t>(slot)];
@@ -600,12 +528,16 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
   }
 
   if (ProfileEvent* event = run_span.event()) {
-    const TensorAllocator& allocator = TensorAllocator::Get();
     event->kernel_launches = static_cast<int64_t>(plan.units.size());
     event->alloc_delta_bytes = static_cast<int64_t>(allocator.live_bytes()) -
                                static_cast<int64_t>(run_live_before);
     event->peak_delta_bytes = static_cast<int64_t>(allocator.peak_bytes()) -
                               static_cast<int64_t>(run_peak_before);
+    event->plan_cache_hits = plan_hit ? 1 : 0;
+    event->plan_cache_misses = plan_hit ? 0 : 1;
+    event->pool_hits = static_cast<int64_t>(allocator.pool_hits() - run_pool_hits_before);
+    event->pool_misses =
+        static_cast<int64_t>(allocator.fresh_mallocs() - run_fresh_mallocs_before);
   }
 
   RunResult result;

@@ -1,6 +1,7 @@
 #include "src/gir/ir.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "src/common/logging.h"
@@ -168,6 +169,59 @@ int32_t GirGraph::AddNode(Node node) {
   }
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
+}
+
+namespace {
+
+// 64-bit FNV-1a. Chosen over std::hash for a stable, well-mixed digest whose
+// collisions are vanishingly unlikely for the handful of distinct GIRs a
+// process ever builds.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU32(uint64_t* h, uint32_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashString(uint64_t* h, const std::string& s) {
+  HashU32(h, static_cast<uint32_t>(s.size()));
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t GirGraph::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  HashU32(&h, static_cast<uint32_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    HashU32(&h, static_cast<uint32_t>(node.kind));
+    HashU32(&h, static_cast<uint32_t>(node.type));
+    HashU32(&h, static_cast<uint32_t>(node.width));
+    // Hash the attr's bit pattern, not its value: -0.0f vs 0.0f compile to
+    // different constants and NaN would otherwise never equal itself.
+    uint32_t attr_bits = 0;
+    std::memcpy(&attr_bits, &node.attr, sizeof(attr_bits));
+    HashU32(&h, attr_bits);
+    HashU32(&h, static_cast<uint32_t>(node.inputs.size()));
+    for (int32_t input : node.inputs) {
+      HashU32(&h, static_cast<uint32_t>(input));
+    }
+    HashString(&h, node.name);
+  }
+  HashU32(&h, static_cast<uint32_t>(outputs_.size()));
+  for (int32_t id : outputs_) {
+    HashU32(&h, static_cast<uint32_t>(id));
+  }
+  for (const std::string& name : output_names_) {
+    HashString(&h, name);
+  }
+  return h;
 }
 
 void GirGraph::AddOutput(int32_t id, std::string name) {

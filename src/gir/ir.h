@@ -117,6 +117,13 @@ class GirGraph {
  public:
   int32_t AddNode(Node node);  // Fills in id; returns it.
 
+  // Content fingerprint (FNV-1a over every node's kind/type/width/attr/
+  // inputs/name plus the output list). Two GIRs with equal fingerprints plan
+  // and compile identically, which is what the execution-plan cache keys on —
+  // identity by content, not by address, so a rebuilt-but-identical program
+  // still hits.
+  uint64_t Fingerprint() const;
+
   const Node& node(int32_t id) const { return nodes_[static_cast<size_t>(id)]; }
   Node& mutable_node(int32_t id) { return nodes_[static_cast<size_t>(id)]; }
   int32_t num_nodes() const { return static_cast<int32_t>(nodes_.size()); }

@@ -52,6 +52,32 @@ int64_t Graph::MaxInDegree() const {
   return best;
 }
 
+const Tensor& Graph::InDegreeTensor() const {
+  DegreeCache& cache = *degree_cache_;
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (!cache.in_degree.defined()) {
+    Tensor t({num_vertices_, 1});
+    for (int64_t v = 0; v < num_vertices_; ++v) {
+      t.at(v, 0) = static_cast<float>(InDegree(static_cast<int32_t>(v)));
+    }
+    cache.in_degree = std::move(t);
+  }
+  return cache.in_degree;
+}
+
+const Tensor& Graph::OutDegreeTensor() const {
+  DegreeCache& cache = *degree_cache_;
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (!cache.out_degree.defined()) {
+    Tensor t({num_vertices_, 1});
+    for (int64_t v = 0; v < num_vertices_; ++v) {
+      t.at(v, 0) = static_cast<float>(OutDegree(static_cast<int32_t>(v)));
+    }
+    cache.out_degree = std::move(t);
+  }
+  return cache.out_degree;
+}
+
 double Graph::AverageInDegree() const {
   return num_vertices_ > 0 ? static_cast<double>(num_edges_) / static_cast<double>(num_vertices_)
                            : 0.0;

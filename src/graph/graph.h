@@ -7,10 +7,13 @@
 #define SRC_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/graph/csr.h"
+#include "src/tensor/tensor.h"
 
 namespace seastar {
 
@@ -52,6 +55,13 @@ class Graph {
   int64_t MaxInDegree() const;
   double AverageInDegree() const;
 
+  // Degrees as [num_vertices, 1] tensors (what kDegree leaves and AggMean
+  // consume). Built lazily on first use and cached for the lifetime of the
+  // graph — the graph is immutable after FromCoo, so the cache never goes
+  // stale, and copies of the Graph share it.
+  const Tensor& InDegreeTensor() const;
+  const Tensor& OutDegreeTensor() const;
+
   // Approximate resident bytes of the graph indexes (both CSRs + COO).
   uint64_t IndexBytes() const;
 
@@ -67,6 +77,15 @@ class Graph {
   std::vector<int32_t> edge_type_;
   Csr in_csr_;
   Csr out_csr_;
+
+  // Lazily-built degree tensors. Kept behind a shared_ptr so Graph stays
+  // copyable (std::mutex is not) and all copies see one cache.
+  struct DegreeCache {
+    std::mutex mutex;
+    Tensor in_degree;
+    Tensor out_degree;
+  };
+  std::shared_ptr<DegreeCache> degree_cache_ = std::make_shared<DegreeCache>();
 };
 
 }  // namespace seastar

@@ -12,15 +12,62 @@ TensorAllocator& TensorAllocator::Get() {
   return *instance;
 }
 
+TensorAllocator::TensorAllocator() {
+  const char* env = std::getenv("SEASTAR_POOL");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    pooling_enabled_.store(false, std::memory_order_relaxed);
+  }
+}
+
+size_t TensorAllocator::SizeClassBytes(size_t bytes) {
+  constexpr size_t kMinClass = 64;
+  constexpr size_t kPageClass = 4096;
+  if (bytes <= kMinClass) {
+    return kMinClass;
+  }
+  if (bytes < kPageClass) {
+    size_t cls = kMinClass;
+    while (cls < bytes) {
+      cls <<= 1;
+    }
+    return cls;
+  }
+  return (bytes + kPageClass - 1) & ~(kPageClass - 1);
+}
+
 void* TensorAllocator::Allocate(size_t bytes) {
   FaultInjector& faults = FaultInjector::Get();
   if (faults.enabled() && faults.ShouldFail(FaultSite::kTensorAlloc)) {
     failure_injected_.store(true, std::memory_order_relaxed);
   }
-  void* ptr = std::malloc(bytes > 0 ? bytes : 1);
-  SEASTAR_CHECK(ptr != nullptr) << "host OOM allocating " << bytes << " bytes";
-  uint64_t live = live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   total_allocs_.fetch_add(1, std::memory_order_relaxed);
+
+  void* ptr = nullptr;
+  const size_t cls = SizeClassBytes(bytes);
+  if (pooling_enabled_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      auto it = pool_.find(cls);
+      if (it != pool_.end() && !it->second.empty()) {
+        ptr = it->second.back();
+        it->second.pop_back();
+      }
+    }
+    if (ptr != nullptr) {
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      pool_reuse_bytes_.fetch_add(cls, std::memory_order_relaxed);
+      pooled_bytes_.fetch_sub(cls, std::memory_order_relaxed);
+    } else {
+      pool_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (ptr == nullptr) {
+    ptr = std::malloc(cls);
+    SEASTAR_CHECK(ptr != nullptr) << "host OOM allocating " << bytes << " bytes";
+    fresh_mallocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t live = live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
 
   // Monotonic max update for the peak.
   uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
@@ -39,8 +86,35 @@ void TensorAllocator::Deallocate(void* ptr, size_t bytes) {
   if (ptr == nullptr) {
     return;
   }
-  std::free(ptr);
   live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (pooling_enabled_.load(std::memory_order_relaxed)) {
+    const size_t cls = SizeClassBytes(bytes);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      pool_[cls].push_back(ptr);
+    }
+    pooled_bytes_.fetch_add(cls, std::memory_order_relaxed);
+    return;
+  }
+  std::free(ptr);
+}
+
+uint64_t TensorAllocator::Trim() {
+  std::unordered_map<size_t, std::vector<void*>> drained;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    drained.swap(pool_);
+  }
+  uint64_t freed = 0;
+  for (auto& [cls, blocks] : drained) {
+    freed += cls * blocks.size();
+    for (void* block : blocks) {
+      std::free(block);
+    }
+  }
+  pooled_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  trims_.fetch_add(1, std::memory_order_relaxed);
+  return freed;
 }
 
 void TensorAllocator::ResetPeak() {

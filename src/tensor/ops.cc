@@ -11,28 +11,87 @@ namespace seastar {
 namespace ops {
 namespace {
 
-// Applies `fn` elementwise; shapes must match exactly, or `b` may be a
-// scalar tensor of shape {1} broadcast to every element of `a`.
+// Grain size (elements per chunk) for parallel pointwise loops. Below the
+// threshold the body runs inline on the calling thread — no std::function
+// hop, no dispatch — so the many small per-layer tensors (bias rows, scalar
+// grads) keep their current cost and only feature-sized tensors fan out.
+constexpr int64_t kPointwiseGrain = 32768;
+
+// Runs body(begin, end) over [0, n), chunked across the thread pool when n
+// is large enough to amortize dispatch. Chunks are disjoint, so any
+// per-element-independent body computes bitwise-identical results to the
+// serial loop regardless of thread count.
+template <typename Body>
+inline void ParallelPointwise(int64_t n, const Body& body) {
+  if (n <= kPointwiseGrain) {
+    body(0, n);
+    return;
+  }
+  ParallelFor(n, [&body](int64_t begin, int64_t end) { body(begin, end); }, kPointwiseGrain);
+}
+
+// Row-wise variant: body(row_begin, row_end) over [0, rows) of a matrix
+// whose rows hold `row_elems` elements each (grain scales inversely with the
+// row size so a chunk is always ~kPointwiseGrain elements of work).
+template <typename Body>
+inline void ParallelRowwise(int64_t rows, int64_t row_elems, const Body& body) {
+  const int64_t grain =
+      std::max<int64_t>(1, kPointwiseGrain / std::max<int64_t>(1, row_elems));
+  if (rows <= grain) {
+    body(0, rows);
+    return;
+  }
+  ParallelFor(rows, [&body](int64_t begin, int64_t end) { body(begin, end); }, grain);
+}
+
+// Applies `fn` elementwise; shapes must match exactly, or either side may be
+// a scalar tensor of shape {1} broadcast against the other (a-side scalar
+// matters for `scalar - tensor` / `scalar / tensor`).
 template <typename Fn>
 Tensor BinaryElementwise(const Tensor& a, const Tensor& b, Fn fn, const char* name) {
   SEASTAR_CHECK(a.defined() && b.defined()) << name << ": undefined input";
-  Tensor out(a.shape());
+  const bool a_scalar = a.numel() == 1 && b.numel() != 1;
+  const bool b_scalar = b.numel() == 1 && a.numel() != 1;
+  Tensor out(a_scalar ? b.shape() : a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  if (b.numel() == 1 && a.numel() != 1) {
+  const int64_t n = out.numel();
+  // Restrict-qualified copies live inside the chunk bodies (qualifiers do
+  // not survive lambda capture): the output tensor is freshly allocated, so
+  // it cannot alias either input and the loops autovectorize.
+  if (b_scalar) {
     const float s = pb[0];
-    for (int64_t i = 0; i < n; ++i) {
-      po[i] = fn(pa[i], s);
-    }
+    ParallelPointwise(n, [=](int64_t begin, int64_t end) {
+      const float* __restrict__ x = pa;
+      float* __restrict__ o = po;
+      for (int64_t i = begin; i < end; ++i) {
+        o[i] = fn(x[i], s);
+      }
+    });
+    return out;
+  }
+  if (a_scalar) {
+    const float s = pa[0];
+    ParallelPointwise(n, [=](int64_t begin, int64_t end) {
+      const float* __restrict__ y = pb;
+      float* __restrict__ o = po;
+      for (int64_t i = begin; i < end; ++i) {
+        o[i] = fn(s, y[i]);
+      }
+    });
     return out;
   }
   SEASTAR_CHECK(a.shape() == b.shape())
       << name << ": shape mismatch " << a.ShapeString() << " vs " << b.ShapeString();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fn(pa[i], pb[i]);
-  }
+  ParallelPointwise(n, [=](int64_t begin, int64_t end) {
+    const float* __restrict__ x = pa;
+    const float* __restrict__ y = pb;
+    float* __restrict__ o = po;
+    for (int64_t i = begin; i < end; ++i) {
+      o[i] = fn(x[i], y[i]);
+    }
+  });
   return out;
 }
 
@@ -43,9 +102,13 @@ Tensor UnaryElementwise(const Tensor& a, Fn fn, const char* name) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fn(pa[i]);
-  }
+  ParallelPointwise(n, [=](int64_t begin, int64_t end) {
+    const float* __restrict__ x = pa;
+    float* __restrict__ o = po;
+    for (int64_t i = begin; i < end; ++i) {
+      o[i] = fn(x[i]);
+    }
+  });
   return out;
 }
 
@@ -196,11 +259,17 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
   const float* pm = matrix.data();
   const float* pr = row.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) {
-      po[i * d + j] = pm[i * d + j] + (row.numel() == 1 ? pr[0] : pr[j]);
+  const bool scalar = row.numel() == 1;
+  ParallelRowwise(n, d, [=](int64_t row_begin, int64_t row_end) {
+    const float* __restrict__ m = pm;
+    const float* __restrict__ r = pr;
+    float* __restrict__ o = po;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        o[i * d + j] = m[i * d + j] + (scalar ? r[0] : r[j]);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -213,11 +282,17 @@ Tensor MulRowBroadcast(const Tensor& matrix, const Tensor& row) {
   const float* pm = matrix.data();
   const float* pr = row.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) {
-      po[i * d + j] = pm[i * d + j] * (row.numel() == 1 ? pr[0] : pr[j]);
+  const bool scalar = row.numel() == 1;
+  ParallelRowwise(n, d, [=](int64_t row_begin, int64_t row_end) {
+    const float* __restrict__ m = pm;
+    const float* __restrict__ r = pr;
+    float* __restrict__ o = po;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        o[i * d + j] = m[i * d + j] * (scalar ? r[0] : r[j]);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -230,16 +305,70 @@ Tensor MulColBroadcast(const Tensor& matrix, const Tensor& col) {
   const float* pm = matrix.data();
   const float* pc = col.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float s = pc[i];
-    for (int64_t j = 0; j < d; ++j) {
-      po[i * d + j] = pm[i * d + j] * s;
+  ParallelRowwise(n, d, [=](int64_t row_begin, int64_t row_end) {
+    const float* __restrict__ m = pm;
+    const float* __restrict__ c = pc;
+    float* __restrict__ o = po;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float s = c[i];
+      for (int64_t j = 0; j < d; ++j) {
+        o[i * d + j] = m[i * d + j] * s;
+      }
     }
-  }
+  });
   return out;
 }
 
 // ---- Linear algebra ------------------------------------------------------------------------------
+
+namespace {
+
+// Register-blocked ikj GEMM core: out[n, m] = a[n, k] @ b[k, m], all
+// row-major dense. The output row is produced in fixed-width panels whose
+// accumulators the compiler keeps in vector registers (the width must be a
+// compile-time constant for that — a runtime-length tile spills to the stack
+// and turns the k loop into a store-forward chain). No zero-skipping: GNN
+// activations are ~half zeros after dropout/ReLU, and a data-dependent branch
+// mispredicting on them costs more than the multiplies it saves.
+template <int kPanel>
+inline void GemmPanel(const float* __restrict__ arow, const float* __restrict__ pb,
+                      float* __restrict__ orow, int64_t k, int64_t m) {
+  float acc[kPanel] = {0.0f};
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float av = arow[kk];
+    const float* __restrict__ brow = pb + kk * m;
+    for (int j = 0; j < kPanel; ++j) {
+      acc[j] += av * brow[j];
+    }
+  }
+  for (int j = 0; j < kPanel; ++j) {
+    orow[j] = acc[j];
+  }
+}
+
+void GemmRowMajor(const float* pa, const float* pb, float* po, int64_t k, int64_t m,
+                  int64_t row_begin, int64_t row_end) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* __restrict__ arow = pa + i * k;
+    float* __restrict__ orow = po + i * m;
+    int64_t j0 = 0;
+    for (; j0 + 32 <= m; j0 += 32) {
+      GemmPanel<32>(arow, pb + j0, orow + j0, k, m);
+    }
+    for (; j0 + 8 <= m; j0 += 8) {
+      GemmPanel<8>(arow, pb + j0, orow + j0, k, m);
+    }
+    for (; j0 < m; ++j0) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * pb[kk * m + j0];
+      }
+      orow[j0] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
   SEASTAR_CHECK_EQ(a.ndim(), 2);
@@ -248,29 +377,13 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const int64_t n = a.dim(0);
   const int64_t k = a.dim(1);
   const int64_t m = b.dim(1);
-  Tensor out = Tensor::Zeros({n, m});
+  Tensor out({n, m});
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // ikj loop order: streams over b's rows, vectorizes the inner j loop.
   ParallelFor(
       n,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t i = row_begin; i < row_end; ++i) {
-          const float* arow = pa + i * k;
-          float* orow = po + i * m;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) {
-              continue;
-            }
-            const float* brow = pb + kk * m;
-            for (int64_t j = 0; j < m; ++j) {
-              orow[j] += av * brow[j];
-            }
-          }
-        }
-      },
+      [&](int64_t row_begin, int64_t row_end) { GemmRowMajor(pa, pb, po, k, m, row_begin, row_end); },
       /*min_chunk=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * m)));
   return out;
 }
@@ -282,26 +395,16 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
   const int64_t n = a.dim(0);
   const int64_t k = a.dim(1);
   const int64_t m = b.dim(0);
+  // b is streamed n times; transposing it once (a pooled allocation) turns
+  // every pass into the contiguous ikj kernel instead of k-strided dots.
+  Tensor bt = Transpose(b);
   Tensor out({n, m});
   const float* pa = a.data();
-  const float* pb = b.data();
+  const float* pb = bt.data();
   float* po = out.data();
   ParallelFor(
       n,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t i = row_begin; i < row_end; ++i) {
-          const float* arow = pa + i * k;
-          float* orow = po + i * m;
-          for (int64_t j = 0; j < m; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              acc += arow[kk] * brow[kk];
-            }
-            orow[j] = acc;
-          }
-        }
-      },
+      [&](int64_t row_begin, int64_t row_end) { GemmRowMajor(pa, pb, po, k, m, row_begin, row_end); },
       /*min_chunk=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, k * m)));
   return out;
 }
@@ -317,17 +420,14 @@ Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // Serial over n to avoid write contention on the [k, m] accumulator; the
-  // inner loops stream contiguously.
+  // Serial over n to avoid write contention on the [k, m] accumulator (which
+  // stays L1-resident at GNN sizes); the inner loops stream contiguously.
   for (int64_t i = 0; i < n; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * m;
+    const float* __restrict__ arow = pa + i * k;
+    const float* __restrict__ brow = pb + i * m;
     for (int64_t kk = 0; kk < k; ++kk) {
       const float av = arow[kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      float* orow = po + kk * m;
+      float* __restrict__ orow = po + kk * m;
       for (int64_t j = 0; j < m; ++j) {
         orow[j] += av * brow[j];
       }
@@ -513,22 +613,26 @@ Tensor Softmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    double row_max = ClampLogit(pa[i * d]);
-    for (int64_t j = 1; j < d; ++j) {
-      row_max = std::max(row_max, ClampLogit(pa[i * d + j]));
+  // Rows are independent (the reduction is within a row), so chunking over
+  // rows is bitwise identical to the serial loop.
+  ParallelRowwise(n, d, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      double row_max = ClampLogit(pa[i * d]);
+      for (int64_t j = 1; j < d; ++j) {
+        row_max = std::max(row_max, ClampLogit(pa[i * d + j]));
+      }
+      double denom = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const float e = static_cast<float>(std::exp(ClampLogit(pa[i * d + j]) - row_max));
+        po[i * d + j] = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < d; ++j) {
+        po[i * d + j] *= inv;
+      }
     }
-    double denom = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      const float e = static_cast<float>(std::exp(ClampLogit(pa[i * d + j]) - row_max));
-      po[i * d + j] = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < d; ++j) {
-      po[i * d + j] *= inv;
-    }
-  }
+  });
   return out;
 }
 
@@ -539,25 +643,27 @@ Tensor LogSoftmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    double row_max = ClampLogit(pa[i * d]);
-    for (int64_t j = 1; j < d; ++j) {
-      row_max = std::max(row_max, ClampLogit(pa[i * d + j]));
+  ParallelRowwise(n, d, [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      double row_max = ClampLogit(pa[i * d]);
+      for (int64_t j = 1; j < d; ++j) {
+        row_max = std::max(row_max, ClampLogit(pa[i * d + j]));
+      }
+      double denom = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        denom += std::exp(ClampLogit(pa[i * d + j]) - row_max);
+      }
+      // denom >= 1 (the max element contributes exp(0)), so the log is safe.
+      // Keep (x - row_max) and log(denom) separate: folding row_max into the
+      // log term would absorb log(denom) entirely when |row_max| ~ 1e38.
+      const double log_sum = std::log(denom);
+      constexpr double kFloatLowest = -3.4e38;  // Keep the cast back to float finite.
+      for (int64_t j = 0; j < d; ++j) {
+        po[i * d + j] = static_cast<float>(
+            std::max(kFloatLowest, (ClampLogit(pa[i * d + j]) - row_max) - log_sum));
+      }
     }
-    double denom = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      denom += std::exp(ClampLogit(pa[i * d + j]) - row_max);
-    }
-    // denom >= 1 (the max element contributes exp(0)), so the log is safe.
-    // Keep (x - row_max) and log(denom) separate: folding row_max into the
-    // log term would absorb log(denom) entirely when |row_max| ~ 1e38.
-    const double log_sum = std::log(denom);
-    constexpr double kFloatLowest = -3.4e38;  // Keep the cast back to float finite.
-    for (int64_t j = 0; j < d; ++j) {
-      po[i * d + j] = static_cast<float>(
-          std::max(kFloatLowest, (ClampLogit(pa[i * d + j]) - row_max) - log_sum));
-    }
-  }
+  });
   return out;
 }
 
@@ -594,14 +700,20 @@ Tensor CrossEntropyGrad(const Tensor& log_probs, const std::vector<int32_t>& lab
   };
   if (mask_rows.empty()) {
     const float scale = 1.0f / static_cast<float>(n);
-    for (int64_t i = 0; i < n; ++i) {
-      fill_row(i, scale);
-    }
+    ParallelRowwise(n, c, [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        fill_row(i, scale);
+      }
+    });
   } else {
+    // Mask rows are distinct training nodes, so the filled rows are disjoint.
     const float scale = 1.0f / static_cast<float>(mask_rows.size());
-    for (int32_t row : mask_rows) {
-      fill_row(row, scale);
-    }
+    ParallelRowwise(static_cast<int64_t>(mask_rows.size()), c,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t k = begin; k < end; ++k) {
+                        fill_row(mask_rows[static_cast<size_t>(k)], scale);
+                      }
+                    });
   }
   return grad;
 }
@@ -616,11 +728,16 @@ DropoutResult Dropout(const Tensor& a, float p, Rng& rng) {
   const float* pa = a.data();
   float* po = result.output.data();
   float* pm = result.mask.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    const float m = rng.NextBernoulli(p) ? 0.0f : keep_scale;
-    pm[i] = m;
-    po[i] = pa[i] * m;
-  }
+  // Mask generation is sequential (one RNG stream); the apply step is not.
+  rng.FillDropoutMask(pm, a.numel(), p, keep_scale);
+  ParallelPointwise(a.numel(), [=](int64_t begin, int64_t end) {
+    const float* __restrict__ x = pa;
+    const float* __restrict__ m = pm;
+    float* __restrict__ o = po;
+    for (int64_t i = begin; i < end; ++i) {
+      o[i] = x[i] * m[i];
+    }
+  });
   return result;
 }
 

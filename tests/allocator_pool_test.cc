@@ -1,0 +1,221 @@
+// Tests for the caching pool inside TensorAllocator: size-class rounding,
+// reuse accounting, Trim, the pooling toggle, and the interaction with
+// fault injection. Accounting (live/peak/budget) must be identical with and
+// without pooling — only *where* the bytes come from changes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/tensor/allocator.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+namespace {
+
+// Every counter test works in deltas: the allocator is process-global and
+// other fixtures (gtest itself does not use it, but Tensor helpers do) may
+// have touched it before this test body runs.
+struct Counters {
+  uint64_t total, fresh, hits, misses, reuse, pooled, trims, live, peak;
+
+  static Counters Read() {
+    TensorAllocator& a = TensorAllocator::Get();
+    return {a.total_allocations(), a.fresh_mallocs(), a.pool_hits(),     a.pool_misses(),
+            a.pool_reuse_bytes(),  a.pooled_bytes(),  a.trims(),         a.live_bytes(),
+            a.peak_bytes()};
+  }
+};
+
+TEST(AllocatorPoolTest, SizeClassBoundaries) {
+  // <= 64 B collapses to the minimum class.
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(1), 64u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(63), 64u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(64), 64u);
+  // Powers of two up to the page class.
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(65), 128u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(128), 128u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(129), 256u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(2049), 4096u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(4095), 4096u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(4096), 4096u);
+  // Above one page: 4 KiB multiples, not powers of two.
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(4097), 8192u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(8192), 8192u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(8193), 12288u);
+  EXPECT_EQ(TensorAllocator::SizeClassBytes(1000000), 1003520u);  // 245 pages.
+}
+
+TEST(AllocatorPoolTest, FreeThenAllocSameClassIsAPoolHit) {
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  // An unusual size other tests will not race for; class = 245 pages.
+  const size_t kBytes = 999937;
+  const size_t kClass = TensorAllocator::SizeClassBytes(kBytes);
+
+  const Counters before = Counters::Read();
+  void* p1 = a.Allocate(kBytes);
+  ASSERT_NE(p1, nullptr);
+  a.Deallocate(p1, kBytes);
+  Counters mid = Counters::Read();
+  EXPECT_EQ(mid.pooled - before.pooled, kClass);  // Cached, not returned to OS.
+
+  // Same request -> served from the free list: no fresh malloc, same block.
+  void* p2 = a.Allocate(kBytes);
+  Counters after = Counters::Read();
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(after.hits - mid.hits, 1u);
+  EXPECT_EQ(after.fresh, mid.fresh);
+  EXPECT_EQ(after.reuse - mid.reuse, kClass);
+  EXPECT_EQ(after.pooled, before.pooled);  // Block is live again.
+  EXPECT_EQ(after.total - before.total, 2u);  // Requests count hits too.
+
+  // A *different* request in the same class also hits: classes, not exact
+  // sizes, key the free lists.
+  a.Deallocate(p2, kBytes);
+  const size_t kOtherBytes = kClass - 100;
+  ASSERT_EQ(TensorAllocator::SizeClassBytes(kOtherBytes), kClass);
+  void* p3 = a.Allocate(kOtherBytes);
+  EXPECT_EQ(p3, p1);
+  EXPECT_EQ(a.pool_hits() - after.hits, 1u);
+  a.Deallocate(p3, kOtherBytes);
+  a.Trim();
+}
+
+TEST(AllocatorPoolTest, TrimReleasesCachedBlocksAndReportsBytes) {
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  a.Trim();  // Drain residue so the arithmetic below is exact.
+
+  const size_t kBytes = 50000;
+  const size_t kClass = TensorAllocator::SizeClassBytes(kBytes);
+  const Counters before = Counters::Read();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(a.Allocate(kBytes));
+  }
+  for (void* p : blocks) {
+    a.Deallocate(p, kBytes);
+  }
+  EXPECT_EQ(a.pooled_bytes(), 3 * kClass);
+
+  const uint64_t freed = a.Trim();
+  EXPECT_EQ(freed, 3 * kClass);
+  EXPECT_EQ(a.pooled_bytes(), 0u);
+  EXPECT_EQ(a.trims() - before.trims, 1u);
+
+  // After a trim the next allocation is fresh again.
+  const uint64_t fresh_before = a.fresh_mallocs();
+  void* p = a.Allocate(kBytes);
+  EXPECT_EQ(a.fresh_mallocs() - fresh_before, 1u);
+  a.Deallocate(p, kBytes);
+  a.Trim();
+}
+
+TEST(AllocatorPoolTest, DisablingPoolingBypassesFreeLists) {
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(false);
+  const size_t kBytes = 77777;
+
+  const Counters before = Counters::Read();
+  void* p1 = a.Allocate(kBytes);
+  a.Deallocate(p1, kBytes);
+  void* p2 = a.Allocate(kBytes);
+  const Counters after = Counters::Read();
+
+  // Both allocations hit the OS; the free went straight back to it.
+  EXPECT_EQ(after.fresh - before.fresh, 2u);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);  // Misses only count when pooling.
+  EXPECT_EQ(after.pooled, before.pooled);
+
+  a.Deallocate(p2, kBytes);
+  a.SetPoolingEnabled(true);
+}
+
+TEST(AllocatorPoolTest, LiveAndPeakTrackRequestedBytesNotClassBytes) {
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  const size_t kBytes = 100;  // Class is 128 B; accounting must say 100.
+
+  const uint64_t live_before = a.live_bytes();
+  void* p = a.Allocate(kBytes);
+  EXPECT_EQ(a.live_bytes() - live_before, kBytes);
+  a.Deallocate(p, kBytes);
+  EXPECT_EQ(a.live_bytes(), live_before);
+
+  // Pool hits go through the same accounting: a recycled block still counts
+  // its *requested* bytes as live.
+  void* q = a.Allocate(kBytes);
+  EXPECT_EQ(a.live_bytes() - live_before, kBytes);
+  a.Deallocate(q, kBytes);
+  a.Trim();
+}
+
+TEST(AllocatorPoolTest, SoftBudgetSeesPooledReuseAllocations) {
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  const size_t kBytes = 65536;
+
+  // Prime the pool so the budget-breaching allocation is a pool hit.
+  void* warm = a.Allocate(kBytes);
+  a.Deallocate(warm, kBytes);
+
+  a.SetSoftBudgetBytes(a.live_bytes() + kBytes / 2);
+  ASSERT_FALSE(a.budget_exceeded());
+  void* p = a.Allocate(kBytes);  // Served from pool, still breaches.
+  EXPECT_TRUE(a.budget_exceeded());
+
+  a.Deallocate(p, kBytes);
+  a.SetSoftBudgetBytes(0);
+  a.ClearBudgetExceeded();
+  a.Trim();
+}
+
+TEST(AllocatorPoolTest, FaultInjectionLatchesOnPoolHitToo) {
+  ScopedFaultClear guard;
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  a.ClearInjectedFailure();
+  const size_t kBytes = 131072;
+
+  // Prime the pool, then arm: the next request is a pool hit, and the fault
+  // must latch anyway — injection models allocation *requests* failing, not
+  // malloc specifically.
+  void* warm = a.Allocate(kBytes);
+  a.Deallocate(warm, kBytes);
+  const uint64_t hits_before = a.pool_hits();
+
+  FaultInjector::Get().Arm(FaultSite::kTensorAlloc, /*after_n=*/0);
+  void* p = a.Allocate(kBytes);
+  ASSERT_NE(p, nullptr);  // The allocation itself still succeeds.
+  EXPECT_TRUE(a.failure_injected());
+  EXPECT_EQ(a.pool_hits() - hits_before, 1u);
+
+  a.Deallocate(p, kBytes);
+  a.ClearInjectedFailure();
+  a.Trim();
+}
+
+TEST(AllocatorPoolTest, TensorRoundTripReusesStorage) {
+  // End-to-end through Tensor: steady-state epochs allocate the same shapes,
+  // so a construct/destruct/construct cycle must not touch malloc.
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  {
+    Tensor warm({173, 31});  // Warm the class.
+  }
+  const uint64_t fresh_before = a.fresh_mallocs();
+  const uint64_t hits_before = a.pool_hits();
+  for (int i = 0; i < 5; ++i) {
+    Tensor t({173, 31});
+    t.data()[0] = 1.0f;
+  }
+  EXPECT_EQ(a.fresh_mallocs(), fresh_before);
+  EXPECT_EQ(a.pool_hits() - hits_before, 5u);
+  a.Trim();
+}
+
+}  // namespace
+}  // namespace seastar

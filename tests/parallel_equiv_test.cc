@@ -1,0 +1,127 @@
+// Parallel-vs-serial exactness tests. The pointwise, softmax, and optimizer
+// loops run chunked on the thread pool above a grain threshold and inline
+// below it; both paths execute the same per-element code, so results must be
+// bitwise identical regardless of how the work was split. These tests pin
+// that invariant by computing each op once over a large (parallel) extent and
+// once as many small (serial) pieces through the same public API.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/nn.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+namespace {
+
+// Above every grain threshold in ops.cc / nn.cc (32768 and 16384).
+constexpr int64_t kBig = 3 * 32768 + 12345;
+// Below every threshold: a piece this small always runs inline.
+constexpr int64_t kPiece = 8192;
+
+Tensor Slice1d(const Tensor& t, int64_t begin, int64_t end) {
+  Tensor out({end - begin});
+  std::memcpy(out.data(), t.data() + begin, static_cast<size_t>(end - begin) * sizeof(float));
+  return out;
+}
+
+void ExpectBitwiseEqual(const float* a, const float* b, int64_t n) {
+  ASSERT_EQ(std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)), 0);
+}
+
+TEST(ParallelEquivTest, ElementwiseChunkingIsBitwiseExact) {
+  Rng rng(17);
+  Tensor a = ops::RandomNormal({kBig}, 0.0f, 1.0f, rng);
+  Tensor b = ops::RandomUniform({kBig}, 0.5f, 1.5f, rng);
+
+  const Tensor mul = ops::Mul(a, b);
+  const Tensor div = ops::Div(a, b);
+  for (int64_t begin = 0; begin < kBig; begin += kPiece) {
+    const int64_t end = std::min(begin + kPiece, kBig);
+    Tensor pa = Slice1d(a, begin, end);
+    Tensor pb = Slice1d(b, begin, end);
+    ExpectBitwiseEqual(ops::Mul(pa, pb).data(), mul.data() + begin, end - begin);
+    ExpectBitwiseEqual(ops::Div(pa, pb).data(), div.data() + begin, end - begin);
+  }
+}
+
+TEST(ParallelEquivTest, SoftmaxRowChunkingIsBitwiseExact) {
+  // 4000 x 16 runs row-parallel; 4-row slices run inline.
+  const int64_t rows = 4000, cols = 16, block = 4;
+  Rng rng(19);
+  Tensor x = ops::RandomNormal({rows, cols}, 0.0f, 2.0f, rng);
+
+  const Tensor softmax = ops::Softmax(x);
+  const Tensor log_softmax = ops::LogSoftmax(x);
+  for (int64_t r = 0; r < rows; r += block) {
+    Tensor part = ops::SliceRows(x, r, r + block);
+    ExpectBitwiseEqual(ops::Softmax(part).data(), softmax.Row(r), block * cols);
+    ExpectBitwiseEqual(ops::LogSoftmax(part).data(), log_softmax.Row(r), block * cols);
+  }
+}
+
+// One requires-grad leaf of `n` elements with pinned values and gradients.
+Var MakeParam(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Var param = Var::Leaf(ops::RandomNormal({n}, 0.0f, 1.0f, rng), /*requires_grad=*/true);
+  param.node()->AccumulateGrad(ops::RandomNormal({n}, 0.0f, 0.1f, rng));
+  return param;
+}
+
+// The same data as MakeParam(n, seed) but split into kPiece-sized leaves, so
+// the optimizer's update loop takes the inline path for every piece.
+std::vector<Var> MakeParamPieces(const Var& whole) {
+  std::vector<Var> pieces;
+  const int64_t n = whole.value().numel();
+  for (int64_t begin = 0; begin < n; begin += kPiece) {
+    const int64_t end = std::min(begin + kPiece, n);
+    Var piece = Var::Leaf(Slice1d(whole.value(), begin, end), /*requires_grad=*/true);
+    piece.node()->AccumulateGrad(Slice1d(whole.grad(), begin, end));
+    pieces.push_back(piece);
+  }
+  return pieces;
+}
+
+void ExpectPiecesMatchWhole(const std::vector<Var>& pieces, const Var& whole) {
+  int64_t offset = 0;
+  for (const Var& piece : pieces) {
+    const int64_t n = piece.value().numel();
+    ExpectBitwiseEqual(piece.value().data(), whole.value().data() + offset, n);
+    offset += n;
+  }
+  ASSERT_EQ(offset, whole.value().numel());
+}
+
+TEST(ParallelEquivTest, AdamStepChunkingIsBitwiseExact) {
+  Var whole = MakeParam(kBig, 23);
+  std::vector<Var> pieces = MakeParamPieces(whole);
+
+  Adam big({whole}, 0.01f);
+  Adam small(pieces, 0.01f);
+  // Several steps so the moment estimates, not just the first update, agree.
+  for (int step = 0; step < 3; ++step) {
+    big.Step();
+    small.Step();
+  }
+  ExpectPiecesMatchWhole(pieces, whole);
+}
+
+TEST(ParallelEquivTest, SgdStepChunkingIsBitwiseExact) {
+  Var whole = MakeParam(kBig, 29);
+  std::vector<Var> pieces = MakeParamPieces(whole);
+
+  Sgd big({whole}, 0.05f);
+  Sgd small(pieces, 0.05f);
+  for (int step = 0; step < 3; ++step) {
+    big.Step();
+    small.Step();
+  }
+  ExpectPiecesMatchWhole(pieces, whole);
+}
+
+}  // namespace
+}  // namespace seastar
