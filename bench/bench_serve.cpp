@@ -1,0 +1,232 @@
+// Serving-path bench: latency percentiles and steady-state allocation
+// behaviour of the inference Server under a paced request stream.
+//
+// Two scenarios per run:
+//   clean   steady load, no faults — measures the warm serving path. The
+//           steady window (everything after the warm phase) must show zero
+//           plan-cache misses and ~zero fresh mallocs: a warm request is
+//           plan-cached and pool-served end to end (ISSUE 3's invariant,
+//           now load-bearing for the micro-batcher's cost model).
+//   faulty  same load with probabilistic allocation faults — measures what
+//           the retry/backoff layer costs when transient faults are real.
+//
+// Emits a machine-readable report (--out=, default BENCH_serve.json) with
+// p50/p95/p99, shed/expired/degraded counts, retry totals, and the steady
+// counters, so CI can track the serving path across PRs.
+//
+// Flags: --dataset=<name> (default cora)  --scale  --max-feat
+//        --requests=<n> per scenario (default 4000)  --qps (default 4000)
+//        --deadline-ms (default 50)  --warm=<n> warm-phase requests (default 400)
+//        --flaky-p=<p> fault probability for the faulty scenario (default 0.02)
+//        --out=<path>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/core/models/gcn.h"
+#include "src/exec/plan_cache.h"
+#include "src/serve/server.h"
+#include "src/tensor/allocator.h"
+
+namespace seastar {
+namespace bench {
+namespace {
+
+struct ScenarioReport {
+  std::string name;
+  int64_t requests = 0;
+  double wall_s = 0.0;
+  double qps_achieved = 0.0;
+  serve::ServerStats stats;
+  serve::LatencySummary latency;
+  // Deltas over the steady window (after the warm phase completed).
+  uint64_t steady_plan_misses = 0;
+  uint64_t steady_fresh_mallocs = 0;
+  uint64_t steady_alloc_requests = 0;
+};
+
+// Drives `server` with `count` paced requests and blocks until all are
+// answered.
+void Drive(serve::Server& server, const Dataset& data, int64_t count, double qps, double deadline_ms,
+           Rng& rng) {
+  std::vector<std::future<StatusOr<serve::InferenceResponse>>> futures;
+  futures.reserve(static_cast<size_t>(count));
+  const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / qps));
+  const auto t0 = std::chrono::steady_clock::now();
+  const int64_t num_vertices = data.graph.num_vertices();
+  size_t drained = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    std::this_thread::sleep_until(t0 + i * interval);
+    serve::InferenceRequest request;
+    request.vertices.push_back(
+        static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+    request.deadline_ms = deadline_ms;
+    futures.push_back(server.Submit(std::move(request)));
+    // Consume answered futures as we go: holding every response tensor
+    // alive until the end would defeat pool reuse and misreport the steady
+    // state the bench exists to measure.
+    while (drained < futures.size() &&
+           futures[drained].wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      futures[drained].get();
+      ++drained;
+    }
+  }
+  for (; drained < futures.size(); ++drained) {
+    futures[drained].get();
+  }
+}
+
+ScenarioReport RunScenario(const std::string& name, const Dataset& data, int64_t warm,
+                           int64_t requests, double qps, double deadline_ms, double flaky_p,
+                           uint64_t seed) {
+  BackendConfig backend;
+  backend.backend = Backend::kSeastar;
+  GcnConfig gcn;
+  gcn.hidden_dim = 16;
+  Gcn model(data, gcn, backend);
+
+  serve::ServeConfig config;
+  config.queue_capacity = 128;
+  config.default_deadline_ms = deadline_ms;
+  serve::Server server(model, data, config);
+  Status started = server.Start();
+  SEASTAR_CHECK(started.ok()) << started.ToString();
+
+  Rng rng(seed);
+  // Warm phase: plans compile, the pool sizes itself, percentiles stabilize.
+  Drive(server, data, warm, qps, deadline_ms, rng);
+
+  if (flaky_p > 0.0) {
+    FaultInjector::Get().ArmProbabilistic(FaultSite::kTensorAlloc, flaky_p, seed);
+  }
+  TensorAllocator& allocator = TensorAllocator::Get();
+  const uint64_t plan_misses_before = PlanCache::Get().misses();
+  const uint64_t mallocs_before = allocator.fresh_mallocs();
+  const uint64_t alloc_requests_before = allocator.total_allocations();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Drive(server, data, requests, qps, deadline_ms, rng);
+
+  ScenarioReport report;
+  report.name = name;
+  report.requests = requests;
+  report.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  report.qps_achieved = static_cast<double>(requests) / report.wall_s;
+  report.steady_plan_misses = PlanCache::Get().misses() - plan_misses_before;
+  report.steady_fresh_mallocs = allocator.fresh_mallocs() - mallocs_before;
+  report.steady_alloc_requests = allocator.total_allocations() - alloc_requests_before;
+  FaultInjector::Get().DisarmAll();
+  server.Shutdown();
+  report.stats = server.stats();
+  report.latency = server.latency_summary();
+  return report;
+}
+
+void WriteJson(const std::string& path, const std::string& dataset,
+               const std::vector<ScenarioReport>& reports) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"serve\",\n  \"dataset\": \"%s\",\n", dataset.c_str());
+  std::fprintf(file, "  \"scenarios\": [");
+  for (size_t s = 0; s < reports.size(); ++s) {
+    const ScenarioReport& r = reports[s];
+    std::fprintf(file, "%s\n    {\"name\": \"%s\", \"requests\": %lld, \"wall_s\": %.3f,"
+                 " \"qps_achieved\": %.0f,\n",
+                 s > 0 ? "," : "", r.name.c_str(), static_cast<long long>(r.requests), r.wall_s,
+                 r.qps_achieved);
+    std::fprintf(file,
+                 "     \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f,\n",
+                 r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms, r.latency.max_ms);
+    std::fprintf(file,
+                 "     \"served\": %lld, \"degraded\": %lld, \"shed\": %lld, \"expired\": %lld,"
+                 " \"failed\": %lld,\n",
+                 static_cast<long long>(r.stats.served), static_cast<long long>(r.stats.degraded),
+                 static_cast<long long>(r.stats.shed), static_cast<long long>(r.stats.expired),
+                 static_cast<long long>(r.stats.failed));
+    std::fprintf(file,
+                 "     \"forward_passes\": %lld, \"retries\": %lld, \"breaker_trips\": %lld,\n",
+                 static_cast<long long>(r.stats.batches), static_cast<long long>(r.stats.retries),
+                 static_cast<long long>(r.stats.breaker_trips));
+    std::fprintf(file,
+                 "     \"steady_plan_misses\": %llu, \"steady_fresh_mallocs\": %llu,"
+                 " \"steady_alloc_requests\": %llu}",
+                 static_cast<unsigned long long>(r.steady_plan_misses),
+                 static_cast<unsigned long long>(r.steady_fresh_mallocs),
+                 static_cast<unsigned long long>(r.steady_alloc_requests));
+  }
+  std::fprintf(file, "\n  ]\n}\n");
+  std::fclose(file);
+  std::printf("\nreport: %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const std::string dataset_name = FlagValue(argc, argv, "dataset", "cora");
+  const double scale = FlagDouble(argc, argv, "scale", 0.25);
+  const int64_t max_feat = FlagInt(argc, argv, "max-feat", 64);
+  const int64_t requests = FlagInt(argc, argv, "requests", 4000);
+  const int64_t warm = FlagInt(argc, argv, "warm", 400);
+  const double qps = FlagDouble(argc, argv, "qps", 4000.0);
+  const double deadline_ms = FlagDouble(argc, argv, "deadline-ms", 50.0);
+  const double flaky_p = FlagDouble(argc, argv, "flaky-p", 0.02);
+  const std::string out_path = FlagValue(argc, argv, "out", "BENCH_serve.json");
+
+  DatasetOptions options;
+  options.scale = scale;
+  options.max_feature_dim = max_feat;
+  StatusOr<Dataset> made = TryMakeDatasetByName(dataset_name, options);
+  if (!made.has_value()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = *std::move(made);
+
+  std::printf("serving bench: GCN on %s (N=%lld), %lld requests/scenario at %.0f qps\n\n",
+              data.spec.name.c_str(), static_cast<long long>(data.graph.num_vertices()),
+              static_cast<long long>(requests), qps);
+
+  std::vector<ScenarioReport> reports;
+  reports.push_back(
+      RunScenario("clean", data, warm, requests, qps, deadline_ms, /*flaky_p=*/0.0, 17));
+  reports.push_back(
+      RunScenario("faulty", data, warm, requests, qps, deadline_ms, flaky_p, 23));
+
+  std::printf("%-8s %10s %10s %10s %10s %10s %10s %12s %12s\n", "scenario", "p50 ms", "p95 ms",
+              "p99 ms", "served", "degraded", "retries", "plan misses", "mallocs");
+  for (const ScenarioReport& r : reports) {
+    std::printf("%-8s %10.3f %10.3f %10.3f %10lld %10lld %10lld %12llu %12llu\n", r.name.c_str(),
+                r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
+                static_cast<long long>(r.stats.served), static_cast<long long>(r.stats.degraded),
+                static_cast<long long>(r.stats.retries),
+                static_cast<unsigned long long>(r.steady_plan_misses),
+                static_cast<unsigned long long>(r.steady_fresh_mallocs));
+  }
+
+  WriteJson(out_path, data.spec.name, reports);
+
+  if (reports[0].steady_plan_misses != 0) {
+    std::fprintf(stderr,
+                 "STEADY-STATE VIOLATION: clean scenario compiled %llu plans after warmup\n",
+                 static_cast<unsigned long long>(reports[0].steady_plan_misses));
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seastar
+
+int main(int argc, char** argv) { return seastar::bench::Main(argc, argv); }

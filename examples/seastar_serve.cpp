@@ -1,0 +1,301 @@
+// Closed-loop serving driver: boots a Server from a trained checkpoint and
+// drives it with a paced request stream, optionally under injected faults,
+// printing the survival story (served / degraded / shed / expired / failed,
+// retry and breaker activity, latency percentiles) at the end.
+//
+//   ./seastar_serve --qps=2000 --deadline-ms=50 --requests=10000
+//   ./seastar_serve --checkpoint=/tmp/gcn.ckpt --train-epochs=3
+//   ./seastar_serve --checkpoint=/tmp/gcn.ckpt --train-epochs=2
+//       --faults="ckpt_read:after=0:count=2;simt_worker:p=0.05"
+//   ./seastar_serve --outage-at=2000 --outage-requests=500   # breaker drill
+//
+// Flags:
+//   --model=gcn|gat|appnp|sgc   --dataset=<name>  --scale  --max-feat  --hidden
+//   --requests=<n>       total requests to submit (default 10000)
+//   --qps=<n>            submission rate (default 2000)
+//   --deadline-ms=<ms>   per-request deadline (0 = server default, -1 = none)
+//   --shed-at=<n>        admission queue capacity (default 64)
+//   --max-batch / --batch-delay-ms    micro-batcher knobs
+//   --max-retries / --backoff-ms      transient-fault retry policy
+//   --trip-after / --probe-ms         circuit breaker knobs
+//   --checkpoint=<path>  boot from this snapshot (with .prev fallback)
+//   --train-epochs=<n>   train+save the snapshot first (default 2 when
+//                        --checkpoint is set and the file doesn't exist)
+//   --faults=<spec>      fault injector spec, armed *after* training so the
+//                        faults hit serving, e.g. "alloc:p=0.02:seed=7"
+//   --outage-at=<i>      arm a hard allocation outage when request i is
+//   --outage-requests=<n>   submitted, lasting n requests: a guaranteed
+//                        breaker trip + degraded window + probe recovery
+//   --profile=<path>     Chrome-trace of the serving thread
+//   --seed=<n>           request-stream RNG seed
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/common/logging.h"
+#include "src/common/profiler.h"
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/core/models/appnp.h"
+#include "src/core/models/gat.h"
+#include "src/core/models/gcn.h"
+#include "src/core/models/sgc.h"
+#include "src/core/train.h"
+#include "src/serve/server.h"
+
+namespace seastar {
+namespace {
+
+std::unique_ptr<GnnModel> MakeModel(const std::string& name, const Dataset& data, int64_t hidden,
+                                    const BackendConfig& backend) {
+  if (name == "gcn") {
+    GcnConfig config;
+    if (hidden > 0) config.hidden_dim = hidden;
+    return std::make_unique<Gcn>(data, config, backend);
+  }
+  if (name == "gat") {
+    GatConfig config;
+    if (hidden > 0) config.hidden_dim = hidden;
+    return std::make_unique<Gat>(data, config, backend);
+  }
+  if (name == "appnp") {
+    AppnpConfig config;
+    if (hidden > 0) config.hidden_dim = hidden;
+    return std::make_unique<Appnp>(data, config, backend);
+  }
+  if (name == "sgc") {
+    return std::make_unique<Sgc>(data, SgcConfig{}, backend);
+  }
+  return nullptr;
+}
+
+int Run(int argc, char** argv) {
+  const std::string model_name = FlagValue(argc, argv, "model", "gcn");
+  const std::string dataset_name = FlagValue(argc, argv, "dataset", "cora");
+  const double scale = FlagDouble(argc, argv, "scale", 0.25);
+  const int64_t max_feat = FlagInt(argc, argv, "max-feat", 64);
+  const int64_t hidden = FlagInt(argc, argv, "hidden", 0);
+  const int64_t requests = FlagInt(argc, argv, "requests", 10000);
+  const double qps = FlagDouble(argc, argv, "qps", 2000.0);
+  const double deadline_ms = FlagDouble(argc, argv, "deadline-ms", 50.0);
+  const int64_t shed_at = FlagInt(argc, argv, "shed-at", 64);
+  const int64_t max_batch = FlagInt(argc, argv, "max-batch", 8);
+  const double batch_delay_ms = FlagDouble(argc, argv, "batch-delay-ms", 1.0);
+  const int64_t max_retries = FlagInt(argc, argv, "max-retries", 2);
+  const double backoff_ms = FlagDouble(argc, argv, "backoff-ms", 0.5);
+  const int64_t trip_after = FlagInt(argc, argv, "trip-after", 3);
+  const double probe_ms = FlagDouble(argc, argv, "probe-ms", 25.0);
+  const std::string checkpoint_path = FlagValue(argc, argv, "checkpoint", "");
+  int64_t train_epochs = FlagInt(argc, argv, "train-epochs", -1);
+  const std::string fault_spec = FlagValue(argc, argv, "faults", "");
+  const int64_t outage_at = FlagInt(argc, argv, "outage-at", 0);
+  const int64_t outage_requests = FlagInt(argc, argv, "outage-requests", 500);
+  const std::string profile_path = FlagValue(argc, argv, "profile", "");
+  const uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "seed", 17));
+
+  if (requests <= 0 || qps <= 0.0) {
+    std::fprintf(stderr, "--requests and --qps must be positive\n");
+    return 1;
+  }
+
+  DatasetOptions options;
+  options.scale = scale;
+  options.max_feature_dim = max_feat;
+  StatusOr<Dataset> made = TryMakeDatasetByName(dataset_name, options);
+  if (!made.has_value()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = *std::move(made);
+
+  BackendConfig backend;
+  backend.backend = Backend::kSeastar;
+  std::unique_ptr<GnnModel> model = MakeModel(model_name, data, hidden, backend);
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown --model '%s' (gcn|gat|appnp|sgc)\n", model_name.c_str());
+    return 1;
+  }
+
+  // Produce the snapshot the server boots from, *before* arming any faults:
+  // the drill is about serving surviving faults, not training.
+  if (!checkpoint_path.empty()) {
+    if (train_epochs < 0) {
+      std::FILE* existing = std::fopen(checkpoint_path.c_str(), "rb");
+      if (existing != nullptr) {
+        std::fclose(existing);
+        train_epochs = 0;  // Reuse what's there.
+      } else {
+        train_epochs = 2;
+      }
+    }
+    if (train_epochs > 0) {
+      TrainConfig train;
+      train.epochs = static_cast<int>(train_epochs);
+      train.warmup_epochs = 0;
+      train.verbose = false;
+      train.checkpoint_path = checkpoint_path;
+      train.checkpoint_every = 1;
+      TrainResult trained = TrainNodeClassification(*model, data, train);
+      if (trained.failed) {
+        std::fprintf(stderr, "snapshot training failed: %s\n", trained.error.c_str());
+        return 1;
+      }
+      std::printf("trained snapshot: %d epochs, loss %.4f -> %s\n", trained.epochs_run,
+                  trained.final_loss, checkpoint_path.c_str());
+    }
+  }
+
+  if (!fault_spec.empty()) {
+    std::string fault_error;
+    if (!FaultInjector::Get().ConfigureFromSpec(fault_spec, &fault_error)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", fault_error.c_str());
+      return 1;
+    }
+  }
+
+  Profiler profiler(!profile_path.empty());
+  serve::ServeConfig config;
+  config.queue_capacity = static_cast<int>(shed_at);
+  config.default_deadline_ms = deadline_ms > 0.0 ? deadline_ms : 100.0;
+  config.max_batch = static_cast<int>(max_batch);
+  config.max_batch_delay_ms = batch_delay_ms;
+  config.max_retries = static_cast<int>(max_retries);
+  config.retry_base_backoff_ms = backoff_ms;
+  config.breaker_trip_after = static_cast<int>(trip_after);
+  config.breaker_probe_interval_ms = probe_ms;
+  config.checkpoint_path = checkpoint_path;
+  config.profiler = profile_path.empty() ? nullptr : &profiler;
+
+  serve::Server server(*model, data, config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server failed to start: %s\n", started.ToString().c_str());
+    return 2;
+  }
+  std::printf("serving %s on %s (N=%lld): %lld requests at %.0f qps, deadline %.1f ms, queue %lld\n",
+              model->name(), data.spec.name.c_str(),
+              static_cast<long long>(data.graph.num_vertices()),
+              static_cast<long long>(requests), qps, deadline_ms,
+              static_cast<long long>(shed_at));
+
+  // Closed-loop client: submit on a fixed-interval schedule, collect every
+  // future afterwards (shed/invalid futures are already fulfilled).
+  Rng rng(seed);
+  const int64_t num_vertices = data.graph.num_vertices();
+  std::vector<std::future<StatusOr<serve::InferenceResponse>>> futures;
+  futures.reserve(static_cast<size_t>(requests));
+  const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / qps));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(t0 + i * interval);
+    if (outage_at > 0 && i == outage_at) {
+      std::printf("!! outage: hard allocation faults for the next %lld requests\n",
+                  static_cast<long long>(outage_requests));
+      FaultInjector::Get().Arm(FaultSite::kTensorAlloc, 0, /*count=*/1'000'000'000);
+    }
+    if (outage_at > 0 && i == outage_at + outage_requests) {
+      FaultInjector::Get().Disarm(FaultSite::kTensorAlloc);
+      std::printf("!! outage over (breaker now probes its way back)\n");
+    }
+    serve::InferenceRequest request;
+    const int fan = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int v = 0; v < fan; ++v) {
+      request.vertices.push_back(
+          static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+    }
+    request.deadline_ms = deadline_ms;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  int64_t ok = 0, degraded = 0, shed = 0, expired = 0, unavailable = 0, other = 0;
+  int64_t retried_requests = 0;
+  for (auto& future : futures) {
+    StatusOr<serve::InferenceResponse> result = future.get();
+    if (result.has_value()) {
+      if (result->degraded) {
+        ++degraded;
+      } else {
+        ++ok;
+      }
+      if (result->retries > 0) {
+        ++retried_requests;
+      }
+    } else {
+      switch (result.status().code()) {
+        case StatusCode::kResourceExhausted:
+          ++shed;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++expired;
+          break;
+        case StatusCode::kUnavailable:
+          ++unavailable;
+          break;
+        default:
+          ++other;
+          break;
+      }
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.Shutdown();
+  FaultInjector::Get().DisarmAll();
+
+  const serve::ServerStats stats = server.stats();
+  const serve::LatencySummary latency = server.latency_summary();
+  std::printf("\n--- client view (%lld requests in %.2f s, %.0f qps achieved) ---\n",
+              static_cast<long long>(requests), wall_s,
+              static_cast<double>(requests) / wall_s);
+  std::printf("fresh %lld | degraded %lld | shed %lld | expired %lld | unavailable %lld | other %lld\n",
+              static_cast<long long>(ok), static_cast<long long>(degraded),
+              static_cast<long long>(shed), static_cast<long long>(expired),
+              static_cast<long long>(unavailable), static_cast<long long>(other));
+  std::printf("requests that paid retries: %lld\n", static_cast<long long>(retried_requests));
+  std::printf("\n--- server view ---\n");
+  std::printf("submitted %lld = served %lld + degraded %lld + shed %lld + expired %lld + failed %lld\n",
+              static_cast<long long>(stats.submitted), static_cast<long long>(stats.served),
+              static_cast<long long>(stats.degraded), static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.expired), static_cast<long long>(stats.failed));
+  std::printf("forward passes %lld | retries %lld | unit-boundary deadline aborts %lld | boot retries %lld\n",
+              static_cast<long long>(stats.batches), static_cast<long long>(stats.retries),
+              static_cast<long long>(stats.deadline_unit_aborts),
+              static_cast<long long>(stats.boot_retries));
+  std::printf("breaker: trips %lld, probes %lld, recoveries %lld (state now: %s)\n",
+              static_cast<long long>(stats.breaker_trips),
+              static_cast<long long>(stats.breaker_probes),
+              static_cast<long long>(stats.breaker_recoveries),
+              serve::BreakerStateName(server.breaker_state()));
+  std::printf("latency over %lld answers: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+              static_cast<long long>(latency.count), latency.p50_ms, latency.p95_ms,
+              latency.p99_ms, latency.max_ms);
+
+  if (!profile_path.empty()) {
+    if (profiler.WriteChromeTrace(profile_path)) {
+      std::printf("profile: %zu spans -> %s\n", profiler.events().size(), profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "profile: failed to write %s\n", profile_path.c_str());
+    }
+  }
+
+  const int64_t accounted =
+      stats.served + stats.degraded + stats.shed + stats.expired + stats.failed;
+  if (accounted != stats.submitted) {
+    std::fprintf(stderr, "ACCOUNTING MISMATCH: submitted %lld != accounted %lld\n",
+                 static_cast<long long>(stats.submitted), static_cast<long long>(accounted));
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seastar
+
+int main(int argc, char** argv) { return seastar::Run(argc, argv); }

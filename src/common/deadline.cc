@@ -1,0 +1,25 @@
+#include "src/common/deadline.h"
+
+namespace seastar {
+
+namespace deadline_internal {
+
+thread_local const Deadline* tls_deadline = nullptr;
+
+// Out of line so the inline fast path in the header stays a load + branch.
+void ThrowDeadlineExceeded(const char* where) { throw DeadlineExceeded(where); }
+
+}  // namespace deadline_internal
+
+ScopedDeadline::ScopedDeadline(const Deadline* deadline)
+    : previous_(deadline_internal::tls_deadline) {
+  if (deadline != nullptr && deadline->armed()) {
+    deadline_internal::tls_deadline = deadline;
+  }
+}
+
+ScopedDeadline::~ScopedDeadline() { deadline_internal::tls_deadline = previous_; }
+
+const Deadline* CurrentDeadline() { return deadline_internal::tls_deadline; }
+
+}  // namespace seastar

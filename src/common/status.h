@@ -31,6 +31,7 @@ enum class StatusCode {
   kResourceExhausted,  // Memory budget breach / injected allocation failure.
   kUnavailable,        // Transient I/O failure; retrying may succeed.
   kInternal,           // Invariant violated while recovering (should not happen).
+  kDeadlineExceeded,   // Request deadline passed before the work completed.
 };
 
 const char* StatusCodeName(StatusCode code);

@@ -210,6 +210,12 @@ Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path
       return ErrorStatus(StatusCode::kUnavailable) << tmp_path << ": short write";
     }
   }
+  // Rotation: keep the previous snapshot as "<path>.prev" so a corrupt
+  // primary (torn disk write, bit rot) still leaves a loadable generation
+  // behind. Rotated only after the new snapshot is fully on disk in tmp, so
+  // a failed write never demotes a healthy primary; ENOENT on the first ever
+  // save is the expected (ignored) outcome.
+  std::rename(path.c_str(), (path + ".prev").c_str());
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     return ErrorStatus(StatusCode::kUnavailable)
            << path << ": rename from " << tmp_path << " failed";
@@ -217,7 +223,10 @@ Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path
   return Status::Ok();
 }
 
-StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
+namespace {
+
+// One file, no fallback: the body of LoadCheckpoint before rotation existed.
+StatusOr<TrainCheckpoint> LoadCheckpointFile(const std::string& path) {
   FaultInjector& faults = FaultInjector::Get();
   if (faults.enabled() && faults.ShouldFail(FaultSite::kCheckpointRead)) {
     return ErrorStatus(StatusCode::kUnavailable) << path << ": injected I/O fault";
@@ -317,6 +326,34 @@ StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
     return reader.status();
   }
   return checkpoint;
+}
+
+}  // namespace
+
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
+  StatusOr<TrainCheckpoint> primary = LoadCheckpointFile(path);
+  if (primary.has_value()) {
+    return primary;
+  }
+  // Fallback to the rotated previous generation — but only for conditions
+  // where retrying the primary cannot help: corruption (kDataLoss) or a
+  // missing primary (kNotFound, e.g. a crash between the two rotation
+  // renames). Transient read faults (kUnavailable) stay errors so the
+  // caller's retry policy targets the *newer* snapshot instead of silently
+  // resuming from an older one.
+  const StatusCode code = primary.status().code();
+  if (code != StatusCode::kDataLoss && code != StatusCode::kNotFound) {
+    return primary;
+  }
+  const std::string prev_path = path + ".prev";
+  StatusOr<TrainCheckpoint> previous = LoadCheckpointFile(prev_path);
+  if (!previous.has_value()) {
+    return primary;  // Report the primary's failure; .prev is best-effort.
+  }
+  SEASTAR_LOG(Warning) << path << ": unusable (" << primary.status().ToString()
+                       << "); falling back to previous snapshot " << prev_path << " (epoch "
+                       << previous->epoch << ")";
+  return previous;
 }
 
 }  // namespace seastar

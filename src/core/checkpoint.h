@@ -9,6 +9,11 @@
 //    renamed over <path> only after a complete, flushed write. A crash (or
 //    an injected FaultSite::kCheckpointWrite) mid-write leaves the previous
 //    checkpoint untouched and resumable.
+//  * Writes rotate: just before the final rename the old <path> becomes
+//    "<path>.prev", keeping one previous generation on disk. Loads that find
+//    the primary corrupt (checksum/truncation) or missing fall back to
+//    .prev with a logged warning, so a long-running server survives bit rot
+//    in its newest snapshot at the cost of resuming one generation behind.
 //  * Reads verify a 64-bit FNV-1a checksum over the whole payload before
 //    decoding, so corruption anywhere in the file is detected up front and
 //    reported with the file name; decode errors additionally name the byte
@@ -45,13 +50,16 @@ struct TrainCheckpoint {
   std::vector<Tensor> adam_v;
 };
 
-// Serializes and atomically replaces `path`. On failure (I/O error or an
-// injected write fault) `path` still holds the previous snapshot.
+// Serializes and atomically replaces `path`, rotating the prior snapshot to
+// "<path>.prev". On failure (I/O error or an injected write fault) `path`
+// still holds the previous snapshot, un-rotated.
 Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path);
 
 // Verifies magic, version, and checksum, then decodes. All failures are
 // Status errors naming the file (and byte offset where applicable); this
-// function never aborts on untrusted bytes.
+// function never aborts on untrusted bytes. A corrupt or missing primary
+// falls back to "<path>.prev" (with a logged warning) when that previous
+// generation verifies cleanly; transient read errors do not fall back.
 StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path);
 
 // 64-bit FNV-1a, exposed for tests that hand-corrupt checkpoint bytes.

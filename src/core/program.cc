@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
 #include "src/gir/fusion.h"
@@ -106,6 +107,9 @@ const BackwardGir& VertexProgram::backward() const {
 Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config,
                        const RunContext& ctx) const {
   SEASTAR_CHECK(data_ != nullptr);
+  // Layer-boundary deadline poll: a model Forward that chains several
+  // programs aborts between layers without entering the next executor run.
+  CheckExecutionDeadline("vertex program");
   const std::shared_ptr<const Data> data = data_;
   Profiler* profiler = ctx.profiler;
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <functional>
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
 #include "src/exec/kernel_counter.h"
@@ -597,6 +598,8 @@ RunResult BaselineExecutor::Run(const GirGraph& gir, const Graph& graph,
   };
 
   for (const Node& node : gir.nodes()) {
+    // Per-op deadline poll, mirroring the Seastar executor's per-unit check.
+    CheckExecutionDeadline("baseline op");
     if (seed != nullptr) {
       auto it = seed->find(node.id);
       if (it != seed->end()) {

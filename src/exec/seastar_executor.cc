@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
 #include "src/exec/compiled_program.h"
@@ -293,6 +294,10 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
 
   // ---- Run each unit ----------------------------------------------------------------------------
   for (size_t unit_index = 0; unit_index < plan.units.size(); ++unit_index) {
+    // A fused unit is the smallest schedulable quantum: poll the ambient
+    // request deadline here so an expired request aborts before claiming the
+    // SIMT pool for another kernel. No-deadline runs pay one TLS load.
+    CheckExecutionDeadline("seastar unit");
     const FusedUnit& fused = plan.units[unit_index];
     ProfileScope unit_span(
         profiler, profiler != nullptr ? program->unit_labels[unit_index] : std::string(),

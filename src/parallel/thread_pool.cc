@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -49,7 +50,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
   if (workers_.empty()) {
-    fn(0);
+    fn(0);  // No capture needed: the exception already unwinds to the caller.
     return;
   }
   {
@@ -57,15 +58,30 @@ void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
     current_fn_ = &fn;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
+    first_exception_ = nullptr;
   }
   work_ready_.notify_all();
 
-  // The calling thread participates too.
-  fn(static_cast<int>(workers_.size()));
+  // The calling thread participates too. Its exception is captured rather
+  // than propagated immediately: the block must drain before control leaves,
+  // or a rethrow would race the workers still executing fn.
+  try {
+    fn(static_cast<int>(workers_.size()));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (first_exception_ == nullptr) {
+      first_exception_ = std::current_exception();
+    }
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return pending_ == 0; });
   current_fn_ = nullptr;
+  if (first_exception_ != nullptr) {
+    std::exception_ptr rethrown = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(rethrown);
+  }
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -82,9 +98,20 @@ void ThreadPool::WorkerLoop(int worker_index) {
       seen_generation = generation_;
       fn = current_fn_;
     }
-    (*fn)(worker_index);
+    // A throwing task must not unwind the worker's top frame (that would be
+    // std::terminate): capture the first exception for the submitting thread
+    // and keep draining so the block completes.
+    std::exception_ptr thrown;
+    try {
+      (*fn)(worker_index);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       if (--pending_ == 0) {
         work_done_.notify_all();
       }

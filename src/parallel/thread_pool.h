@@ -2,12 +2,22 @@
 // simulated GPU grids in simt.h) run on this pool, so there is a single knob
 // for the machine's parallelism (SEASTAR_NUM_THREADS, default: hardware
 // concurrency).
+//
+// Exception safety: a task body that throws inside a worker would otherwise
+// escape the worker's top frame and std::terminate the process — fatal for a
+// serving runtime where one poisoned request must not take down the pool.
+// RunOnAllWorkers instead captures the *first* exception thrown by any
+// participant (workers or the calling thread), lets every participant drain
+// the block normally, and rethrows the captured exception on the submitting
+// thread, where the caller can convert it to a Status. The pool stays fully
+// usable afterwards.
 #ifndef SRC_PARALLEL_THREAD_POOL_H_
 #define SRC_PARALLEL_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,6 +41,10 @@ class ThreadPool {
   // Runs fn(worker_index) on every worker plus the calling thread
   // (worker_index = num_threads() for the caller) and blocks until all
   // invocations return. This is the primitive the SIMT grid builds on.
+  //
+  // If any invocation throws, the first exception is captured, the block is
+  // drained (every other participant still runs to completion), and the
+  // exception is rethrown here on the submitting thread.
   void RunOnAllWorkers(const std::function<void(int)>& fn);
 
  private:
@@ -49,6 +63,9 @@ class ThreadPool {
   uint64_t generation_ = 0;
   int pending_ = 0;
   bool shutdown_ = false;
+  // First exception thrown by any participant of the current block; guarded
+  // by mutex_, cleared at dispatch, rethrown by RunOnAllWorkers.
+  std::exception_ptr first_exception_;
 };
 
 // Splits [0, count) into roughly equal chunks across the pool and runs

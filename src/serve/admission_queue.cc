@@ -1,0 +1,90 @@
+#include "src/serve/admission_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace serve {
+
+AdmissionQueue::AdmissionQueue(int capacity) : capacity_(capacity) {
+  SEASTAR_CHECK_GT(capacity, 0);
+}
+
+Status AdmissionQueue::TryPush(std::unique_ptr<PendingRequest> request) {
+  SEASTAR_CHECK(request != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return ErrorStatus(StatusCode::kUnavailable) << "admission queue closed (shutting down)";
+    }
+    if (static_cast<int>(queue_.size()) >= capacity_) {
+      ++shed_count_;
+      return ErrorStatus(StatusCode::kResourceExhausted)
+             << "admission queue full (capacity " << capacity_ << "): request shed";
+    }
+    queue_.push_back(std::move(request));
+  }
+  ready_.notify_all();
+  return Status::Ok();
+}
+
+std::unique_ptr<PendingRequest> AdmissionQueue::PopAnyUntil(
+    std::chrono::steady_clock::time_point until) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait_until(lock, until, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<PendingRequest> head = std::move(queue_.front());
+  queue_.pop_front();
+  head->dequeued_at = std::chrono::steady_clock::now();
+  return head;
+}
+
+std::unique_ptr<PendingRequest> AdmissionQueue::PopMatchingUntil(
+    uint64_t key, std::chrono::steady_clock::time_point until) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [key](const std::unique_ptr<PendingRequest>& r) {
+                             return r->batch_key == key;
+                           });
+    if (it != queue_.end()) {
+      std::unique_ptr<PendingRequest> match = std::move(*it);
+      queue_.erase(it);
+      match->dequeued_at = std::chrono::steady_clock::now();
+      return match;
+    }
+    if (closed_ || ready_.wait_until(lock, until) == std::cv_status::timeout) {
+      return nullptr;
+    }
+  }
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+int AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+int64_t AdmissionQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_count_;
+}
+
+}  // namespace serve
+}  // namespace seastar

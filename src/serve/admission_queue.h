@@ -1,0 +1,75 @@
+// Bounded admission queue: the load-shedding front door of the server.
+//
+// Admission control is the first line of overload defense (Clipper-style
+// serving): a queue that grows without bound converts overload into
+// unbounded latency for *every* request, while a bounded queue converts it
+// into fast, explicit rejection (kResourceExhausted) for the requests that
+// would have missed their deadlines anyway. Capacity is therefore a hard
+// bound checked at push; the caller surfaces the rejection Status to the
+// client immediately ("shed") without ever touching the execution path.
+//
+// The pop side serves the micro-batcher: PopAnyUntil blocks for the batch
+// leader, PopMatchingUntil waits for *compatible* followers (same batch key)
+// until the batching window closes. Both honor Close(), which drains
+// producers and wakes all waiters for shutdown.
+#ifndef SRC_SERVE_ADMISSION_QUEUE_H_
+#define SRC_SERVE_ADMISSION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "src/common/status.h"
+#include "src/serve/request.h"
+
+namespace seastar {
+namespace serve {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(int capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  // Admits `request` or rejects it without blocking:
+  //   kResourceExhausted  queue at capacity (load shed),
+  //   kUnavailable        queue closed (server shutting down).
+  Status TryPush(std::unique_ptr<PendingRequest> request);
+
+  // Pops the oldest request, blocking until one is available or `until`
+  // passes (or the queue closes). Null on timeout/closed-and-empty.
+  std::unique_ptr<PendingRequest> PopAnyUntil(std::chrono::steady_clock::time_point until);
+
+  // Pops the oldest request whose batch_key equals `key`, blocking until one
+  // arrives or `until` passes. Skips (leaves queued) non-matching requests.
+  std::unique_ptr<PendingRequest> PopMatchingUntil(
+      uint64_t key, std::chrono::steady_clock::time_point until);
+
+  // Wakes every waiter and rejects all future pushes. Queued requests remain
+  // poppable so shutdown can drain and fail them explicitly.
+  void Close();
+  bool closed() const;
+
+  int size() const;
+  int capacity() const { return capacity_; }
+
+  // Requests rejected at the door because the queue was full.
+  int64_t shed_count() const;
+
+ private:
+  const int capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::unique_ptr<PendingRequest>> queue_;
+  bool closed_ = false;
+  int64_t shed_count_ = 0;
+};
+
+}  // namespace serve
+}  // namespace seastar
+
+#endif  // SRC_SERVE_ADMISSION_QUEUE_H_

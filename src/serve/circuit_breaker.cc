@@ -1,0 +1,106 @@
+#include "src/serve/circuit_breaker.h"
+
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(int trip_after, double probe_interval_ms)
+    : trip_after_(trip_after),
+      probe_interval_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double, std::milli>(probe_interval_ms))) {
+  SEASTAR_CHECK_GT(trip_after, 0);
+}
+
+bool CircuitBreaker::AllowExecution() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (Clock::now() - opened_at_ >= probe_interval_) {
+        state_ = BreakerState::kHalfOpen;
+        ++probes_;
+        return true;  // This batch is the probe.
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      return false;  // One probe per cycle; its outcome decides the next state.
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    ++recoveries_;
+    SEASTAR_LOG(Info) << "circuit breaker: probe succeeded, closing (recovery " << recoveries_
+                      << ")";
+  }
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe failed: back to open, restart the probe clock.
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kClosed && consecutive_failures_ >= trip_after_) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = Clock::now();
+    ++trips_;
+    last_trip_reason_ = reason;
+    SEASTAR_LOG(Warning) << "circuit breaker: tripped after " << consecutive_failures_
+                         << " consecutive failures (" << reason << "); serving degraded";
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+int64_t CircuitBreaker::recoveries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recoveries_;
+}
+
+int64_t CircuitBreaker::probes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probes_;
+}
+
+std::string CircuitBreaker::last_trip_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_trip_reason_;
+}
+
+}  // namespace serve
+}  // namespace seastar

@@ -1,0 +1,86 @@
+// Circuit breaker: stop hammering a failing execution path.
+//
+// When forward passes fail repeatedly (sustained allocation faults, NaN
+// logits from poisoned parameters), each further attempt costs a full
+// retry-with-backoff cycle while the queue backs up behind it. The breaker
+// converts that into a state machine:
+//
+//       consecutive failures >= trip_after            probe due
+//   CLOSED ------------------------------> OPEN --------------------> HALF_OPEN
+//     ^  \___ success resets the counter    | serve degraded            |
+//     |                                     | (LKG cache) meanwhile     |
+//     +--------- probe succeeds ------------+------- probe fails -------+
+//                (recovery)                          (back to OPEN)
+//
+// While OPEN, AllowExecution() says no — the server answers from its
+// last-known-good cache instead of running the model — except once per
+// probe interval, when a single batch is let through as the probe. A probe
+// success closes the breaker (recovery); a probe failure re-opens it and
+// restarts the probe clock.
+//
+// Thread safety: transitions happen on the serving thread, but state and
+// counters are read by driver/stat threads, so everything is mutex-guarded;
+// this is far off any hot path.
+#ifndef SRC_SERVE_CIRCUIT_BREAKER_H_
+#define SRC_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace seastar {
+namespace serve {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  // Trips after `trip_after` consecutive failures; while open, allows one
+  // probe every `probe_interval_ms`.
+  CircuitBreaker(int trip_after, double probe_interval_ms);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // Asks whether the next batch may execute for real. CLOSED: yes.
+  // OPEN: no, unless the probe interval has elapsed — then the breaker moves
+  // to HALF_OPEN and admits this one batch as the probe. HALF_OPEN: no (a
+  // probe is already in flight this cycle).
+  bool AllowExecution();
+
+  // Outcome of an executed batch (including probes).
+  void RecordSuccess();
+  void RecordFailure(const std::string& reason);
+
+  BreakerState state() const;
+  int consecutive_failures() const;
+  int64_t trips() const;
+  int64_t recoveries() const;
+  int64_t probes() const;
+  // Reason recorded by the failure that tripped the breaker last ("" if
+  // never tripped).
+  std::string last_trip_reason() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const int trip_after_;
+  const std::chrono::nanoseconds probe_interval_;
+
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  Clock::time_point opened_at_{};
+  int64_t trips_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t probes_ = 0;
+  std::string last_trip_reason_;
+};
+
+}  // namespace serve
+}  // namespace seastar
+
+#endif  // SRC_SERVE_CIRCUIT_BREAKER_H_

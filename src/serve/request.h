@@ -1,0 +1,72 @@
+// Request/response types of the inference serving runtime.
+//
+// A request asks for the logits of a handful of vertices under a deadline.
+// The models are full-graph (one forward computes every vertex's logits), so
+// the unit of execution is a *forward pass* and the unit of admission is a
+// request; the micro-batcher's job is to amortize one forward across every
+// compatible request currently queued.
+#ifndef SRC_SERVE_REQUEST_H_
+#define SRC_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "src/common/deadline.h"
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace seastar {
+namespace serve {
+
+struct InferenceRequest {
+  // Vertex ids whose logits the client wants (gathered from the full-graph
+  // forward). Must be non-empty and within [0, num_vertices).
+  std::vector<int32_t> vertices;
+
+  // Per-request deadline in milliseconds from admission; 0 uses the server
+  // default, negative disables the deadline entirely (batch/offline use).
+  double deadline_ms = 0.0;
+
+  // The (model, graph) the client believes it is talking to; 0 means
+  // "whatever the server runs". Requests with a non-zero fingerprint that
+  // does not match the server's are rejected at admission — they could batch
+  // with nothing and their answer would be for the wrong model.
+  uint64_t model_fingerprint = 0;
+};
+
+struct InferenceResponse {
+  Tensor logits;  // [request.vertices.size(), num_classes]
+
+  // True when served from the last-known-good cache (circuit breaker open or
+  // retries exhausted) rather than a fresh forward pass.
+  bool degraded = false;
+
+  // Transient-fault retries this request's batch paid before succeeding.
+  int retries = 0;
+
+  // How many requests shared the forward pass that produced this answer.
+  int batch_size = 1;
+
+  double queue_ms = 0.0;  // Admission -> dequeue.
+  double exec_ms = 0.0;   // Dequeue -> fulfillment.
+  double total_ms = 0.0;  // Admission -> fulfillment.
+};
+
+// A request in flight inside the server: admission metadata plus the promise
+// the client's future is watching. Owned by the queue, then by the batch,
+// and consumed by fulfillment.
+struct PendingRequest {
+  InferenceRequest request;
+  Deadline deadline;
+  uint64_t batch_key = 0;  // Requests batch only with an equal key.
+  std::chrono::steady_clock::time_point admitted_at{};
+  std::chrono::steady_clock::time_point dequeued_at{};
+  std::promise<StatusOr<InferenceResponse>> promise;
+};
+
+}  // namespace serve
+}  // namespace seastar
+
+#endif  // SRC_SERVE_REQUEST_H_

@@ -1,0 +1,499 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/profiler.h"
+#include "src/core/checkpoint.h"
+#include "src/tensor/allocator.h"
+#include "src/tensor/autograd.h"
+
+namespace seastar {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Identity of what this server executes: requests pinning a different
+// fingerprint cannot batch with (or be answered by) this model.
+uint64_t ComputeFingerprint(const GnnModel& model, const Dataset& data) {
+  char buffer[256];
+  int written =
+      std::snprintf(buffer, sizeof(buffer), "%s|%lld|%lld|%lld|%lld", model.name(),
+                    static_cast<long long>(data.graph.num_vertices()),
+                    static_cast<long long>(data.graph.num_edges()),
+                    static_cast<long long>(data.spec.num_classes),
+                    static_cast<long long>(data.features.defined() ? data.features.dim(1) : 0));
+  uint64_t hash = Fnv1a64(buffer, static_cast<size_t>(written));
+  return hash != 0 ? hash : 1;  // 0 is reserved for "don't care" in requests.
+}
+
+bool HasNonFinite(const Tensor& t) {
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Server::Server(GnnModel& model, const Dataset& data, ServeConfig config)
+    : model_(model),
+      data_(data),
+      config_(std::move(config)),
+      fingerprint_(ComputeFingerprint(model, data)),
+      profiler_((config_.profiler != nullptr && config_.profiler->enabled()) ? config_.profiler
+                                                                             : nullptr),
+      queue_(config_.queue_capacity),
+      batcher_(queue_, BatcherOptions{config_.max_batch, config_.max_batch_delay_ms,
+                                      /*idle_poll_ms=*/5.0}),
+      breaker_(config_.breaker_trip_after, config_.breaker_probe_interval_ms) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::RestoreFromCheckpoint() {
+  // Boot-time transient faults (FaultSite::kCheckpointRead surfaces as
+  // kUnavailable) are retried with backoff; structural errors (corrupt file
+  // after .prev fallback, wrong model) are fatal to Start().
+  StatusOr<TrainCheckpoint> loaded = ErrorStatus(StatusCode::kInternal) << "unreachable";
+  for (int attempt = 0; attempt <= config_.boot_retries; ++attempt) {
+    loaded = LoadCheckpoint(config_.checkpoint_path);
+    if (loaded.has_value() || loaded.status().code() != StatusCode::kUnavailable) {
+      break;
+    }
+    if (attempt < config_.boot_retries) {
+      boot_retries_.fetch_add(1, std::memory_order_relaxed);
+      const double backoff_ms = config_.retry_base_backoff_ms * static_cast<double>(1 << attempt);
+      SEASTAR_LOG(Warning) << "serve boot: transient checkpoint read failure ("
+                           << loaded.status().message() << "); retrying in " << backoff_ms
+                           << " ms";
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+  if (!loaded.has_value()) {
+    return loaded.status();
+  }
+
+  const TrainCheckpoint& snapshot = loaded.value();
+  std::vector<Var> parameters = model_.Parameters();
+  if (snapshot.parameters.size() != parameters.size()) {
+    return ErrorStatus(StatusCode::kInvalidArgument)
+           << "checkpoint '" << config_.checkpoint_path << "' holds " << snapshot.parameters.size()
+           << " parameters, model '" << model_.name() << "' has " << parameters.size();
+  }
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    if (snapshot.parameters[p].shape() != parameters[p].value().shape()) {
+      return ErrorStatus(StatusCode::kInvalidArgument)
+             << "checkpoint parameter " << p << " is " << snapshot.parameters[p].ShapeString()
+             << ", model expects " << parameters[p].value().ShapeString();
+    }
+  }
+  // Inference only restores weights (and dropout RNG for reproducibility of
+  // any training-mode probes); optimizer moments stay with the trainer.
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    Tensor& value = parameters[p].mutable_value();
+    std::copy(snapshot.parameters[p].data(), snapshot.parameters[p].data() + value.numel(),
+              value.data());
+    parameters[p].ClearGrad();
+  }
+  if (Rng* rng = model_.MutableRng(); rng != nullptr && snapshot.model_rng.has_value()) {
+    rng->RestoreState(*snapshot.model_rng);
+  }
+  SEASTAR_LOG(Info) << "serve boot: restored '" << config_.checkpoint_path << "' (epoch "
+                    << snapshot.epoch << ", " << parameters.size() << " parameters)";
+  return Status::Ok();
+}
+
+Status Server::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return ErrorStatus(StatusCode::kInvalidArgument) << "server already started";
+  }
+
+  {
+    ProfileScope boot_scope(profiler_, "boot", "serve");
+    if (!config_.checkpoint_path.empty()) {
+      Status restored = RestoreFromCheckpoint();
+      if (!restored.ok()) {
+        return restored;
+      }
+    }
+  }
+
+  if (config_.warmup) {
+    // First forward compiles every plan into the PlanCache and sizes the
+    // allocator pool; it also seeds the last-known-good cache so degraded
+    // mode has answers from the first request on. Warmup shares the serving
+    // retry policy because boot-time fault injection hits it too.
+    ProfileScope warm_scope(profiler_, "warmup", "serve");
+    Deadline no_deadline;  // Unarmed: warmup may take as long as it takes.
+    int retries_paid = 0;
+    AttemptResult warm = ExecuteWithRetries(no_deadline, &retries_paid);
+    retries_.fetch_add(retries_paid, std::memory_order_relaxed);
+    if (!warm.status.ok()) {
+      // Not fatal: the breaker/retry machinery will keep trying per batch.
+      SEASTAR_LOG(Warning) << "serve boot: warmup forward failed (" << warm.status.message()
+                           << "); starting anyway";
+    }
+  }
+
+  started_.store(true, std::memory_order_release);
+  serving_thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void Server::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (stopping_.exchange(true)) {
+    if (serving_thread_.joinable()) {
+      serving_thread_.join();
+    }
+    return;
+  }
+  // Closing the queue rejects new pushes; the serving loop drains whatever
+  // is already queued (every promise is fulfilled) before exiting.
+  queue_.Close();
+  if (serving_thread_.joinable()) {
+    serving_thread_.join();
+  }
+}
+
+std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request) {
+  std::promise<StatusOr<InferenceResponse>> rejected;
+  std::future<StatusOr<InferenceResponse>> rejected_future = rejected.get_future();
+
+  if (!started_.load(std::memory_order_acquire)) {
+    rejected.set_value(ErrorStatus(StatusCode::kUnavailable) << "server not started");
+    return rejected_future;
+  }
+  if (request.vertices.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
+                       << "request names no vertices");
+    return rejected_future;
+  }
+  const int64_t num_vertices = data_.graph.num_vertices();
+  for (int32_t v : request.vertices) {
+    if (v < 0 || v >= num_vertices) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
+                         << "vertex " << v << " out of range [0, " << num_vertices << ")");
+      return rejected_future;
+    }
+  }
+  if (request.model_fingerprint != 0 && request.model_fingerprint != fingerprint_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
+                       << "request pins model fingerprint " << request.model_fingerprint
+                       << " but this server runs " << fingerprint_);
+    return rejected_future;
+  }
+
+  auto pending = std::make_unique<PendingRequest>();
+  const double deadline_ms =
+      request.deadline_ms == 0.0 ? config_.default_deadline_ms : request.deadline_ms;
+  if (deadline_ms > 0.0) {
+    pending->deadline = Deadline::AfterMillis(deadline_ms);
+  }
+  pending->request = std::move(request);
+  pending->batch_key = fingerprint_;  // One model per server today; the key
+                                      // exists so multi-model servers batch
+                                      // correctly without an API change.
+  pending->admitted_at = Clock::now();
+  std::future<StatusOr<InferenceResponse>> future = pending->promise.get_future();
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Status pushed = queue_.TryPush(std::move(pending));
+  if (!pushed.ok()) {
+    // Load shedding (or shutdown): answer immediately so the client can back
+    // off instead of waiting out its deadline.
+    rejected.set_value(pushed);
+    return rejected_future;
+  }
+  return future;
+}
+
+StatusOr<InferenceResponse> Server::Infer(InferenceRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void Server::ServeLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<PendingRequest>> batch = batcher_.NextBatch();
+    if (batch.empty()) {
+      if (queue_.closed() && queue_.size() == 0) {
+        return;  // Drained; shutdown completes.
+      }
+      continue;
+    }
+    ServeBatch(std::move(batch));
+  }
+}
+
+Server::AttemptResult Server::RunForwardOnce(const Deadline& deadline) {
+  AttemptResult result;
+  TensorAllocator& allocator = TensorAllocator::Get();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    // The executors poll this deadline at unit/op boundaries
+    // (CheckExecutionDeadline) and abort expired work mid-forward.
+    ScopedDeadline ambient(&deadline);
+    Var out = model_.Forward(/*training=*/false);
+    if (allocator.failure_injected()) {
+      allocator.ClearInjectedFailure();
+      result.status = ErrorStatus(StatusCode::kUnavailable)
+                      << "transient allocation failure injected during forward";
+      result.retryable = true;
+      return result;
+    }
+    Tensor logits = out.value();
+    if (HasNonFinite(logits)) {
+      // Poisoned output is not transient: retrying the same weights yields
+      // the same NaNs. Fail fast and let the breaker count it.
+      result.status = ErrorStatus(StatusCode::kInternal) << "forward produced non-finite logits";
+      result.retryable = false;
+      return result;
+    }
+    result.status = Status::Ok();
+    result.logits = std::move(logits);
+    return result;
+  } catch (const DeadlineExceeded& e) {
+    allocator.ClearInjectedFailure();
+    deadline_unit_aborts_.fetch_add(1, std::memory_order_relaxed);
+    result.status = ErrorStatus(StatusCode::kDeadlineExceeded) << e.what();
+    result.retryable = false;
+    result.unit_abort = true;
+    return result;
+  } catch (const std::exception& e) {
+    allocator.ClearInjectedFailure();
+    result.status = ErrorStatus(StatusCode::kInternal) << "forward threw: " << e.what();
+    result.retryable = true;
+    return result;
+  }
+}
+
+Server::AttemptResult Server::ExecuteWithRetries(const Deadline& deadline, int* retries_paid) {
+  AttemptResult result;
+  for (int attempt = 0;; ++attempt) {
+    result = RunForwardOnce(deadline);
+    if (result.status.ok()) {
+      std::lock_guard<std::mutex> lock(lkg_mutex_);
+      lkg_logits_ = result.logits.Clone();
+      return result;
+    }
+    if (!result.retryable || attempt >= config_.max_retries) {
+      return result;
+    }
+    double backoff_ms = config_.retry_base_backoff_ms * static_cast<double>(1 << attempt);
+    if (deadline.armed()) {
+      const double remaining = deadline.remaining_ms();
+      if (remaining <= 0.0) {
+        return result;  // Sleeping past the deadline helps nobody.
+      }
+      backoff_ms = std::min(backoff_ms, remaining);
+    }
+    ++*retries_paid;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+}
+
+void Server::FulfillFromLogits(const Tensor& logits,
+                               std::vector<std::unique_ptr<PendingRequest>>& batch, bool degraded,
+                               int retries_paid) {
+  const int batch_size = static_cast<int>(batch.size());
+  const int64_t num_classes = logits.dim(1);
+  for (std::unique_ptr<PendingRequest>& pending : batch) {
+    const Clock::time_point now = Clock::now();
+    if (pending->deadline.armed() && pending->deadline.expired()) {
+      // The batch made it, this request's budget didn't: its client has
+      // already moved on, so the answer would only be discarded.
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
+                                 << "deadline expired before fulfillment");
+      continue;
+    }
+    ProfileScope request_scope(profiler_, degraded ? "request:degraded" : "request", "serve");
+    const std::vector<int32_t>& vertices = pending->request.vertices;
+    InferenceResponse response;
+    response.logits = Tensor({static_cast<int64_t>(vertices.size()), num_classes});
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      const float* src = logits.Row(vertices[i]);
+      std::copy(src, src + num_classes, response.logits.Row(static_cast<int64_t>(i)));
+    }
+    response.degraded = degraded;
+    response.retries = retries_paid;
+    response.batch_size = batch_size;
+    response.queue_ms = MillisBetween(pending->admitted_at, pending->dequeued_at);
+    response.exec_ms = MillisBetween(pending->dequeued_at, now);
+    response.total_ms = MillisBetween(pending->admitted_at, now);
+    (degraded ? degraded_ : served_).fetch_add(1, std::memory_order_relaxed);
+    RecordLatency(response.total_ms);
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+void Server::FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch,
+                       const Status& status) {
+  const bool is_deadline = status.code() == StatusCode::kDeadlineExceeded;
+  for (std::unique_ptr<PendingRequest>& pending : batch) {
+    (is_deadline ? expired_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    pending->promise.set_value(status);
+  }
+}
+
+void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
+  // Drop requests that expired while queued before spending a forward (or a
+  // degraded gather) on them.
+  std::vector<std::unique_ptr<PendingRequest>> live;
+  live.reserve(batch.size());
+  for (std::unique_ptr<PendingRequest>& pending : batch) {
+    if (pending->deadline.armed() && pending->deadline.expired()) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
+                                 << "deadline expired while queued");
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  ProfileScope batch_scope(profiler_, "batch", "serve");
+
+  if (!breaker_.AllowExecution()) {
+    // Breaker open: answer from the last-known-good cache, never touch the
+    // failing execution path.
+    Tensor lkg;
+    {
+      std::lock_guard<std::mutex> lock(lkg_mutex_);
+      lkg = lkg_logits_;
+    }
+    if (config_.degraded_fallback && lkg.defined()) {
+      ProfileScope degraded_scope(profiler_, "degraded", "serve");
+      FulfillFromLogits(lkg, live, /*degraded=*/true, /*retries_paid=*/0);
+    } else {
+      FailBatch(live, ErrorStatus(StatusCode::kUnavailable)
+                          << "circuit breaker open (" << breaker_.last_trip_reason()
+                          << ") and no cached predictions available");
+    }
+    return;
+  }
+  const bool is_probe = breaker_.state() == BreakerState::kHalfOpen;
+  ProfileScope probe_scope(is_probe ? profiler_ : nullptr, "probe", "serve");
+
+  // Execute under the *most patient* deadline in the batch: abort only once
+  // even the slackest request's budget is gone. Tighter requests are checked
+  // individually at fulfillment. A single no-deadline request unbounds the
+  // batch (the executor check stays a no-op for unarmed deadlines).
+  Deadline exec_deadline;
+  bool any_unarmed = false;
+  Clock::time_point latest{};
+  for (const std::unique_ptr<PendingRequest>& pending : live) {
+    if (!pending->deadline.armed()) {
+      any_unarmed = true;
+      break;
+    }
+    latest = std::max(latest, pending->deadline.time_point());
+  }
+  if (!any_unarmed) {
+    exec_deadline = Deadline::At(latest);
+  }
+
+  int retries_paid = 0;
+  AttemptResult result = ExecuteWithRetries(exec_deadline, &retries_paid);
+  retries_.fetch_add(retries_paid, std::memory_order_relaxed);
+
+  if (result.status.ok()) {
+    breaker_.RecordSuccess();
+    FulfillFromLogits(result.logits, live, /*degraded=*/false, retries_paid);
+    return;
+  }
+
+  if (result.status.code() == StatusCode::kDeadlineExceeded) {
+    // Every deadline in the batch is behind the one we executed under, so
+    // all of them are expired. Deadline aborts are the client's budget
+    // running out, not backend sickness — the breaker doesn't count them
+    // (a half-open probe's outcome stays undecided and the next batch
+    // probes again).
+    FailBatch(live, result.status);
+    return;
+  }
+
+  breaker_.RecordFailure(result.status.message());
+  Tensor lkg;
+  {
+    std::lock_guard<std::mutex> lock(lkg_mutex_);
+    lkg = lkg_logits_;
+  }
+  if (config_.degraded_fallback && lkg.defined()) {
+    ProfileScope degraded_scope(profiler_, "degraded", "serve");
+    FulfillFromLogits(lkg, live, /*degraded=*/true, retries_paid);
+  } else {
+    FailBatch(live, result.status);
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.shed = queue_.shed_count();
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_.trips();
+  stats.breaker_recoveries = breaker_.recoveries();
+  stats.breaker_probes = breaker_.probes();
+  stats.deadline_unit_aborts = deadline_unit_aborts_.load(std::memory_order_relaxed);
+  stats.boot_retries = boot_retries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+LatencySummary Server::latency_summary() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    sorted = latencies_ms_;
+  }
+  LatencySummary summary;
+  summary.count = static_cast<int64_t>(sorted.size());
+  if (sorted.empty()) {
+    return summary;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&sorted](double p) {
+    const size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[index];
+  };
+  summary.p50_ms = percentile(0.50);
+  summary.p95_ms = percentile(0.95);
+  summary.p99_ms = percentile(0.99);
+  summary.max_ms = sorted.back();
+  return summary;
+}
+
+void Server::RecordLatency(double total_ms) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latencies_ms_.push_back(total_ms);
+}
+
+}  // namespace serve
+}  // namespace seastar

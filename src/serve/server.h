@@ -1,0 +1,209 @@
+// Hardened inference server over a trained GNN model.
+//
+// The pipeline, per docs/INTERNALS.md §11:
+//
+//   Submit -> [bounded admission queue] -> [micro-batcher] -> execute
+//                    |  full: shed                |             |
+//                    v                            v             v
+//              kResourceExhausted        deadline checks   retry w/ backoff
+//                                        between units     on transient faults
+//                                                               |
+//                                              circuit breaker on repeated
+//                                              failure / NaN -> degraded mode
+//                                              (last-known-good cache) until
+//                                              a probe forward succeeds
+//
+// One serving thread owns execution: it forms batches, runs the forward
+// under the batch's deadline (ScopedDeadline; the executors poll it at unit
+// boundaries and abort expired work), retries transient faults with
+// exponential backoff, asks the circuit breaker before every batch, and
+// fulfills each request's promise. Clients only touch the queue, so client
+// threads never contend on model state.
+//
+// Warm-path guarantees inherited from PR 3: after the first forward, every
+// plan comes from the PlanCache and every tensor from the allocator pool —
+// a steady-state request performs zero fresh mallocs and zero compilations,
+// which is what makes micro-batching windows of a millisecond meaningful.
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/models/model.h"
+#include "src/graph/datasets.h"
+#include "src/serve/admission_queue.h"
+#include "src/serve/batcher.h"
+#include "src/serve/circuit_breaker.h"
+#include "src/serve/request.h"
+
+namespace seastar {
+
+class Profiler;
+
+namespace serve {
+
+struct ServeConfig {
+  // ---- Admission ---------------------------------------------------------
+  int queue_capacity = 64;  // Requests beyond this are shed at the door.
+  double default_deadline_ms = 100.0;  // For requests with deadline_ms == 0.
+
+  // ---- Batching ----------------------------------------------------------
+  int max_batch = 8;
+  double max_batch_delay_ms = 1.0;
+
+  // ---- Retry policy (transient faults: injected allocation failures,
+  //      exceptions escaping pool workers) --------------------------------
+  int max_retries = 2;                 // Attempts = 1 + max_retries.
+  double retry_base_backoff_ms = 0.5;  // Backoff = base * 2^attempt.
+
+  // ---- Circuit breaker ---------------------------------------------------
+  int breaker_trip_after = 3;              // Consecutive batch failures.
+  double breaker_probe_interval_ms = 25.0;  // One probe per interval while open.
+  // Serve last-known-good cached predictions while the breaker is open (or
+  // when retries are exhausted); false fails those requests instead.
+  bool degraded_fallback = true;
+
+  // ---- Boot --------------------------------------------------------------
+  // Trained snapshot to restore parameters from before serving; "" serves
+  // the model's fresh initialization (useful in tests).
+  std::string checkpoint_path;
+  int boot_retries = 3;  // Retries for transient checkpoint-read faults.
+  // Run one forward at Start() to compile plans, warm the allocator pool,
+  // and seed the last-known-good cache.
+  bool warmup = true;
+
+  // ---- Observability -----------------------------------------------------
+  // Span sink, driven from the serving thread (plus boot-time spans before
+  // the thread starts). Null = off.
+  Profiler* profiler = nullptr;
+};
+
+// Monotone counters; a quiesced server satisfies
+//   submitted == served + degraded + shed + expired + failed + rejected.
+struct ServerStats {
+  int64_t submitted = 0;  // Submit calls that passed validation.
+  int64_t rejected = 0;   // Invalid requests (bad vertices / fingerprint).
+  int64_t shed = 0;       // Turned away at the full admission queue.
+  int64_t served = 0;     // Fresh forward-pass answers.
+  int64_t degraded = 0;   // Answered from the last-known-good cache.
+  int64_t expired = 0;    // Deadline passed (in queue or mid-execution).
+  int64_t failed = 0;     // Everything else (retries exhausted, no LKG, ...).
+  int64_t retries = 0;        // Transient-fault retry attempts paid.
+  int64_t batches = 0;        // Forward passes attempted (incl. retries).
+  int64_t breaker_trips = 0;
+  int64_t breaker_recoveries = 0;
+  int64_t breaker_probes = 0;
+  int64_t deadline_unit_aborts = 0;  // Executions aborted at a unit boundary.
+  int64_t boot_retries = 0;          // Checkpoint-read retries during Start().
+};
+
+struct LatencySummary {
+  int64_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class Server {
+ public:
+  // `model` and `data` must outlive the server; the model must have been
+  // built against `data`'s graph.
+  Server(GnnModel& model, const Dataset& data, ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Boots (checkpoint restore with transient-fault retries, warmup forward)
+  // and starts the serving thread. Must be called once before Submit.
+  Status Start();
+
+  // Closes admission, drains queued requests (every outstanding future is
+  // fulfilled), and joins the serving thread. Idempotent.
+  void Shutdown();
+
+  // Admits a request. The returned future is always eventually fulfilled —
+  // immediately with a Status for invalid/shed/closed requests, by the
+  // serving thread otherwise.
+  std::future<StatusOr<InferenceResponse>> Submit(InferenceRequest request);
+
+  // Blocking convenience wrapper.
+  StatusOr<InferenceResponse> Infer(InferenceRequest request);
+
+  // The (model, graph) identity requests may pin via model_fingerprint.
+  uint64_t serving_fingerprint() const { return fingerprint_; }
+
+  ServerStats stats() const;
+  BreakerState breaker_state() const { return breaker_.state(); }
+  // Percentiles over end-to-end latency of answered (served or degraded)
+  // requests.
+  LatencySummary latency_summary() const;
+  int queue_depth() const { return queue_.size(); }
+
+ private:
+  struct AttemptResult {
+    Status status;       // OK on success.
+    bool retryable = false;
+    Tensor logits;       // Defined on success: [N, num_classes].
+    bool unit_abort = false;  // Execution aborted at a deadline check.
+  };
+
+  void ServeLoop();
+  void ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch);
+  // One forward pass under `deadline`; classifies failures.
+  AttemptResult RunForwardOnce(const Deadline& deadline);
+  // Execute with retry/backoff; on success updates the LKG cache.
+  AttemptResult ExecuteWithRetries(const Deadline& deadline, int* retries_paid);
+  void FulfillFromLogits(const Tensor& logits, std::vector<std::unique_ptr<PendingRequest>>& batch,
+                         bool degraded, int retries_paid);
+  void FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch, const Status& status);
+  Status RestoreFromCheckpoint();
+  void RecordLatency(double total_ms);
+
+  GnnModel& model_;
+  const Dataset& data_;
+  const ServeConfig config_;
+  const uint64_t fingerprint_;
+  Profiler* profiler_;  // Hoisted: non-null only when enabled.
+
+  AdmissionQueue queue_;
+  MicroBatcher batcher_;
+  CircuitBreaker breaker_;
+
+  std::thread serving_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Last-known-good full-graph logits, written by the serving thread after
+  // every successful forward, read by it for degraded serving. Guarded for
+  // the stats/test readers.
+  mutable std::mutex lkg_mutex_;
+  Tensor lkg_logits_;
+
+  // Counters not already owned by a component.
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> deadline_unit_aborts_{0};
+  std::atomic<int64_t> boot_retries_{0};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace serve
+}  // namespace seastar
+
+#endif  // SRC_SERVE_SERVER_H_

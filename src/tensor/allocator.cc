@@ -76,8 +76,21 @@ void* TensorAllocator::Allocate(size_t bytes) {
   }
 
   uint64_t budget = soft_budget_.load(std::memory_order_relaxed);
-  if (budget != 0 && live > budget) {
-    budget_exceeded_.store(true, std::memory_order_relaxed);
+  if (budget != 0) {
+    // The budget bounds the process's tensor footprint: live bytes plus the
+    // blocks cached on the free lists. A long-running server whose request
+    // mix shifts (different batch sizes -> different size classes) strands
+    // blocks in classes it no longer allocates from; before declaring a
+    // breach, release that cache and re-judge against live bytes alone, so
+    // pool fragmentation never reads as OOM.
+    if (live + pooled_bytes_.load(std::memory_order_relaxed) > budget && live <= budget &&
+        pooling_enabled_.load(std::memory_order_relaxed)) {
+      Trim();
+      budget_trims_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (live > budget) {
+      budget_exceeded_.store(true, std::memory_order_relaxed);
+    }
   }
   return ptr;
 }

@@ -16,11 +16,16 @@
 // round-trip through mmap/munmap each epoch and re-fault every page on first
 // touch, which dominates allocation cost for feature-sized tensors.
 //
-// Accounting semantics are unchanged by pooling: live/peak/soft-budget track
-// *requested* bytes of live tensors; cached (pooled) blocks are not live and
-// are reported separately via pooled_bytes(). Set SEASTAR_POOL=0 in the
-// environment to disable pooling (e.g. when hunting use-after-free with
-// ASan, which cannot see reuse inside the pool).
+// Accounting semantics are unchanged by pooling: live/peak track *requested*
+// bytes of live tensors; cached (pooled) blocks are not live and are
+// reported separately via pooled_bytes(). The soft budget latches only on
+// live bytes, but cached blocks count toward the pressure check first: when
+// live + pooled crosses the budget while live alone has not, the free lists
+// are trimmed and the allocation is re-judged, so a long-running server
+// whose pool fragments across size classes does not die on phantom OOM (see
+// budget_trims()). Set SEASTAR_POOL=0 in the environment to disable pooling
+// (e.g. when hunting use-after-free with ASan, which cannot see reuse inside
+// the pool).
 #ifndef SRC_TENSOR_ALLOCATOR_H_
 #define SRC_TENSOR_ALLOCATOR_H_
 
@@ -67,6 +72,10 @@ class TensorAllocator {
   // Bytes currently cached on the free lists (not live).
   uint64_t pooled_bytes() const { return pooled_bytes_.load(std::memory_order_relaxed); }
   uint64_t trims() const { return trims_.load(std::memory_order_relaxed); }
+  // Trims forced by the soft budget: allocations where live + pooled crossed
+  // the budget but live alone had not, so releasing the free lists (pool
+  // fragmentation, not real memory pressure) resolved the breach.
+  uint64_t budget_trims() const { return budget_trims_.load(std::memory_order_relaxed); }
 
   bool pooling_enabled() const { return pooling_enabled_.load(std::memory_order_relaxed); }
   // Tests toggle this; disabling does not release already-cached blocks
@@ -109,6 +118,7 @@ class TensorAllocator {
   std::atomic<uint64_t> pool_reuse_bytes_{0};
   std::atomic<uint64_t> pooled_bytes_{0};
   std::atomic<uint64_t> trims_{0};
+  std::atomic<uint64_t> budget_trims_{0};
   std::atomic<uint64_t> soft_budget_{0};
   std::atomic<bool> budget_exceeded_{false};
   std::atomic<bool> failure_injected_{false};

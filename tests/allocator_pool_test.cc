@@ -217,5 +217,45 @@ TEST(AllocatorPoolTest, TensorRoundTripReusesStorage) {
   a.Trim();
 }
 
+TEST(AllocatorPoolTest, BudgetPressureFromCachedBlocksTrimsInsteadOfLatching) {
+  // Regression: a budget breach caused purely by blocks *cached on the free
+  // lists* (a serving workload whose size-class mix shifted) must trim and
+  // re-judge against live bytes, not latch budget_exceeded — pool
+  // fragmentation is reclaimable and is not OOM.
+  TensorAllocator& a = TensorAllocator::Get();
+  a.SetPoolingEnabled(true);
+  a.ClearBudgetExceeded();
+  a.Trim();
+  const size_t kBytes = 262144;
+
+  std::vector<void*> warm;
+  for (int i = 0; i < 4; ++i) {
+    warm.push_back(a.Allocate(kBytes));
+  }
+  for (void* p : warm) {
+    a.Deallocate(p, kBytes);  // Dead, but cached: pooled_bytes >= 4 classes.
+  }
+  ASSERT_GE(a.pooled_bytes(), 4 * kBytes);
+
+  // Room for the next allocation's live bytes, not for live + cached.
+  a.SetSoftBudgetBytes(a.live_bytes() + 2 * kBytes);
+  const uint64_t budget_trims_before = a.budget_trims();
+  void* p = a.Allocate(kBytes);
+
+  EXPECT_FALSE(a.budget_exceeded());
+  EXPECT_EQ(a.budget_trims() - budget_trims_before, 1u);
+  EXPECT_EQ(a.pooled_bytes(), 0u);
+
+  // A breach of *live* bytes still latches even right after a trim.
+  void* q = a.Allocate(4 * kBytes);
+  EXPECT_TRUE(a.budget_exceeded());
+
+  a.Deallocate(p, kBytes);
+  a.Deallocate(q, 4 * kBytes);
+  a.SetSoftBudgetBytes(0);
+  a.ClearBudgetExceeded();
+  a.Trim();
+}
+
 }  // namespace
 }  // namespace seastar

@@ -303,6 +303,115 @@ TEST(CheckpointTest, InjectedReadFaultSurfacesAsUnavailable) {
   std::filesystem::remove(path);
 }
 
+TEST(CheckpointTest, SaveRotatesPreviousGenerationToPrev) {
+  const std::string path = TempPath("seastar_ckpt_rotate.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  TrainCheckpoint first = SampleCheckpoint();
+  first.epoch = 3;
+  ASSERT_TRUE(SaveCheckpoint(first, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));  // Nothing to rotate yet.
+
+  TrainCheckpoint second = SampleCheckpoint();
+  second.epoch = 9;
+  ASSERT_TRUE(SaveCheckpoint(second, path).ok());
+
+  StatusOr<TrainCheckpoint> primary = LoadCheckpoint(path);
+  ASSERT_TRUE(primary.has_value()) << primary.status().ToString();
+  EXPECT_EQ(primary->epoch, 9);
+  // The rotated generation is itself a complete, loadable checkpoint.
+  StatusOr<TrainCheckpoint> previous = LoadCheckpoint(path + ".prev");
+  ASSERT_TRUE(previous.has_value()) << previous.status().ToString();
+  EXPECT_EQ(previous->epoch, 3);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+}
+
+TEST(CheckpointTest, CorruptPrimaryFallsBackToPrevGeneration) {
+  const std::string path = TempPath("seastar_ckpt_fallback.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  TrainCheckpoint first = SampleCheckpoint();
+  first.epoch = 5;
+  ASSERT_TRUE(SaveCheckpoint(first, path).ok());
+  TrainCheckpoint second = SampleCheckpoint();
+  second.epoch = 11;
+  ASSERT_TRUE(SaveCheckpoint(second, path).ok());
+
+  // Bit rot in the newest snapshot: flip a payload byte.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(40);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte ^= 0x5a;
+    file.seekp(40);
+    file.write(&byte, 1);
+  }
+
+  StatusOr<TrainCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 5);  // One generation behind, but alive.
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+}
+
+TEST(CheckpointTest, TruncatedPrimaryFallsBackToPrevGeneration) {
+  const std::string path = TempPath("seastar_ckpt_fallback_trunc.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  TrainCheckpoint first = SampleCheckpoint();
+  first.epoch = 2;
+  ASSERT_TRUE(SaveCheckpoint(first, path).ok());
+  TrainCheckpoint second = SampleCheckpoint();
+  second.epoch = 8;
+  ASSERT_TRUE(SaveCheckpoint(second, path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 16);
+
+  StatusOr<TrainCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 2);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+}
+
+TEST(CheckpointTest, TransientReadFaultDoesNotFallBackToStalePrev) {
+  // A transient I/O fault is retryable against the *newer* snapshot;
+  // silently resuming one generation behind would lose good epochs.
+  ScopedFaultClear clear;
+  const std::string path = TempPath("seastar_ckpt_noprevontransient.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  TrainCheckpoint first = SampleCheckpoint();
+  first.epoch = 4;
+  ASSERT_TRUE(SaveCheckpoint(first, path).ok());
+  TrainCheckpoint second = SampleCheckpoint();
+  second.epoch = 10;
+  ASSERT_TRUE(SaveCheckpoint(second, path).ok());
+
+  FaultInjector::Get().Arm(FaultSite::kCheckpointRead, /*after_n=*/0, /*count=*/1);
+  StatusOr<TrainCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+  FaultInjector::Get().DisarmAll();
+
+  // And the retry (fault exhausted) reads the newest generation.
+  StatusOr<TrainCheckpoint> retried = LoadCheckpoint(path);
+  ASSERT_TRUE(retried.has_value()) << retried.status().ToString();
+  EXPECT_EQ(retried->epoch, 10);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+}
+
 TEST(CheckpointTest, Fnv1a64MatchesReferenceVectors) {
   // Reference values for the 64-bit FNV-1a test vectors.
   EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ull);

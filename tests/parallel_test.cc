@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/parallel/simt.h"
@@ -29,6 +31,51 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
     pool.RunOnAllWorkers([&](int) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), pool.num_threads() + 1);
   }
+}
+
+TEST(ThreadPoolTest, WorkerExceptionIsRethrownOnTheSubmittingThread) {
+  ThreadPool& pool = ThreadPool::Get();
+  // Every worker (and the caller) throws; exactly one exception — the first
+  // recorded — must surface on the submitting thread, after the block fully
+  // drained (no worker still running the dead block's fn).
+  std::atomic<int> entered{0};
+  bool caught = false;
+  try {
+    pool.RunOnAllWorkers([&](int worker) {
+      entered.fetch_add(1);
+      throw std::runtime_error("worker " + std::to_string(worker) + " failed");
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(entered.load(), pool.num_threads() + 1);
+
+  // The pool stays fully usable: the next block runs on every worker and no
+  // stale exception leaks into it.
+  std::atomic<int> count{0};
+  pool.RunOnAllWorkers([&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), pool.num_threads() + 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerExceptionDoesNotLoseOtherWork) {
+  ThreadPool& pool = ThreadPool::Get();
+  std::atomic<int> completed{0};
+  bool caught = false;
+  try {
+    pool.RunOnAllWorkers([&](int worker) {
+      if (worker == 0) {
+        throw std::logic_error("only worker 0 fails");
+      }
+      completed.fetch_add(1);
+    });
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  // All other lanes ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), pool.num_threads());
 }
 
 TEST(ParallelForTest, SumsMatchSerial) {
