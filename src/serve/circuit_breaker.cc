@@ -72,6 +72,17 @@ void CircuitBreaker::RecordFailure(const std::string& reason) {
   }
 }
 
+void CircuitBreaker::RecordProbeAbandoned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BreakerState::kHalfOpen) {
+    return;
+  }
+  state_ = BreakerState::kOpen;
+  // Backdate the open timestamp so AllowExecution admits the next probe
+  // right away instead of waiting out another full interval.
+  opened_at_ = Clock::now() - probe_interval_;
+}
+
 BreakerState CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_;

@@ -54,6 +54,12 @@ class CircuitBreaker {
   // Outcome of an executed batch (including probes).
   void RecordSuccess();
   void RecordFailure(const std::string& reason);
+  // The in-flight probe ended without a verdict (deadline abort says nothing
+  // about backend health). Returns HALF_OPEN to OPEN with the probe clock
+  // already elapsed, so the next batch probes again immediately — without
+  // this the breaker would wait in HALF_OPEN forever for an outcome that
+  // never arrives. No-op outside HALF_OPEN.
+  void RecordProbeAbandoned();
 
   BreakerState state() const;
   int consecutive_failures() const;

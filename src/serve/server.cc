@@ -33,7 +33,11 @@ uint64_t ComputeFingerprint(const GnnModel& model, const Dataset& data) {
                     static_cast<long long>(data.graph.num_edges()),
                     static_cast<long long>(data.spec.num_classes),
                     static_cast<long long>(data.features.defined() ? data.features.dim(1) : 0));
-  uint64_t hash = Fnv1a64(buffer, static_cast<size_t>(written));
+  // snprintf returns the untruncated length (or < 0 on error); hash only the
+  // bytes actually in the buffer.
+  const size_t length =
+      written < 0 ? 0 : std::min(static_cast<size_t>(written), sizeof(buffer) - 1);
+  uint64_t hash = Fnv1a64(buffer, length);
   return hash != 0 ? hash : 1;  // 0 is reserved for "don't care" in requests.
 }
 
@@ -158,15 +162,15 @@ void Server::Shutdown() {
   if (!started_.load(std::memory_order_acquire)) {
     return;
   }
-  if (stopping_.exchange(true)) {
-    if (serving_thread_.joinable()) {
-      serving_thread_.join();
-    }
-    return;
+  if (!stopping_.exchange(true)) {
+    // Closing the queue rejects new pushes; the serving loop drains whatever
+    // is already queued (every promise is fulfilled) before exiting.
+    queue_.Close();
   }
-  // Closing the queue rejects new pushes; the serving loop drains whatever
-  // is already queued (every promise is fulfilled) before exiting.
-  queue_.Close();
+  // Concurrent Shutdown calls (e.g. explicit Shutdown racing the destructor)
+  // must not both touch the std::thread: join under a mutex, where
+  // joinable() flips atomically with the join itself.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (serving_thread_.joinable()) {
     serving_thread_.join();
   }
@@ -216,14 +220,21 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
   pending->admitted_at = Clock::now();
   std::future<StatusOr<InferenceResponse>> future = pending->promise.get_future();
 
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   Status pushed = queue_.TryPush(std::move(pending));
   if (!pushed.ok()) {
-    // Load shedding (or shutdown): answer immediately so the client can back
-    // off instead of waiting out its deadline.
+    // Answer immediately so the client can back off instead of waiting out
+    // its deadline. A full queue is a shed (the queue counts it, and it
+    // stays inside the submitted identity); a closed queue is a rejection —
+    // the request never entered the serving pipeline.
+    if (pushed.code() == StatusCode::kUnavailable) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
     rejected.set_value(pushed);
     return rejected_future;
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -302,7 +313,14 @@ Server::AttemptResult Server::ExecuteWithRetries(const Deadline& deadline, int* 
     if (deadline.armed()) {
       const double remaining = deadline.remaining_ms();
       if (remaining <= 0.0) {
-        return result;  // Sleeping past the deadline helps nobody.
+        // The budget ran out mid-retry: report it as a deadline abort, not
+        // the transient fault, so it counts as expired and stays off the
+        // breaker like every other deadline outcome.
+        result.status = ErrorStatus(StatusCode::kDeadlineExceeded)
+                        << "deadline expired while retrying transient fault: "
+                        << result.status.message();
+        result.retryable = false;
+        return result;
       }
       backoff_ms = std::min(backoff_ms, remaining);
     }
@@ -428,8 +446,11 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     // Every deadline in the batch is behind the one we executed under, so
     // all of them are expired. Deadline aborts are the client's budget
     // running out, not backend sickness — the breaker doesn't count them
-    // (a half-open probe's outcome stays undecided and the next batch
-    // probes again).
+    // as success or failure. An aborted probe still has to release the
+    // half-open state, though, or no batch would ever probe again.
+    if (is_probe) {
+      breaker_.RecordProbeAbandoned();
+    }
     FailBatch(live, result.status);
     return;
   }

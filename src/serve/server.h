@@ -85,10 +85,12 @@ struct ServeConfig {
 };
 
 // Monotone counters; a quiesced server satisfies
-//   submitted == served + degraded + shed + expired + failed + rejected.
+//   submitted == served + degraded + shed + expired + failed.
+// Rejected requests never enter the serving pipeline and sit outside that
+// identity.
 struct ServerStats {
-  int64_t submitted = 0;  // Submit calls that passed validation.
-  int64_t rejected = 0;   // Invalid requests (bad vertices / fingerprint).
+  int64_t submitted = 0;  // Requests admitted or shed (validated, not rejected).
+  int64_t rejected = 0;   // Invalid (bad vertices / fingerprint) or queue closed.
   int64_t shed = 0;       // Turned away at the full admission queue.
   int64_t served = 0;     // Fresh forward-pass answers.
   int64_t degraded = 0;   // Answered from the last-known-good cache.
@@ -180,6 +182,7 @@ class Server {
   std::thread serving_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mutex_;  // Serializes join() across concurrent Shutdowns.
 
   // Last-known-good full-graph logits, written by the serving thread after
   // every successful forward, read by it for degraded serving. Guarded for

@@ -188,6 +188,32 @@ TEST(CircuitBreakerTest, FailedProbeReopensWithoutCountingANewTrip) {
   EXPECT_EQ(breaker.trips(), 1);
 }
 
+TEST(CircuitBreakerTest, AbandonedProbeReopensAndAllowsTheNextProbePromptly) {
+  CircuitBreaker breaker(/*trip_after=*/1, /*probe_interval_ms=*/1000.0);
+  breaker.RecordFailure("down");
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Force the probe without waiting out the long interval.
+  breaker.RecordProbeAbandoned();  // No-op while open.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  CircuitBreaker prompt(/*trip_after=*/1, /*probe_interval_ms=*/5.0);
+  prompt.RecordFailure("down");
+  std::this_thread::sleep_for(std::chrono::milliseconds(7));
+  ASSERT_TRUE(prompt.AllowExecution());  // The probe.
+  ASSERT_EQ(prompt.state(), BreakerState::kHalfOpen);
+
+  // The probe batch aborted on a client deadline: no verdict. Without the
+  // abandon transition the breaker would refuse execution forever.
+  prompt.RecordProbeAbandoned();
+  EXPECT_EQ(prompt.state(), BreakerState::kOpen);
+  EXPECT_TRUE(prompt.AllowExecution());  // Next batch probes immediately.
+  EXPECT_EQ(prompt.state(), BreakerState::kHalfOpen);
+  prompt.RecordSuccess();
+  EXPECT_EQ(prompt.state(), BreakerState::kClosed);
+  EXPECT_EQ(prompt.recoveries(), 1);
+}
+
 TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCounter) {
   CircuitBreaker breaker(/*trip_after=*/3, /*probe_interval_ms=*/1000.0);
   breaker.RecordFailure("a");
@@ -355,6 +381,26 @@ TEST(ServeTest, QueueOverflowShedsWithResourceExhausted) {
   EXPECT_GT(shed, 0);
   EXPECT_EQ(server.stats().shed, shed);
   server.Shutdown();
+}
+
+TEST(ServeTest, SubmitAfterShutdownCountsAsRejectedNotSubmitted) {
+  ScopedFaultClear clear;
+  Dataset data = SmallDataset();
+  auto model = SmallGcn(data);
+  Server server(*model, data, ServeConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.Infer(RequestFor({0})).has_value());
+  server.Shutdown();
+
+  StatusOr<InferenceResponse> late = server.Infer(RequestFor({1}));
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  // The quiesced identity must still balance: the closed-queue rejection
+  // never entered the pipeline, so it is not part of submitted.
+  EXPECT_EQ(stats.submitted,
+            stats.served + stats.degraded + stats.shed + stats.expired + stats.failed);
 }
 
 // ---- Server: retries ----------------------------------------------------------------------------
