@@ -44,6 +44,7 @@ int Run(int argc, char** argv) {
   if (fused_ms > 0.0) {
     std::printf("\nfusion speedup: %.2fx\n", unfused_ms / fused_ms);
   }
+  WriteMetricsSnapshots(options);
   return 0;
 }
 

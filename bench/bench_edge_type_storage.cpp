@@ -36,6 +36,7 @@ int Run(int argc, char** argv) {
   }
   std::printf("\npaper shape: every dataset has Ne/Nt < 2 (paper: 1.385 .. 1.923), so the\n"
               "flat per-edge type array wins and is what Seastar ships.\n");
+  WriteMetricsSnapshots(options);
   return 0;
 }
 

@@ -85,6 +85,7 @@ int Run(int argc, char** argv) {
   std::printf("\npaper shape: PyG uses far more memory (OOM on reddit); DGL is close to\n"
               "Seastar thanks to BinaryReduce; Seastar lowest everywhere (up to ~2.5x\n"
               "below DGL for APPNP on reddit).\n");
+  WriteMetricsSnapshots(options);
   return 0;
 }
 

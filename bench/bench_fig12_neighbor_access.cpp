@@ -33,6 +33,9 @@ double TimeStrategy(NeighborAccessStrategy strategy, const Graph& sorted_graph,
 int Run(int argc, char** argv) {
   const double scale = FlagDouble(argc, argv, "scale", 1.0);
   const int reps = static_cast<int>(FlagInt(argc, argv, "reps", 3));
+  BenchOptions metrics_flags;  // Only --metrics-out/--metrics-text are used here.
+  metrics_flags.metrics_out = FlagValue(argc, argv, "metrics-out", "");
+  metrics_flags.metrics_text = FlagValue(argc, argv, "metrics-text", "");
 
   // Reddit-shaped graph: the paper runs this micro-benchmark on reddit.
   const DatasetSpec* reddit = FindDataset("reddit");
@@ -76,6 +79,7 @@ int Run(int argc, char** argv) {
   std::printf("\npaper shape: every variant beats the binary-search baseline; the gap\n"
               "widens as features shrink; FA variants beat Basic at small widths;\n"
               "Dynamic >= Atomic.\n");
+  WriteMetricsSnapshots(metrics_flags);
   return 0;
 }
 

@@ -4,7 +4,12 @@
 // table/figure binaries with statistically sound per-kernel numbers.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
+#include "src/common/string_util.h"
 #include "src/exec/baseline_executor.h"
 #include "src/exec/seastar_executor.h"
 #include "src/gir/builder.h"
@@ -126,4 +131,33 @@ BENCHMARK(BM_CsrBuild);
 }  // namespace
 }  // namespace seastar
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strip --metrics-out/--metrics-text
+// before google-benchmark sees them (it rejects unknown flags), then dump the
+// registry after the suite runs.
+int main(int argc, char** argv) {
+  const std::string metrics_out = seastar::FlagValue(argc, argv, "metrics-out", "");
+  const std::string metrics_text = seastar::FlagValue(argc, argv, "metrics-text", "");
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0 || arg.rfind("--metrics-text=", 0) == 0) {
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  seastar::metrics::MetricsRegistry& registry = seastar::metrics::MetricsRegistry::Get();
+  if (!metrics_out.empty() && !registry.WriteJsonFile(metrics_out)) {
+    return 1;
+  }
+  if (!metrics_text.empty() && !registry.WriteTextFile(metrics_text)) {
+    return 1;
+  }
+  return 0;
+}

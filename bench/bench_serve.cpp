@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "src/common/fault.h"
+#include "src/common/json.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
 #include "src/core/models/gcn.h"
@@ -132,44 +134,46 @@ ScenarioReport RunScenario(const std::string& name, const Dataset& data, int64_t
   return report;
 }
 
-void WriteJson(const std::string& path, const std::string& dataset,
-               const std::vector<ScenarioReport>& reports) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
+void WriteReport(const std::string& path, const std::string& dataset,
+                 const std::vector<ScenarioReport>& reports) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "serve");
+  json.Field("dataset", dataset);
+  json.Key("scenarios");
+  json.BeginArray();
+  for (const ScenarioReport& r : reports) {
+    json.BeginObject();
+    json.Field("name", r.name);
+    json.Field("requests", r.requests);
+    json.FieldDouble("wall_s", r.wall_s, 3);
+    json.FieldDouble("qps_achieved", r.qps_achieved, 0);
+    json.FieldDouble("p50_ms", r.latency.p50_ms, 3);
+    json.FieldDouble("p95_ms", r.latency.p95_ms, 3);
+    json.FieldDouble("p99_ms", r.latency.p99_ms, 3);
+    json.FieldDouble("max_ms", r.latency.max_ms, 3);
+    json.Field("submitted", r.stats.submitted);
+    json.Field("rejected", r.stats.rejected);
+    json.Field("served", r.stats.served);
+    json.Field("degraded", r.stats.degraded);
+    json.Field("shed", r.stats.shed);
+    json.Field("expired", r.stats.expired);
+    json.Field("failed", r.stats.failed);
+    json.Field("forward_passes", r.stats.batches);
+    json.Field("retries", r.stats.retries);
+    json.Field("breaker_trips", r.stats.breaker_trips);
+    json.Field("steady_plan_misses", static_cast<uint64_t>(r.steady_plan_misses));
+    json.Field("steady_fresh_mallocs", static_cast<uint64_t>(r.steady_fresh_mallocs));
+    json.Field("steady_alloc_requests", static_cast<uint64_t>(r.steady_alloc_requests));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteToFile(path)) {
+    std::printf("\nreport: %s\n", path.c_str());
+  } else {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
   }
-  std::fprintf(file, "{\n  \"bench\": \"serve\",\n  \"dataset\": \"%s\",\n", dataset.c_str());
-  std::fprintf(file, "  \"scenarios\": [");
-  for (size_t s = 0; s < reports.size(); ++s) {
-    const ScenarioReport& r = reports[s];
-    std::fprintf(file, "%s\n    {\"name\": \"%s\", \"requests\": %lld, \"wall_s\": %.3f,"
-                 " \"qps_achieved\": %.0f,\n",
-                 s > 0 ? "," : "", r.name.c_str(), static_cast<long long>(r.requests), r.wall_s,
-                 r.qps_achieved);
-    std::fprintf(file,
-                 "     \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f,\n",
-                 r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms, r.latency.max_ms);
-    std::fprintf(file,
-                 "     \"served\": %lld, \"degraded\": %lld, \"shed\": %lld, \"expired\": %lld,"
-                 " \"failed\": %lld,\n",
-                 static_cast<long long>(r.stats.served), static_cast<long long>(r.stats.degraded),
-                 static_cast<long long>(r.stats.shed), static_cast<long long>(r.stats.expired),
-                 static_cast<long long>(r.stats.failed));
-    std::fprintf(file,
-                 "     \"forward_passes\": %lld, \"retries\": %lld, \"breaker_trips\": %lld,\n",
-                 static_cast<long long>(r.stats.batches), static_cast<long long>(r.stats.retries),
-                 static_cast<long long>(r.stats.breaker_trips));
-    std::fprintf(file,
-                 "     \"steady_plan_misses\": %llu, \"steady_fresh_mallocs\": %llu,"
-                 " \"steady_alloc_requests\": %llu}",
-                 static_cast<unsigned long long>(r.steady_plan_misses),
-                 static_cast<unsigned long long>(r.steady_fresh_mallocs),
-                 static_cast<unsigned long long>(r.steady_alloc_requests));
-  }
-  std::fprintf(file, "\n  ]\n}\n");
-  std::fclose(file);
-  std::printf("\nreport: %s\n", path.c_str());
 }
 
 int Main(int argc, char** argv) {
@@ -182,6 +186,8 @@ int Main(int argc, char** argv) {
   const double deadline_ms = FlagDouble(argc, argv, "deadline-ms", 50.0);
   const double flaky_p = FlagDouble(argc, argv, "flaky-p", 0.02);
   const std::string out_path = FlagValue(argc, argv, "out", "BENCH_serve.json");
+  const std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
+  const std::string metrics_text = FlagValue(argc, argv, "metrics-text", "");
 
   DatasetOptions options;
   options.scale = scale;
@@ -214,7 +220,33 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.steady_fresh_mallocs));
   }
 
-  WriteJson(out_path, data.spec.name, reports);
+  WriteReport(out_path, data.spec.name, reports);
+  if (!metrics_out.empty() &&
+      !metrics::MetricsRegistry::Get().WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "metrics: failed to write %s\n", metrics_out.c_str());
+  }
+  if (!metrics_text.empty() &&
+      !metrics::MetricsRegistry::Get().WriteTextFile(metrics_text)) {
+    std::fprintf(stderr, "metrics: failed to write %s\n", metrics_text.c_str());
+  }
+
+  // The registry mirrors the per-server identity counters; a violated
+  // identity in the exported metrics means the mirroring drifted.
+  {
+    metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+    const int64_t submitted = registry.GetCounter("seastar_serve_submitted_total")->value();
+    const int64_t outcomes = registry.GetCounter("seastar_serve_served_total")->value() +
+                             registry.GetCounter("seastar_serve_degraded_total")->value() +
+                             registry.GetCounter("seastar_serve_shed_total")->value() +
+                             registry.GetCounter("seastar_serve_expired_total")->value() +
+                             registry.GetCounter("seastar_serve_failed_total")->value();
+    if (submitted != outcomes) {
+      std::fprintf(stderr,
+                   "ACCOUNTING VIOLATION: exported submitted=%lld != outcome sum %lld\n",
+                   static_cast<long long>(submitted), static_cast<long long>(outcomes));
+      return 2;
+    }
+  }
 
   if (reports[0].steady_plan_misses != 0) {
     std::fprintf(stderr,

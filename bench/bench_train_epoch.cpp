@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/json.h"
 #include "src/common/stopwatch.h"
 #include "src/core/backend.h"
 #include "src/core/models/gat.h"
@@ -122,45 +123,46 @@ RunReport RunOne(const std::string& model_name, const ModelFactory& factory,
   return report;
 }
 
-void WriteJson(const std::string& path, const std::vector<RunReport>& reports) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(file, "{\n  \"bench\": \"train_epoch\",\n  \"steady_first_epoch\": %d,\n",
-               kSteadyFirstEpoch);
-  std::fprintf(file, "  \"runs\": [");
-  for (size_t r = 0; r < reports.size(); ++r) {
-    const RunReport& report = reports[r];
-    std::fprintf(file, "%s\n    {\"model\": \"%s\", \"dataset\": \"%s\",", r > 0 ? "," : "",
-                 report.model.c_str(), report.dataset.c_str());
-    std::fprintf(file, " \"num_vertices\": %lld, \"num_edges\": %lld,\n",
-                 static_cast<long long>(report.num_vertices),
-                 static_cast<long long>(report.num_edges));
-    std::fprintf(file,
-                 "     \"steady_avg_ms\": %.3f, \"steady_fresh_mallocs\": %.1f,"
-                 " \"steady_alloc_requests\": %.1f,\n",
-                 report.steady_avg_ms, report.steady_fresh_mallocs,
-                 report.steady_alloc_requests);
-    std::fprintf(file, "     \"epochs\": [");
+void WriteReport(const std::string& path, const std::vector<RunReport>& reports) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "train_epoch");
+  json.Field("steady_first_epoch", kSteadyFirstEpoch);
+  json.Key("runs");
+  json.BeginArray();
+  for (const RunReport& report : reports) {
+    json.BeginObject();
+    json.Field("model", report.model);
+    json.Field("dataset", report.dataset);
+    json.Field("num_vertices", report.num_vertices);
+    json.Field("num_edges", report.num_edges);
+    json.FieldDouble("steady_avg_ms", report.steady_avg_ms, 3);
+    json.FieldDouble("steady_fresh_mallocs", report.steady_fresh_mallocs, 1);
+    json.FieldDouble("steady_alloc_requests", report.steady_alloc_requests, 1);
+    json.Key("epochs");
+    json.BeginArray();
     for (size_t e = 0; e < report.epochs.size(); ++e) {
       const EpochStats& stats = report.epochs[e];
-      std::fprintf(file,
-                   "%s\n       {\"epoch\": %zu, \"wall_ms\": %.3f, \"alloc_requests\": %llu,"
-                   " \"fresh_mallocs\": %llu, \"pool_hits\": %llu, \"plan_misses\": %llu,"
-                   " \"loss\": %.6f}",
-                   e > 0 ? "," : "", e, stats.wall_ms,
-                   static_cast<unsigned long long>(stats.alloc_requests),
-                   static_cast<unsigned long long>(stats.fresh_mallocs),
-                   static_cast<unsigned long long>(stats.pool_hits),
-                   static_cast<unsigned long long>(stats.plan_misses), stats.loss);
+      json.BeginObject();
+      json.Field("epoch", static_cast<int64_t>(e));
+      json.FieldDouble("wall_ms", stats.wall_ms, 3);
+      json.Field("alloc_requests", static_cast<uint64_t>(stats.alloc_requests));
+      json.Field("fresh_mallocs", static_cast<uint64_t>(stats.fresh_mallocs));
+      json.Field("pool_hits", static_cast<uint64_t>(stats.pool_hits));
+      json.Field("plan_misses", static_cast<uint64_t>(stats.plan_misses));
+      json.FieldDouble("loss", stats.loss, 6);
+      json.EndObject();
     }
-    std::fprintf(file, "\n     ]}");
+    json.EndArray();
+    json.EndObject();
   }
-  std::fprintf(file, "\n  ]\n}\n");
-  std::fclose(file);
-  std::printf("\nreport: %s\n", path.c_str());
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteToFile(path)) {
+    std::printf("\nreport: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
 }
 
 int Main(int argc, char** argv) {
@@ -211,7 +213,8 @@ int Main(int argc, char** argv) {
     }
   }
 
-  WriteJson(out_path, reports);
+  WriteReport(out_path, reports);
+  WriteMetricsSnapshots(options);
   profile.Finish();
   return 0;
 }

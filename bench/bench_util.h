@@ -8,6 +8,9 @@
 //   --warmup=<n>    discarded warm-up epochs (paper and default: 3)
 //   --datasets=a,b  comma-separated subset filter
 //   --max-feat=<n>  cap on feature width (0 = uncapped)
+//   --metrics-out=<p>  write the process metrics-registry JSON snapshot there
+//                      on exit (same format as the serving/training binaries)
+//   --metrics-text=<p> same data, Prometheus text exposition
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/string_util.h"
 #include "src/core/train.h"
@@ -36,6 +40,11 @@ struct BenchOptions {
   // write a Chrome-trace JSON there (plus a summary table on stdout).
   // Empty = profiling off (the default; keeps timed numbers clean).
   std::string profile_path;
+  // --metrics-out= / --metrics-text=: dump the process metrics registry
+  // (JSON / Prometheus text) when the bench finishes. Empty = no dump; the
+  // registry itself is always on either way.
+  std::string metrics_out;
+  std::string metrics_text;
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -50,7 +59,29 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
     options.dataset_filter = Split(filter, ',');
   }
   options.profile_path = FlagValue(argc, argv, "profile", "");
+  options.metrics_out = FlagValue(argc, argv, "metrics-out", "");
+  options.metrics_text = FlagValue(argc, argv, "metrics-text", "");
   return options;
+}
+
+// Dumps the process metrics registry to the paths named by --metrics-out /
+// --metrics-text (no-op when neither was given). Call once, at bench exit.
+inline void WriteMetricsSnapshots(const BenchOptions& options) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  if (!options.metrics_out.empty()) {
+    if (registry.WriteJsonFile(options.metrics_out)) {
+      std::printf("metrics: %s\n", options.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", options.metrics_out.c_str());
+    }
+  }
+  if (!options.metrics_text.empty()) {
+    if (registry.WriteTextFile(options.metrics_text)) {
+      std::printf("metrics: %s\n", options.metrics_text.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", options.metrics_text.c_str());
+    }
+  }
 }
 
 // Owns the bench's Profiler when --profile= was given. sink() is null when

@@ -67,6 +67,7 @@ inline int RunFig10(const char* figure, const char* model_name, int argc, char**
   }
   std::printf("\npaper shape: Seastar fastest on every dataset; largest gains on\n"
               "high-average-degree graphs (amz_comp, reddit).\n");
+  WriteMetricsSnapshots(options);
   profile.Finish();
   return 0;
 }

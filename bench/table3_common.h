@@ -74,6 +74,7 @@ inline int RunRgcnTable(const char* table, bool time_metric, int argc, char** ar
     std::printf("\npaper shape: Seastar ~= DGL-bmm < DGL < PyG-bmm ~= PyG;\n"
                 "PyG(-bmm) OOM on bgs at full scale.\n");
   }
+  WriteMetricsSnapshots(options);
   profile.Finish();
   return 0;
 }

@@ -28,6 +28,9 @@
 //                        breaker trip + degraded window + probe recovery
 //   --profile=<path>     Chrome-trace of the serving thread
 //   --seed=<n>           request-stream RNG seed
+//   --metrics-out=<p>    write the metrics-registry JSON snapshot on exit
+//   --metrics-text=<p>   same data, Prometheus text exposition
+//   --events-out=<p>     write the flight-recorder event dump on exit
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -38,7 +41,9 @@
 #include <vector>
 
 #include "src/common/fault.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
@@ -98,6 +103,13 @@ int Run(int argc, char** argv) {
   const int64_t outage_requests = FlagInt(argc, argv, "outage-requests", 500);
   const std::string profile_path = FlagValue(argc, argv, "profile", "");
   const uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "seed", 17));
+  const std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
+  const std::string metrics_text = FlagValue(argc, argv, "metrics-text", "");
+  const std::string events_out = FlagValue(argc, argv, "events-out", "");
+
+  // A CHECK failure anywhere below dumps the flight-recorder ring and a
+  // metrics snapshot to stderr before aborting.
+  FlightRecorder::InstallCrashDump();
 
   if (requests <= 0 || qps <= 0.0) {
     std::fprintf(stderr, "--requests and --qps must be positive\n");
@@ -285,11 +297,35 @@ int Run(int argc, char** argv) {
     }
   }
 
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  if (!metrics_out.empty()) {
+    if (registry.WriteJsonFile(metrics_out)) {
+      std::printf("metrics: %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", metrics_out.c_str());
+    }
+  }
+  if (!metrics_text.empty()) {
+    if (registry.WriteTextFile(metrics_text)) {
+      std::printf("metrics: %s\n", metrics_text.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", metrics_text.c_str());
+    }
+  }
+  if (!events_out.empty()) {
+    if (FlightRecorder::Get().DumpToFile(events_out)) {
+      std::printf("events: %s\n", events_out.c_str());
+    } else {
+      std::fprintf(stderr, "events: failed to write %s\n", events_out.c_str());
+    }
+  }
+
   const int64_t accounted =
       stats.served + stats.degraded + stats.shed + stats.expired + stats.failed;
   if (accounted != stats.submitted) {
     std::fprintf(stderr, "ACCOUNTING MISMATCH: submitted %lld != accounted %lld\n",
                  static_cast<long long>(stats.submitted), static_cast<long long>(accounted));
+    std::fprintf(stderr, "--- flight recorder ---\n%s", FlightRecorder::Get().Dump().c_str());
     return 3;
   }
   return 0;

@@ -18,13 +18,20 @@
 //        --resume                  restore from --checkpoint before training
 //        --max-retries=<n>         rollback + lr-backoff budget (default 3)
 //        --faults=<spec>           arm the fault injector, e.g. "alloc:after=100"
+//
+// Observability (docs/INTERNALS.md §12):
+//        --metrics-out=<path>      metrics-registry JSON snapshot on exit
+//        --metrics-text=<path>     same data, Prometheus text exposition
+//        --events-out=<path>       flight-recorder event dump on exit
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "src/common/fault.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/string_util.h"
 #include "src/core/models/appnp.h"
@@ -120,6 +127,13 @@ int Run(int argc, char** argv) {
   const bool resume = FlagBool(argc, argv, "resume", false);
   const int64_t max_retries = FlagInt(argc, argv, "max-retries", 3);
   const std::string fault_spec = FlagValue(argc, argv, "faults", "");
+  const std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
+  const std::string metrics_text = FlagValue(argc, argv, "metrics-text", "");
+  const std::string events_out = FlagValue(argc, argv, "events-out", "");
+
+  // A CHECK failure anywhere below dumps the flight-recorder ring and a
+  // metrics snapshot to stderr before aborting.
+  FlightRecorder::InstallCrashDump();
 
   if (resume && checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint=<path>\n");
@@ -243,6 +257,19 @@ int Run(int argc, char** argv) {
   }
   TrainResult result = TrainNodeClassification(*model, data, train);
 
+  // Dump observability artifacts on both the success and failure paths: a
+  // failed run is exactly when the snapshot and event ring matter most.
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  if (!metrics_out.empty() && !registry.WriteJsonFile(metrics_out)) {
+    std::fprintf(stderr, "metrics: failed to write %s\n", metrics_out.c_str());
+  }
+  if (!metrics_text.empty() && !registry.WriteTextFile(metrics_text)) {
+    std::fprintf(stderr, "metrics: failed to write %s\n", metrics_text.c_str());
+  }
+  if (!events_out.empty() && !FlightRecorder::Get().DumpToFile(events_out)) {
+    std::fprintf(stderr, "events: failed to write %s\n", events_out.c_str());
+  }
+
   for (const RecoveryEvent& event : result.recovery_events) {
     std::fprintf(stderr, "recovery: epoch %d %s (%s) retry %d -> rollback to epoch %d, lr %g\n",
                  event.epoch, event.kind.c_str(), event.detail.c_str(), event.retry,
@@ -250,6 +277,7 @@ int Run(int argc, char** argv) {
   }
   if (result.failed) {
     std::fprintf(stderr, "training failed: %s\n", result.error.c_str());
+    std::fprintf(stderr, "%s", FlightRecorder::Get().Dump().c_str());
     return 2;
   }
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 
@@ -78,20 +79,28 @@ void FaultInjector::DisarmAll() {
 }
 
 bool FaultInjector::ShouldFail(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SiteState& state = sites_[static_cast<int>(site)];
-  if (!state.armed) {
-    return false;
-  }
-  const int64_t hit = state.hits++;
+  int64_t hit;
   bool fail;
-  if (state.rng.has_value()) {
-    fail = state.rng->NextBernoulli(state.probability);
-  } else {
-    fail = hit >= state.fail_after && hit < state.fail_after + state.fail_count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SiteState& state = sites_[static_cast<int>(site)];
+    if (!state.armed) {
+      return false;
+    }
+    hit = state.hits++;
+    if (state.rng.has_value()) {
+      fail = state.rng->NextBernoulli(state.probability);
+    } else {
+      fail = hit >= state.fail_after && hit < state.fail_after + state.fail_count;
+    }
+    if (fail) {
+      ++state.injected;
+    }
   }
   if (fail) {
-    ++state.injected;
+    // A trip only happens while a drill/test has faults armed, so the ring
+    // write is never on a healthy hot path.
+    FlightRecorder::Get().Record("fault", FaultSiteName(site), hit);
   }
   return fail;
 }

@@ -1,0 +1,109 @@
+#include "src/common/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+
+namespace seastar {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CopyTruncated(char* dst, size_t dst_size, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : start_ns_(NowNanos()) {}
+
+FlightRecorder& FlightRecorder::Get() {
+  // Leaked: the crash-dump hook may fire during static destruction.
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::Record(std::string_view category, std::string_view detail, int64_t a,
+                            int64_t b) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[seq % kCapacity];
+  // Seqlock publication: mark the slot in-progress (odd), fill it, publish
+  // (even, encoding seq). A reader that observes an odd word, or different
+  // words before/after its copy, discards the slot.
+  slot.word.store(2 * seq + 1, std::memory_order_release);
+  slot.event.seq = seq;
+  slot.event.t_us = (NowNanos() - start_ns_) / 1000;
+  CopyTruncated(slot.event.category, sizeof(slot.event.category), category);
+  CopyTruncated(slot.event.detail, sizeof(slot.event.detail), detail);
+  slot.event.a = a;
+  slot.event.b = b;
+  slot.word.store(2 * seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(kCapacity);
+  for (const Slot& slot : ring_) {
+    const uint64_t before = slot.word.load(std::memory_order_acquire);
+    if (before == 0 || before % 2 == 1) {
+      continue;  // Empty or mid-write.
+    }
+    FlightEvent copy = slot.event;
+    const uint64_t after = slot.word.load(std::memory_order_acquire);
+    if (after != before) {
+      continue;  // Overwritten while copying.
+    }
+    events.push_back(copy);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& x, const FlightEvent& y) { return x.seq < y.seq; });
+  return events;
+}
+
+std::string FlightRecorder::Dump() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  std::string out = "flight recorder: " + std::to_string(events.size()) + " of " +
+                    std::to_string(recorded()) + " events retained\n";
+  char line[192];
+  for (const FlightEvent& event : events) {
+    std::snprintf(line, sizeof(line), "[%12.3fms] #%-6llu %-10s %s (a=%lld b=%lld)\n",
+                  static_cast<double>(event.t_us) / 1000.0,
+                  static_cast<unsigned long long>(event.seq), event.category, event.detail,
+                  static_cast<long long>(event.a), static_cast<long long>(event.b));
+    out += line;
+  }
+  return out;
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  const std::string dump = Dump();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(dump.data(), 1, dump.size(), file);
+  return std::fclose(file) == 0 && written == dump.size();
+}
+
+void FlightRecorder::InstallCrashDump() {
+  SetFatalHook([] {
+    // Crash path: best-effort, straight to stderr (no allocation-free
+    // guarantee needed — the process is already aborting on a CHECK).
+    std::fputs("\n--- flight recorder (fatal) ---\n", stderr);
+    std::fputs(FlightRecorder::Get().Dump().c_str(), stderr);
+    std::fputs("\n--- metrics snapshot (fatal) ---\n", stderr);
+    std::fputs(metrics::MetricsRegistry::Get().TextExposition().c_str(), stderr);
+  });
+}
+
+}  // namespace seastar

@@ -1,0 +1,216 @@
+#include "src/common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+void JsonWriter::Prepare(bool is_key) {
+  if (value_pending_) {
+    // A key was just written; the next token is its value, inline.
+    SEASTAR_CHECK(!is_key) << "JsonWriter: key follows key without a value";
+    out_ += ' ';
+    value_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    return;  // Document root.
+  }
+  SEASTAR_CHECK(is_key || stack_.back() == Scope::kArray)
+      << "JsonWriter: bare value inside an object (missing Key)";
+  if (needs_comma_) {
+    out_ += ',';
+  }
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeginObject() {
+  Prepare(/*is_key=*/false);
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  SEASTAR_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JsonWriter: EndObject without matching BeginObject";
+  const bool had_members = needs_comma_;
+  stack_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  out_ += '}';
+  needs_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  Prepare(/*is_key=*/false);
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  SEASTAR_CHECK(!stack_.empty() && stack_.back() == Scope::kArray)
+      << "JsonWriter: EndArray without matching BeginArray";
+  const bool had_members = needs_comma_;
+  stack_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  out_ += ']';
+  needs_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view name) {
+  SEASTAR_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JsonWriter: Key outside an object";
+  Prepare(/*is_key=*/true);
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  needs_comma_ = true;
+  value_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Prepare(/*is_key=*/false);
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  needs_comma_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prepare(/*is_key=*/false);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+  out_ += buffer;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Prepare(/*is_key=*/false);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu", static_cast<unsigned long long>(value));
+  out_ += buffer;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prepare(/*is_key=*/false);
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  Prepare(/*is_key=*/false);
+  out_ += "null";
+  needs_comma_ = true;
+}
+
+void JsonWriter::Double(double value, int precision) {
+  if (!std::isfinite(value)) {
+    Null();  // JSON has no NaN/Inf literal; null keeps the document parseable.
+    return;
+  }
+  Prepare(/*is_key=*/false);
+  char buffer[64];
+  if (precision >= 0) {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  } else {
+    // %.17g round-trips every double but prints 0.1 as 0.10000000000000001;
+    // try the shortest precision that round-trips instead.
+    for (int digits = 1; digits <= 17; ++digits) {
+      std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+      double parsed = 0.0;
+      std::sscanf(buffer, "%lf", &parsed);
+      if (parsed == value) {
+        break;
+      }
+    }
+  }
+  out_ += buffer;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+void JsonWriter::FieldDouble(std::string_view key, double value, int precision) {
+  Key(key);
+  Double(value, precision);
+}
+
+bool JsonWriter::WriteToFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(out_.data(), 1, out_.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  return written == out_.size() && newline_ok && close_ok;
+}
+
+std::string JsonWriter::Escape(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace seastar

@@ -1,0 +1,87 @@
+// Minimal streaming JSON serializer shared by the metrics JSON exporter and
+// the bench report writers (BENCH_train_epoch.json, BENCH_serve.json).
+//
+// One writer, one output convention: the emitters used to be hand-rolled
+// fprintf chains in each bench, which drifted in escaping and formatting and
+// could silently emit invalid JSON (a dataset name with a quote, a NaN
+// steady-state average). JsonWriter owns comma placement, string escaping,
+// and non-finite-double handling (NaN/Inf become null, which json.load
+// accepts) so every machine-readable artifact the repo produces parses.
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("bench"); w.String("serve");
+//   w.Key("scenarios"); w.BeginArray();
+//   ...
+//   w.EndArray();
+//   w.EndObject();
+//   w.WriteToFile(path);   // or w.str()
+//
+// The writer pretty-prints with two-space indentation: the artifacts are
+// checked into git as baselines and read by humans in CI logs, so stable,
+// diffable layout matters more than byte count.
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seastar {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // ---- Structure ----------------------------------------------------------
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view name);
+
+  // ---- Values -------------------------------------------------------------
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Bool(bool value);
+  void Null();
+  // `precision` >= 0 emits fixed decimals ("%.Nf"); negative uses shortest
+  // round-trippable form. Non-finite values are emitted as null.
+  void Double(double value, int precision = -1);
+
+  // ---- Convenience: Key + value in one call -------------------------------
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int value) { Field(key, static_cast<int64_t>(value)); }
+  void Field(std::string_view key, bool value);
+  void FieldDouble(std::string_view key, double value, int precision = -1);
+
+  // The serialized document so far. Valid JSON once every Begin* is closed.
+  const std::string& str() const { return out_; }
+
+  // Writes str() plus a trailing newline. False on I/O error.
+  bool WriteToFile(const std::string& path) const;
+
+  // Escapes `value` per JSON string rules (quotes not included).
+  static std::string Escape(std::string_view value);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  // Emits the pending comma/newline/indent before a value or key.
+  void Prepare(bool is_key);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool needs_comma_ = false;   // A sibling was already emitted at this level.
+  bool value_pending_ = false; // Key() emitted, value must follow inline.
+};
+
+}  // namespace seastar
+
+#endif  // SRC_COMMON_JSON_H_

@@ -9,17 +9,57 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 
 namespace seastar {
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 // Returns the process-wide minimum severity that is actually emitted.
-// Controlled by the SEASTAR_LOG_LEVEL environment variable (0-4); defaults to kInfo.
+// Controlled by the SEASTAR_LOG environment variable, which accepts either a
+// severity name ("debug", "info", "warning", "error", "fatal", any case) or
+// a number 0-4; SEASTAR_LOG_LEVEL (numeric) is honored as the legacy
+// spelling when SEASTAR_LOG is unset. Defaults to kInfo.
 LogSeverity MinLogSeverity();
 
 // Sets the minimum emitted severity programmatically (overrides the env var).
 void SetMinLogSeverity(LogSeverity severity);
+
+// Installs a hook that runs once, just before the process aborts on a
+// kFatal message (after the fatal line itself is flushed). The flight
+// recorder uses this to dump its ring and a metrics snapshot on crash.
+// Passing nullptr clears the hook. Not thread-safe against a concurrent
+// fatal; install at startup.
+void SetFatalHook(void (*hook)());
+
+// Structured key=value suffix for grep-able logs:
+//   SEASTAR_LOG(Info) << "request done" << LogKv("id", id) << LogKv("ms", ms);
+// renders as:  request done id=17 ms=3.2
+// String values containing spaces are double-quoted so `grep 'key='` and
+// field-splitting tools both work.
+namespace log_internal {
+std::string QuoteIfNeeded(const std::string& value);
+}  // namespace log_internal
+
+template <typename T>
+struct LogKeyValue {
+  const char* key;
+  const T& value;
+};
+
+template <typename T>
+LogKeyValue<T> LogKv(const char* key, const T& value) {
+  return LogKeyValue<T>{key, value};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const LogKeyValue<T>& kv) {
+  if constexpr (std::is_convertible_v<const T&, std::string>) {
+    return os << ' ' << kv.key << '=' << log_internal::QuoteIfNeeded(std::string(kv.value));
+  } else {
+    return os << ' ' << kv.key << '=' << kv.value;
+  }
+}
 
 namespace log_internal {
 

@@ -1,0 +1,308 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace metrics {
+namespace internal {
+
+int ThisThreadShard() {
+  // Round-robin shard assignment at first use per thread: with kShards a
+  // power of two and pools no wider than kShards, every worker gets a
+  // private shard. (Thread-identity hashing would cluster; a counter cannot.)
+  static std::atomic<uint32_t> next_shard{0};
+  thread_local const int shard =
+      static_cast<int>(next_shard.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<uint32_t>(kShards));
+  return shard;
+}
+
+}  // namespace internal
+
+// ---- Histogram --------------------------------------------------------------
+
+int Histogram::BucketIndex(double value) {
+  if (!(value >= std::ldexp(1.0, kMinExp - 1))) {
+    // Below range, negative, or NaN (the !>= form catches NaN too).
+    return 0;
+  }
+  if (value >= std::ldexp(1.0, kMaxExp)) {
+    return kNumBuckets - 1;
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = mantissa * 2^exp.
+  // mantissa in [0.5, 1) -> linear sub-bucket within the octave.
+  const int sub = static_cast<int>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  return 1 + (exp - kMinExp) * kSubBuckets + std::min(sub, kSubBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) {
+    return std::ldexp(1.0, kMinExp - 1);  // Everything below the tracked range.
+  }
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int index = bucket - 1;
+  const int exp = kMinExp + index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  // Octave [2^(exp-1), 2^exp), sub-bucket width 2^(exp-1)/kSubBuckets.
+  return std::ldexp(1.0, exp - 1) * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+void Histogram::Record(double value) {
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+  }
+  double max = shard.max.load(std::memory_order_relaxed);
+  while (value > max &&
+         !shard.max.compare_exchange_weak(max, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  int64_t counts[kNumBuckets] = {};
+  HistogramSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+    snapshot.max = std::max(snapshot.max, shard.max.load(std::memory_order_relaxed));
+  }
+  if (snapshot.count == 0) {
+    return snapshot;
+  }
+  // Quantile q = upper bound of the first bucket whose cumulative count
+  // reaches ceil(q * count); the overflow bucket reports the exact max.
+  const auto quantile = [&](double q) {
+    const int64_t rank =
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(snapshot.count))));
+    int64_t cumulative = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      cumulative += counts[b];
+      if (cumulative >= rank) {
+        const double bound = BucketUpperBound(b);
+        return std::isinf(bound) ? snapshot.max : std::min(bound, snapshot.max);
+      }
+    }
+    return snapshot.max;
+  };
+  snapshot.p50 = quantile(0.50);
+  snapshot.p95 = quantile(0.95);
+  snapshot.p99 = quantile(0.99);
+  return snapshot;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked: instrumented singletons (allocator, plan cache) hold handles and
+  // may outlive any static-destruction order we could arrange.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>(std::string(name))).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(std::string(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RegisterCallback(std::string_view name, CallbackKind kind,
+                                       std::function<double()> fn) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_[std::string(name)] = Callback{kind, std::move(fn)};
+}
+
+namespace {
+
+// Prometheus sample values: integers print bare, doubles shortest-form.
+std::string SampleValue(double value) {
+  char buffer[64];
+  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%g", value);
+  }
+  return buffer;
+}
+
+// "name{label=...}" -> name + "_count" must insert before the label braces.
+std::string WithSuffix(const std::string& name, const char* suffix) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + suffix;
+  }
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+// Appends a quantile label to a (possibly already labelled) metric name.
+std::string WithQuantile(const std::string& name, const char* q) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "{quantile=\"" + q + "\"}";
+  }
+  std::string labelled = name;
+  labelled.insert(labelled.size() - 1, std::string(",quantile=\"") + q + "\"");
+  return labelled;
+}
+
+std::string BareName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_typed;  // Suppress repeated # TYPE for labelled series.
+  const auto type_line = [&](const std::string& name, const char* type) {
+    const std::string bare = BareName(name);
+    if (bare != last_typed) {
+      out += "# TYPE " + bare + " " + type + "\n";
+      last_typed = bare;
+    }
+  };
+  for (const auto& [name, counter] : counters_) {
+    type_line(name, "counter");
+    out += name + " " + SampleValue(static_cast<double>(counter->value())) + "\n";
+  }
+  for (const auto& [name, callback] : callbacks_) {
+    type_line(name, callback.kind == CallbackKind::kCounter ? "counter" : "gauge");
+    out += name + " " + SampleValue(callback.fn()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    type_line(name, "gauge");
+    out += name + " " + SampleValue(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    type_line(name, "summary");
+    out += WithQuantile(name, "0.5") + " " + SampleValue(snapshot.p50) + "\n";
+    out += WithQuantile(name, "0.95") + " " + SampleValue(snapshot.p95) + "\n";
+    out += WithQuantile(name, "0.99") + " " + SampleValue(snapshot.p99) + "\n";
+    out += WithSuffix(name, "_count") + " " +
+           SampleValue(static_cast<double>(snapshot.count)) + "\n";
+    out += WithSuffix(name, "_sum") + " " + SampleValue(snapshot.sum) + "\n";
+    out += WithSuffix(name, "_max") + " " + SampleValue(snapshot.max) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.BeginObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer.Field(name, counter->value());
+  }
+  for (const auto& [name, callback] : callbacks_) {
+    if (callback.kind == CallbackKind::kCounter) {
+      writer.Key(name);
+      writer.Double(callback.fn());
+    }
+  }
+  writer.EndObject();
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer.Key(name);
+    writer.Double(gauge->value());
+  }
+  for (const auto& [name, callback] : callbacks_) {
+    if (callback.kind == CallbackKind::kGauge) {
+      writer.Key(name);
+      writer.Double(callback.fn());
+    }
+  }
+  writer.EndObject();
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    writer.Key(name);
+    writer.BeginObject();
+    writer.Field("count", snapshot.count);
+    writer.FieldDouble("sum", snapshot.sum);
+    writer.FieldDouble("p50", snapshot.p50);
+    writer.FieldDouble("p95", snapshot.p95);
+    writer.FieldDouble("p99", snapshot.p99);
+    writer.FieldDouble("max", snapshot.max);
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  JsonWriter writer;
+  WriteJson(writer);
+  return writer.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  JsonWriter writer;
+  WriteJson(writer);
+  return writer.WriteToFile(path);
+}
+
+bool MetricsRegistry::WriteTextFile(const std::string& path) const {
+  const std::string exposition = TextExposition();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(exposition.data(), 1, exposition.size(), file);
+  return std::fclose(file) == 0 && written == exposition.size();
+}
+
+}  // namespace metrics
+}  // namespace seastar

@@ -6,7 +6,9 @@
 #include <limits>
 #include <memory>
 
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/stopwatch.h"
 #include "src/core/checkpoint.h"
@@ -18,6 +20,36 @@
 
 namespace seastar {
 namespace {
+
+// Registry handles for the training loop, resolved once per process. The
+// loop touches them once per epoch / recovery — far off the per-vertex hot
+// path — but the same caching discipline applies: no registry lookups after
+// the first epoch, which the steady-state overhead test asserts.
+struct TrainMetrics {
+  metrics::Counter* epochs;
+  metrics::Counter* recoveries;
+  metrics::Counter* checkpoints;
+  metrics::Counter* checkpoint_errors;
+  metrics::Counter* failures;
+  metrics::Histogram* epoch_ms;
+  metrics::Gauge* loss;
+};
+
+const TrainMetrics& GetTrainMetrics() {
+  static const TrainMetrics metrics = [] {
+    metrics::MetricsRegistry& r = metrics::MetricsRegistry::Get();
+    TrainMetrics m;
+    m.epochs = r.GetCounter("seastar_train_epochs_total");
+    m.recoveries = r.GetCounter("seastar_train_recoveries_total");
+    m.checkpoints = r.GetCounter("seastar_train_checkpoints_written_total");
+    m.checkpoint_errors = r.GetCounter("seastar_train_checkpoint_errors_total");
+    m.failures = r.GetCounter("seastar_train_failures_total");
+    m.epoch_ms = r.GetHistogram("seastar_train_epoch_ms");
+    m.loss = r.GetGauge("seastar_train_loss");
+    return m;
+  }();
+  return metrics;
+}
 
 bool TensorFinite(const Tensor& t) {
   const float* p = t.data();
@@ -172,6 +204,8 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
   const auto fail = [&](const Status& status) {
     result.failed = true;
     result.error = status.ToString();
+    GetTrainMetrics().failures->Add(1);
+    FlightRecorder::Get().Record("train", result.error.c_str());
     SEASTAR_LOG(Error) << "training failed: " << result.error;
     model.SetProfiler(nullptr);
     allocator.SetSoftBudgetBytes(0);
@@ -232,6 +266,8 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     }
     if (Status saved = SaveCheckpoint(rollback, config.checkpoint_path); !saved.ok()) {
       SEASTAR_LOG(Warning) << "checkpoint write failed (continuing): " << saved.ToString();
+      GetTrainMetrics().checkpoint_errors->Add(1);
+      FlightRecorder::Get().Record("train", "checkpoint write failed", completed_epoch);
       result.recovery_events.push_back({.epoch = completed_epoch,
                                         .kind = "checkpoint_error",
                                         .detail = saved.ToString(),
@@ -239,6 +275,7 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
                                         .lr_after = lr,
                                         .rollback_epoch = -1});
     } else {
+      GetTrainMetrics().checkpoints->Add(1);
       ++result.checkpoints_written;
     }
   };
@@ -308,6 +345,8 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
       result.peak_bytes = std::max(result.peak_bytes, allocator.peak_bytes());
       result.oom = true;
       result.epochs_run = epoch + 1;
+      FlightRecorder::Get().Record("train", "soft memory budget exceeded (oom stop)", epoch,
+                                   static_cast<int64_t>(result.peak_bytes));
       break;
     }
     if (allocator.failure_injected()) {
@@ -321,6 +360,8 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     if (!problem.empty()) {
       ++retries_used;
       ++result.rollbacks;
+      GetTrainMetrics().recoveries->Add(1);
+      FlightRecorder::Get().Record("train", problem.c_str(), epoch, retries_used);
       {
         ProfileScope recovery_span(profiler, problem, "recovery");
         // Grads of a poisoned epoch must not leak into the retry.
@@ -375,6 +416,12 @@ TrainResult TrainNodeClassification(GnnModel& model, const Dataset& data,
     }
 
     const double epoch_ms = epoch_watch.ElapsedMillis();
+    {
+      const TrainMetrics& metrics = GetTrainMetrics();
+      metrics.epochs->Add(1);
+      metrics.epoch_ms->Record(epoch_ms);
+      metrics.loss->Set(loss_value);
+    }
     ++processed_epochs;
     if (processed_epochs > config.warmup_epochs) {
       timed_ms += epoch_ms;

@@ -1,10 +1,24 @@
 #include "src/exec/plan_cache.h"
 
+#include "src/common/metrics.h"
+
 namespace seastar {
 
 PlanCache& PlanCache::Get() {
   static PlanCache* instance = new PlanCache();
   return *instance;
+}
+
+PlanCache::PlanCache() {
+  // Exported by pull: the registry evaluates these at snapshot time, so the
+  // GetOrCompile path pays only for the atomics it already maintained.
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  registry.RegisterCallback("seastar_plan_cache_hits_total", metrics::CallbackKind::kCounter,
+                            [this] { return static_cast<double>(hits()); });
+  registry.RegisterCallback("seastar_plan_cache_misses_total", metrics::CallbackKind::kCounter,
+                            [this] { return static_cast<double>(misses()); });
+  registry.RegisterCallback("seastar_plan_cache_entries", metrics::CallbackKind::kGauge,
+                            [this] { return static_cast<double>(size()); });
 }
 
 std::shared_ptr<const CompiledProgram> PlanCache::GetOrCompile(const GirGraph& gir,

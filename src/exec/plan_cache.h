@@ -51,7 +51,7 @@ class PlanCache {
   void Clear();
 
  private:
-  PlanCache() = default;
+  PlanCache();  // Registers pull-style metrics callbacks for the singleton.
 
   // A process runs a handful of distinct GIRs (a few per model layer); the
   // bound only guards against a pathological caller compiling unbounded

@@ -3,14 +3,41 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "src/common/fault.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/parallel/thread_pool.h"
 
 namespace seastar {
 namespace {
+
+// Always-on per-schedule counters, resolved against the registry exactly once
+// (first launch) and cached; after that each launch costs one sharded
+// relaxed fetch_add per worker merge, nothing per block.
+struct SimtCounters {
+  metrics::Counter* launches;
+  metrics::Counter* dispatches;
+  metrics::Counter* blocks;
+};
+
+const SimtCounters& SimtCountersFor(BlockSchedule schedule) {
+  static const auto* counters = [] {
+    auto* c = new SimtCounters[static_cast<int>(BlockSchedule::kChunkedDynamic) + 1];
+    metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+    for (int i = 0; i <= static_cast<int>(BlockSchedule::kChunkedDynamic); ++i) {
+      const std::string label = std::string("{schedule=\"") +
+                                BlockScheduleName(static_cast<BlockSchedule>(i)) + "\"}";
+      c[i].launches = registry.GetCounter("seastar_simt_launches_total" + label);
+      c[i].dispatches = registry.GetCounter("seastar_simt_dispatches_total" + label);
+      c[i].blocks = registry.GetCounter("seastar_simt_blocks_total" + label);
+    }
+    return c;
+  }();
+  return counters[static_cast<int>(schedule)];
+}
 
 // Fault injection (FaultSite::kSimtWorker): stall this worker for one
 // dispatch grant. A stall is latency, not failure — the launch must still
@@ -47,9 +74,15 @@ void LaunchBlocks(const SimtLaunchParams& params,
   ThreadPool& pool = ThreadPool::Get();
   const int participants = pool.num_threads() + 1;
 
+  const SimtCounters& counters = SimtCountersFor(params.schedule);
+  counters.launches->Add(1);
+
   // Each worker counts its grants locally and merges once on exit; the hot
-  // dispatch loops never touch shared profiling state.
-  const auto merge_stats = [stats = params.stats](int64_t dispatches, int64_t blocks) {
+  // dispatch loops never touch shared profiling state. The always-on metric
+  // counters ride the same once-per-worker merge.
+  const auto merge_stats = [stats = params.stats, &counters](int64_t dispatches, int64_t blocks) {
+    counters.dispatches->Add(dispatches);
+    counters.blocks->Add(blocks);
     if (stats == nullptr) {
       return;
     }

@@ -1,9 +1,27 @@
 #include "src/serve/circuit_breaker.h"
 
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace seastar {
 namespace serve {
+namespace {
+
+// Exported encoding of BreakerState (documented in docs/INTERNALS.md §12):
+// closed=0, open=1, half-open=2. A gauge rather than per-state counters so a
+// scrape shows where the breaker *is*, not just how often it moved.
+metrics::Gauge* BreakerStateGauge() {
+  static metrics::Gauge* gauge =
+      metrics::MetricsRegistry::Get().GetGauge("seastar_serve_breaker_state");
+  return gauge;
+}
+
+void PublishState(BreakerState state) {
+  BreakerStateGauge()->Set(static_cast<double>(static_cast<int>(state)));
+}
+
+}  // namespace
 
 const char* BreakerStateName(BreakerState state) {
   switch (state) {
@@ -22,6 +40,7 @@ CircuitBreaker::CircuitBreaker(int trip_after, double probe_interval_ms)
       probe_interval_(std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::duration<double, std::milli>(probe_interval_ms))) {
   SEASTAR_CHECK_GT(trip_after, 0);
+  PublishState(state_);
 }
 
 bool CircuitBreaker::AllowExecution() {
@@ -33,6 +52,8 @@ bool CircuitBreaker::AllowExecution() {
       if (Clock::now() - opened_at_ >= probe_interval_) {
         state_ = BreakerState::kHalfOpen;
         ++probes_;
+        PublishState(state_);
+        FlightRecorder::Get().Record("breaker", "probe", probes_);
         return true;  // This batch is the probe.
       }
       return false;
@@ -46,8 +67,12 @@ void CircuitBreaker::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == BreakerState::kHalfOpen) {
     ++recoveries_;
+    FlightRecorder::Get().Record("breaker", "half-open -> closed (recovery)", recoveries_);
     SEASTAR_LOG(Info) << "circuit breaker: probe succeeded, closing (recovery " << recoveries_
                       << ")";
+  }
+  if (state_ != BreakerState::kClosed) {
+    PublishState(BreakerState::kClosed);
   }
   state_ = BreakerState::kClosed;
   consecutive_failures_ = 0;
@@ -59,6 +84,8 @@ void CircuitBreaker::RecordFailure(const std::string& reason) {
     // Probe failed: back to open, restart the probe clock.
     state_ = BreakerState::kOpen;
     opened_at_ = Clock::now();
+    PublishState(state_);
+    FlightRecorder::Get().Record("breaker", "half-open -> open (probe failed)", probes_);
     return;
   }
   ++consecutive_failures_;
@@ -67,8 +94,12 @@ void CircuitBreaker::RecordFailure(const std::string& reason) {
     opened_at_ = Clock::now();
     ++trips_;
     last_trip_reason_ = reason;
+    PublishState(state_);
+    FlightRecorder::Get().Record("breaker", "closed -> open (trip)", trips_,
+                                 consecutive_failures_);
     SEASTAR_LOG(Warning) << "circuit breaker: tripped after " << consecutive_failures_
-                         << " consecutive failures (" << reason << "); serving degraded";
+                         << " consecutive failures (" << reason << "); serving degraded"
+                         << LogKv("trips", trips_);
   }
 }
 
@@ -78,6 +109,8 @@ void CircuitBreaker::RecordProbeAbandoned() {
     return;
   }
   state_ = BreakerState::kOpen;
+  PublishState(state_);
+  FlightRecorder::Get().Record("breaker", "half-open -> open (probe abandoned)", probes_);
   // Backdate the open timestamp so AllowExecution admits the next probe
   // right away instead of waiting out another full interval.
   opened_at_ = Clock::now() - probe_interval_;

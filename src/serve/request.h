@@ -60,6 +60,8 @@ struct InferenceResponse {
 struct PendingRequest {
   InferenceRequest request;
   Deadline deadline;
+  uint64_t id = 0;         // Admission-ordered id; names the request in the
+                           // flight recorder and in structured log lines.
   uint64_t batch_key = 0;  // Requests batch only with an equal key.
   std::chrono::steady_clock::time_point admitted_at{};
   std::chrono::steady_clock::time_point dequeued_at{};

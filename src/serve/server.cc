@@ -7,7 +7,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/core/checkpoint.h"
 #include "src/tensor/allocator.h"
@@ -18,6 +20,54 @@ namespace serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Registry handles for the serving path, resolved once per process and
+// cached (the static-init guard is the only per-call cost). Request-rate
+// code touches these through one relaxed add / store each; the registry is
+// never consulted per request — tests assert lookups() stays flat.
+struct ServeMetrics {
+  metrics::Counter* submitted;
+  metrics::Counter* rejected;
+  metrics::Counter* shed;
+  metrics::Counter* served;
+  metrics::Counter* degraded;
+  metrics::Counter* expired;
+  metrics::Counter* failed;
+  metrics::Counter* retries;
+  metrics::Counter* batches;
+  metrics::Counter* unit_aborts;
+  metrics::Counter* boot_retries;
+  metrics::Histogram* request_latency;  // End-to-end, answered requests only.
+  metrics::Histogram* queue_wait;       // Admission -> dequeue, answered only.
+  metrics::Histogram* batch_occupancy;  // Live requests per executed batch.
+  metrics::Gauge* queue_depth;
+  metrics::Gauge* inflight;
+};
+
+const ServeMetrics& GetServeMetrics() {
+  static const ServeMetrics metrics = [] {
+    metrics::MetricsRegistry& r = metrics::MetricsRegistry::Get();
+    ServeMetrics m;
+    m.submitted = r.GetCounter("seastar_serve_submitted_total");
+    m.rejected = r.GetCounter("seastar_serve_rejected_total");
+    m.shed = r.GetCounter("seastar_serve_shed_total");
+    m.served = r.GetCounter("seastar_serve_served_total");
+    m.degraded = r.GetCounter("seastar_serve_degraded_total");
+    m.expired = r.GetCounter("seastar_serve_expired_total");
+    m.failed = r.GetCounter("seastar_serve_failed_total");
+    m.retries = r.GetCounter("seastar_serve_retries_total");
+    m.batches = r.GetCounter("seastar_serve_batches_total");
+    m.unit_aborts = r.GetCounter("seastar_serve_deadline_unit_aborts_total");
+    m.boot_retries = r.GetCounter("seastar_serve_boot_retries_total");
+    m.request_latency = r.GetHistogram("seastar_serve_request_latency_ms");
+    m.queue_wait = r.GetHistogram("seastar_serve_queue_wait_ms");
+    m.batch_occupancy = r.GetHistogram("seastar_serve_batch_occupancy");
+    m.queue_depth = r.GetGauge("seastar_serve_queue_depth");
+    m.inflight = r.GetGauge("seastar_serve_inflight_requests");
+    return m;
+  }();
+  return metrics;
+}
 
 double MillisBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
@@ -79,7 +129,8 @@ Status Server::RestoreFromCheckpoint() {
       break;
     }
     if (attempt < config_.boot_retries) {
-      boot_retries_.fetch_add(1, std::memory_order_relaxed);
+      UpdateStats([](ServerStats& s) { ++s.boot_retries; });
+      GetServeMetrics().boot_retries->Add(1);
       const double backoff_ms = config_.retry_base_backoff_ms * static_cast<double>(1 << attempt);
       SEASTAR_LOG(Warning) << "serve boot: transient checkpoint read failure ("
                            << loaded.status().message() << "); retrying in " << backoff_ms
@@ -145,7 +196,8 @@ Status Server::Start() {
     Deadline no_deadline;  // Unarmed: warmup may take as long as it takes.
     int retries_paid = 0;
     AttemptResult warm = ExecuteWithRetries(no_deadline, &retries_paid);
-    retries_.fetch_add(retries_paid, std::memory_order_relaxed);
+    UpdateStats([retries_paid](ServerStats& s) { s.retries += retries_paid; });
+    GetServeMetrics().retries->Add(retries_paid);
     if (!warm.status.ok()) {
       // Not fatal: the breaker/retry machinery will keep trying per batch.
       SEASTAR_LOG(Warning) << "serve boot: warmup forward failed (" << warm.status.message()
@@ -177,6 +229,7 @@ void Server::Shutdown() {
 }
 
 std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request) {
+  const ServeMetrics& metrics = GetServeMetrics();
   std::promise<StatusOr<InferenceResponse>> rejected;
   std::future<StatusOr<InferenceResponse>> rejected_future = rejected.get_future();
 
@@ -185,7 +238,8 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
     return rejected_future;
   }
   if (request.vertices.empty()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    UpdateStats([](ServerStats& s) { ++s.rejected; });
+    metrics.rejected->Add(1);
     rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
                        << "request names no vertices");
     return rejected_future;
@@ -193,14 +247,16 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
   const int64_t num_vertices = data_.graph.num_vertices();
   for (int32_t v : request.vertices) {
     if (v < 0 || v >= num_vertices) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      UpdateStats([](ServerStats& s) { ++s.rejected; });
+      metrics.rejected->Add(1);
       rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
                          << "vertex " << v << " out of range [0, " << num_vertices << ")");
       return rejected_future;
     }
   }
   if (request.model_fingerprint != 0 && request.model_fingerprint != fingerprint_) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    UpdateStats([](ServerStats& s) { ++s.rejected; });
+    metrics.rejected->Add(1);
     rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
                        << "request pins model fingerprint " << request.model_fingerprint
                        << " but this server runs " << fingerprint_);
@@ -214,27 +270,39 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
     pending->deadline = Deadline::AfterMillis(deadline_ms);
   }
   pending->request = std::move(request);
+  pending->id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   pending->batch_key = fingerprint_;  // One model per server today; the key
                                       // exists so multi-model servers batch
                                       // correctly without an API change.
   pending->admitted_at = Clock::now();
+  const uint64_t id = pending->id;
   std::future<StatusOr<InferenceResponse>> future = pending->promise.get_future();
 
   Status pushed = queue_.TryPush(std::move(pending));
   if (!pushed.ok()) {
     // Answer immediately so the client can back off instead of waiting out
-    // its deadline. A full queue is a shed (the queue counts it, and it
-    // stays inside the submitted identity); a closed queue is a rejection —
-    // the request never entered the serving pipeline.
+    // its deadline. A full queue is a shed (inside the submitted identity —
+    // both counters move under one lock so no reader sees the request half
+    // accounted); a closed queue is a rejection — the request never entered
+    // the serving pipeline.
     if (pushed.code() == StatusCode::kUnavailable) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      UpdateStats([](ServerStats& s) { ++s.rejected; });
+      metrics.rejected->Add(1);
     } else {
-      submitted_.fetch_add(1, std::memory_order_relaxed);
+      UpdateStats([](ServerStats& s) {
+        ++s.submitted;
+        ++s.shed;
+      });
+      metrics.submitted->Add(1);
+      metrics.shed->Add(1);
+      FlightRecorder::Get().Record("serve", "request shed (queue full)", id);
     }
     rejected.set_value(pushed);
     return rejected_future;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  UpdateStats([](ServerStats& s) { ++s.submitted; });
+  metrics.submitted->Add(1);
+  metrics.queue_depth->Set(static_cast<double>(queue_.size()));
   return future;
 }
 
@@ -243,22 +311,27 @@ StatusOr<InferenceResponse> Server::Infer(InferenceRequest request) {
 }
 
 void Server::ServeLoop() {
+  const ServeMetrics& metrics = GetServeMetrics();
   for (;;) {
     std::vector<std::unique_ptr<PendingRequest>> batch = batcher_.NextBatch();
+    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     if (batch.empty()) {
       if (queue_.closed() && queue_.size() == 0) {
         return;  // Drained; shutdown completes.
       }
       continue;
     }
+    metrics.inflight->Set(static_cast<double>(batch.size()));
     ServeBatch(std::move(batch));
+    metrics.inflight->Set(0.0);
   }
 }
 
 Server::AttemptResult Server::RunForwardOnce(const Deadline& deadline) {
   AttemptResult result;
   TensorAllocator& allocator = TensorAllocator::Get();
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  UpdateStats([](ServerStats& s) { ++s.batches; });
+  GetServeMetrics().batches->Add(1);
   try {
     // The executors poll this deadline at unit/op boundaries
     // (CheckExecutionDeadline) and abort expired work mid-forward.
@@ -284,7 +357,9 @@ Server::AttemptResult Server::RunForwardOnce(const Deadline& deadline) {
     return result;
   } catch (const DeadlineExceeded& e) {
     allocator.ClearInjectedFailure();
-    deadline_unit_aborts_.fetch_add(1, std::memory_order_relaxed);
+    UpdateStats([](ServerStats& s) { ++s.deadline_unit_aborts; });
+    GetServeMetrics().unit_aborts->Add(1);
+    FlightRecorder::Get().Record("serve", "forward aborted at unit boundary (deadline)");
     result.status = ErrorStatus(StatusCode::kDeadlineExceeded) << e.what();
     result.retryable = false;
     result.unit_abort = true;
@@ -332,6 +407,7 @@ Server::AttemptResult Server::ExecuteWithRetries(const Deadline& deadline, int* 
 void Server::FulfillFromLogits(const Tensor& logits,
                                std::vector<std::unique_ptr<PendingRequest>>& batch, bool degraded,
                                int retries_paid) {
+  const ServeMetrics& metrics = GetServeMetrics();
   const int batch_size = static_cast<int>(batch.size());
   const int64_t num_classes = logits.dim(1);
   for (std::unique_ptr<PendingRequest>& pending : batch) {
@@ -339,7 +415,9 @@ void Server::FulfillFromLogits(const Tensor& logits,
     if (pending->deadline.armed() && pending->deadline.expired()) {
       // The batch made it, this request's budget didn't: its client has
       // already moved on, so the answer would only be discarded.
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      UpdateStats([](ServerStats& s) { ++s.expired; });
+      metrics.expired->Add(1);
+      FlightRecorder::Get().Record("serve", "request expired before fulfillment", pending->id);
       pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
                                  << "deadline expired before fulfillment");
       continue;
@@ -358,7 +436,9 @@ void Server::FulfillFromLogits(const Tensor& logits,
     response.queue_ms = MillisBetween(pending->admitted_at, pending->dequeued_at);
     response.exec_ms = MillisBetween(pending->dequeued_at, now);
     response.total_ms = MillisBetween(pending->admitted_at, now);
-    (degraded ? degraded_ : served_).fetch_add(1, std::memory_order_relaxed);
+    UpdateStats([degraded](ServerStats& s) { ++(degraded ? s.degraded : s.served); });
+    (degraded ? metrics.degraded : metrics.served)->Add(1);
+    metrics.queue_wait->Record(response.queue_ms);
     RecordLatency(response.total_ms);
     pending->promise.set_value(std::move(response));
   }
@@ -366,21 +446,29 @@ void Server::FulfillFromLogits(const Tensor& logits,
 
 void Server::FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch,
                        const Status& status) {
+  const ServeMetrics& metrics = GetServeMetrics();
   const bool is_deadline = status.code() == StatusCode::kDeadlineExceeded;
+  const int64_t n = static_cast<int64_t>(batch.size());
+  UpdateStats([is_deadline, n](ServerStats& s) { (is_deadline ? s.expired : s.failed) += n; });
+  (is_deadline ? metrics.expired : metrics.failed)->Add(n);
+  FlightRecorder::Get().Record("serve", is_deadline ? "batch expired" : "batch failed", n,
+                               static_cast<int64_t>(status.code()));
   for (std::unique_ptr<PendingRequest>& pending : batch) {
-    (is_deadline ? expired_ : failed_).fetch_add(1, std::memory_order_relaxed);
     pending->promise.set_value(status);
   }
 }
 
 void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
+  const ServeMetrics& metrics = GetServeMetrics();
   // Drop requests that expired while queued before spending a forward (or a
   // degraded gather) on them.
   std::vector<std::unique_ptr<PendingRequest>> live;
   live.reserve(batch.size());
   for (std::unique_ptr<PendingRequest>& pending : batch) {
     if (pending->deadline.armed() && pending->deadline.expired()) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      UpdateStats([](ServerStats& s) { ++s.expired; });
+      metrics.expired->Add(1);
+      FlightRecorder::Get().Record("serve", "request expired while queued", pending->id);
       pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
                                  << "deadline expired while queued");
     } else {
@@ -390,6 +478,7 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
   if (live.empty()) {
     return;
   }
+  metrics.batch_occupancy->Record(static_cast<double>(live.size()));
 
   ProfileScope batch_scope(profiler_, "batch", "serve");
 
@@ -434,7 +523,8 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
 
   int retries_paid = 0;
   AttemptResult result = ExecuteWithRetries(exec_deadline, &retries_paid);
-  retries_.fetch_add(retries_paid, std::memory_order_relaxed);
+  UpdateStats([retries_paid](ServerStats& s) { s.retries += retries_paid; });
+  metrics.retries->Add(retries_paid);
 
   if (result.status.ok()) {
     breaker_.RecordSuccess();
@@ -471,49 +561,34 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
 
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.shed = queue_.shed_count();
-  stats.served = served_.load(std::memory_order_relaxed);
-  stats.degraded = degraded_.load(std::memory_order_relaxed);
-  stats.expired = expired_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
-  stats.retries = retries_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
+  {
+    // One critical section copies every identity counter: a reader either
+    // sees a request fully accounted (submitted + outcome) or not at all.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = stats_;
+  }
+  // Breaker counters sit outside the identity; the breaker's own mutex keeps
+  // them mutually consistent.
   stats.breaker_trips = breaker_.trips();
   stats.breaker_recoveries = breaker_.recoveries();
   stats.breaker_probes = breaker_.probes();
-  stats.deadline_unit_aborts = deadline_unit_aborts_.load(std::memory_order_relaxed);
-  stats.boot_retries = boot_retries_.load(std::memory_order_relaxed);
   return stats;
 }
 
 LatencySummary Server::latency_summary() const {
-  std::vector<double> sorted;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    sorted = latencies_ms_;
-  }
+  const metrics::HistogramSnapshot snapshot = latency_hist_.Snapshot();
   LatencySummary summary;
-  summary.count = static_cast<int64_t>(sorted.size());
-  if (sorted.empty()) {
-    return summary;
-  }
-  std::sort(sorted.begin(), sorted.end());
-  auto percentile = [&sorted](double p) {
-    const size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
-    return sorted[index];
-  };
-  summary.p50_ms = percentile(0.50);
-  summary.p95_ms = percentile(0.95);
-  summary.p99_ms = percentile(0.99);
-  summary.max_ms = sorted.back();
+  summary.count = snapshot.count;
+  summary.p50_ms = snapshot.p50;
+  summary.p95_ms = snapshot.p95;
+  summary.p99_ms = snapshot.p99;
+  summary.max_ms = snapshot.max;
   return summary;
 }
 
 void Server::RecordLatency(double total_ms) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latencies_ms_.push_back(total_ms);
+  latency_hist_.Record(total_ms);
+  GetServeMetrics().request_latency->Record(total_ms);
 }
 
 }  // namespace serve

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/core/models/model.h"
 #include "src/graph/datasets.h"
@@ -87,7 +88,12 @@ struct ServeConfig {
 // Monotone counters; a quiesced server satisfies
 //   submitted == served + degraded + shed + expired + failed.
 // Rejected requests never enter the serving pipeline and sit outside that
-// identity.
+// identity. stats() returns one snapshot taken under a single lock, so the
+// identity holds for the snapshot itself whenever the server is quiesced —
+// readers never see `submitted` without the matching outcome counter. The
+// same increments are mirrored into the process metrics registry
+// (seastar_serve_*_total), so the identity can be checked from a --metrics-out
+// snapshot too.
 struct ServerStats {
   int64_t submitted = 0;  // Requests admitted or shed (validated, not rejected).
   int64_t rejected = 0;   // Invalid (bad vertices / fingerprint) or queue closed.
@@ -145,7 +151,9 @@ class Server {
   ServerStats stats() const;
   BreakerState breaker_state() const { return breaker_.state(); }
   // Percentiles over end-to-end latency of answered (served or degraded)
-  // requests.
+  // requests. Served from this server's log-bucketed histogram: quantiles
+  // carry the bucket's relative error (<= 1/16) instead of being exact, in
+  // exchange for an O(1)-memory record path with no lock and no allocation.
   LatencySummary latency_summary() const;
   int queue_depth() const { return queue_.size(); }
 
@@ -169,6 +177,16 @@ class Server {
   Status RestoreFromCheckpoint();
   void RecordLatency(double total_ms);
 
+  // Applies `mutate` to the stats under stats_mutex_. All identity counters
+  // move through here, so a concurrent stats() reader always sees a
+  // consistent snapshot (never a request counted as submitted but not yet as
+  // an outcome, or vice versa).
+  template <typename Fn>
+  void UpdateStats(Fn&& mutate) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    mutate(stats_);
+  }
+
   GnnModel& model_;
   const Dataset& data_;
   const ServeConfig config_;
@@ -190,20 +208,21 @@ class Server {
   mutable std::mutex lkg_mutex_;
   Tensor lkg_logits_;
 
-  // Counters not already owned by a component.
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> rejected_{0};
-  std::atomic<int64_t> served_{0};
-  std::atomic<int64_t> degraded_{0};
-  std::atomic<int64_t> expired_{0};
-  std::atomic<int64_t> failed_{0};
-  std::atomic<int64_t> retries_{0};
-  std::atomic<int64_t> batches_{0};
-  std::atomic<int64_t> deadline_unit_aborts_{0};
-  std::atomic<int64_t> boot_retries_{0};
+  // All counters that participate in (or ride along with) the accounting
+  // identity live in one struct behind one mutex; increments are a few
+  // nanoseconds under an uncontended lock (client threads at admission, the
+  // serving thread at fulfillment), and stats() copies the whole struct in
+  // one critical section. Breaker counters stay with the breaker — they are
+  // not part of the identity.
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+  std::atomic<uint64_t> next_request_id_{1};
 
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latencies_ms_;
+  // End-to-end latency of answered requests, for latency_summary(). A
+  // per-server histogram (the registry's seastar_serve_request_latency_ms is
+  // process-wide and would mix servers in tests); Record() is lock-free and
+  // allocation-free, unlike the unbounded vector it replaced.
+  metrics::Histogram latency_hist_{"latency_ms"};
 };
 
 }  // namespace serve

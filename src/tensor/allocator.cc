@@ -4,6 +4,7 @@
 
 #include "src/common/fault.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace seastar {
 
@@ -17,6 +18,29 @@ TensorAllocator::TensorAllocator() {
   if (env != nullptr && env[0] == '0' && env[1] == '\0') {
     pooling_enabled_.store(false, std::memory_order_relaxed);
   }
+  // Always-on metrics are *pulled* from the existing atomics at export time;
+  // Allocate/Deallocate pay nothing beyond the counters they already keep.
+  // `this` is the leaked process singleton, so the captures never dangle.
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  using metrics::CallbackKind;
+  registry.RegisterCallback("seastar_alloc_requests_total", CallbackKind::kCounter,
+                            [this] { return static_cast<double>(total_allocations()); });
+  registry.RegisterCallback("seastar_alloc_fresh_mallocs_total", CallbackKind::kCounter,
+                            [this] { return static_cast<double>(fresh_mallocs()); });
+  registry.RegisterCallback("seastar_alloc_pool_hits_total", CallbackKind::kCounter,
+                            [this] { return static_cast<double>(pool_hits()); });
+  registry.RegisterCallback("seastar_alloc_pool_misses_total", CallbackKind::kCounter,
+                            [this] { return static_cast<double>(pool_misses()); });
+  registry.RegisterCallback("seastar_alloc_trims_total", CallbackKind::kCounter,
+                            [this] { return static_cast<double>(trims()); });
+  registry.RegisterCallback("seastar_alloc_budget_trims_total", CallbackKind::kCounter,
+                            [this] { return static_cast<double>(budget_trims()); });
+  registry.RegisterCallback("seastar_alloc_live_bytes", CallbackKind::kGauge,
+                            [this] { return static_cast<double>(live_bytes()); });
+  registry.RegisterCallback("seastar_alloc_peak_bytes", CallbackKind::kGauge,
+                            [this] { return static_cast<double>(peak_bytes()); });
+  registry.RegisterCallback("seastar_alloc_pooled_bytes", CallbackKind::kGauge,
+                            [this] { return static_cast<double>(pooled_bytes()); });
 }
 
 size_t TensorAllocator::SizeClassBytes(size_t bytes) {

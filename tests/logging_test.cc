@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
 #include "src/common/logging.h"
 
 namespace seastar {
@@ -26,6 +31,62 @@ TEST(LoggingDeathTest, CheckFailureAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH({ SEASTAR_CHECK(1 == 2) << "boom"; }, "Check failed");
   EXPECT_DEATH({ SEASTAR_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingTest, LogKvFormatsKeyValuePairs) {
+  std::ostringstream os;
+  os << "done" << LogKv("id", 17) << LogKv("ms", 3.5);
+  EXPECT_EQ(os.str(), "done id=17 ms=3.5");
+}
+
+TEST(LoggingTest, LogKvQuotesStringsWithSpaces) {
+  std::ostringstream os;
+  os << LogKv("msg", std::string("two words")) << LogKv("plain", std::string("ok"));
+  EXPECT_EQ(os.str(), " msg=\"two words\" plain=ok");
+}
+
+TEST(LoggingTest, QuoteIfNeededEscapesEmbeddedQuotes) {
+  EXPECT_EQ(log_internal::QuoteIfNeeded("bare"), "bare");
+  EXPECT_EQ(log_internal::QuoteIfNeeded("a\"b"), "\"a\\\"b\"");
+}
+
+// The env filter is parsed once per process, so each case runs inside a
+// death-test child (which inherits the freshly set SEASTAR_LOG) and reports
+// the parsed minimum on stderr before aborting.
+TEST(LoggingDeathTest, EnvFilterParsesSeverityNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  setenv("SEASTAR_LOG", "warning", 1);
+  EXPECT_DEATH(
+      {
+        std::fprintf(stderr, "min=%d\n", static_cast<int>(MinLogSeverity()));
+        std::abort();
+      },
+      "min=2");
+  unsetenv("SEASTAR_LOG");
+}
+
+TEST(LoggingDeathTest, EnvFilterParsesNumericLevels) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  setenv("SEASTAR_LOG", "3", 1);
+  EXPECT_DEATH(
+      {
+        std::fprintf(stderr, "min=%d\n", static_cast<int>(MinLogSeverity()));
+        std::abort();
+      },
+      "min=3");
+  unsetenv("SEASTAR_LOG");
+}
+
+TEST(LoggingDeathTest, UnparseableEnvFilterWarnsAndDefaultsToInfo) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  setenv("SEASTAR_LOG", "bogus", 1);
+  EXPECT_DEATH(
+      {
+        std::fprintf(stderr, "min=%d\n", static_cast<int>(MinLogSeverity()));
+        std::abort();
+      },
+      "min=1");
+  unsetenv("SEASTAR_LOG");
 }
 
 TEST(LoggingTest, NonFatalSeveritiesDoNotAbort) {

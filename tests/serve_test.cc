@@ -5,6 +5,7 @@
 // asserting the accounting identity under sustained load.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <future>
@@ -15,6 +16,7 @@
 
 #include "src/common/deadline.h"
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/core/checkpoint.h"
 #include "src/core/models/gcn.h"
@@ -725,6 +727,114 @@ TEST(ServeTest, SoakTenThousandRequestsKeepsAccountingExact) {
   const serve::LatencySummary latency = server.latency_summary();
   EXPECT_GT(latency.count, 0);
   EXPECT_GE(latency.p99_ms, latency.p50_ms);
+}
+
+// ---- Exported metrics ---------------------------------------------------------------------------
+
+// The process-wide registry mirrors every ServerStats identity counter at the
+// same increment sites. Tests share one registry across every Server this
+// binary creates, so the assertions work on deltas: whatever this server
+// reports in stats() must appear 1:1 as registry growth.
+TEST(ServeTest, ExportedMetricsMirrorTheAccountingIdentity) {
+  ScopedFaultClear clear;
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  const auto counter = [&registry](const char* name) {
+    return registry.GetCounter(name)->value();
+  };
+  const int64_t submitted0 = counter("seastar_serve_submitted_total");
+  const int64_t rejected0 = counter("seastar_serve_rejected_total");
+  const int64_t served0 = counter("seastar_serve_served_total");
+  const int64_t degraded0 = counter("seastar_serve_degraded_total");
+  const int64_t shed0 = counter("seastar_serve_shed_total");
+  const int64_t expired0 = counter("seastar_serve_expired_total");
+  const int64_t failed0 = counter("seastar_serve_failed_total");
+  const int64_t latency_count0 =
+      registry.GetHistogram("seastar_serve_request_latency_ms")->count();
+
+  Dataset data = SmallDataset();
+  auto model = SmallGcn(data);
+  ServeConfig config;
+  config.queue_capacity = 4;  // Tiny queue: the burst below must shed.
+  Server server(*model, data, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::future<StatusOr<InferenceResponse>>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(server.Submit(RequestFor({i % 5})));
+  }
+  for (auto& future : futures) {
+    EXPECT_NO_THROW(future.get());
+  }
+  server.Shutdown();
+  // A post-shutdown submit lands in rejected — outside the identity.
+  StatusOr<InferenceResponse> refused = server.Infer(RequestFor({0}));
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(counter("seastar_serve_submitted_total") - submitted0, stats.submitted);
+  EXPECT_EQ(counter("seastar_serve_rejected_total") - rejected0, stats.rejected);
+  EXPECT_EQ(counter("seastar_serve_served_total") - served0, stats.served);
+  EXPECT_EQ(counter("seastar_serve_degraded_total") - degraded0, stats.degraded);
+  EXPECT_EQ(counter("seastar_serve_shed_total") - shed0, stats.shed);
+  EXPECT_EQ(counter("seastar_serve_expired_total") - expired0, stats.expired);
+  EXPECT_EQ(counter("seastar_serve_failed_total") - failed0, stats.failed);
+  EXPECT_GT(stats.shed, 0);     // The tiny queue actually shed.
+  EXPECT_EQ(stats.rejected, 1);  // The post-shutdown probe.
+
+  // The identity holds in the exported counters themselves, which is what
+  // bench_serve and the CI gate assert against a live snapshot.
+  const int64_t d_submitted = counter("seastar_serve_submitted_total") - submitted0;
+  const int64_t d_outcomes = (counter("seastar_serve_served_total") - served0) +
+                             (counter("seastar_serve_degraded_total") - degraded0) +
+                             (counter("seastar_serve_shed_total") - shed0) +
+                             (counter("seastar_serve_expired_total") - expired0) +
+                             (counter("seastar_serve_failed_total") - failed0);
+  EXPECT_EQ(d_submitted, d_outcomes);
+
+  // Every served request recorded a latency sample into the registry
+  // histogram (degraded/expired/failed may add more; never fewer).
+  EXPECT_GE(registry.GetHistogram("seastar_serve_request_latency_ms")->count() -
+                latency_count0,
+            stats.served);
+}
+
+// stats() snapshots every identity counter under one lock: a reader can
+// never observe submitted ahead of the outcome bins plus in-flight work.
+TEST(ServeTest, StatsSnapshotIsConsistentUnderConcurrentLoad) {
+  ScopedFaultClear clear;
+  Dataset data = SmallDataset();
+  auto model = SmallGcn(data);
+  ServeConfig config;
+  config.queue_capacity = 16;
+  Server server(*model, data, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&server, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServerStats stats = server.stats();
+      const int64_t outcomes =
+          stats.served + stats.degraded + stats.shed + stats.expired + stats.failed;
+      // Outcomes never outrun admissions, and the gap is bounded by what can
+      // actually be in flight (the queue plus one serving batch).
+      EXPECT_LE(outcomes, stats.submitted);
+      EXPECT_GE(stats.submitted, 0);
+    }
+  });
+  std::vector<std::future<StatusOr<InferenceResponse>>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(server.Submit(RequestFor({i % 7})));
+  }
+  for (auto& future : futures) {
+    EXPECT_NO_THROW(future.get());
+  }
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  server.Shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            stats.served + stats.degraded + stats.shed + stats.expired + stats.failed);
 }
 
 }  // namespace

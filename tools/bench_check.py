@@ -1,0 +1,284 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the bench JSON reports.
+
+Compares a fresh BENCH_train_epoch.json / BENCH_serve.json (produced by
+./bench_train_epoch and ./bench_serve --out=...) against the committed
+baselines in bench/baselines/, and exits non-zero if any gated metric
+regressed beyond its tolerance band.
+
+Two kinds of gate:
+
+  * Timing metrics (steady_avg_ms, p50_ms, p99_ms) are noisy on shared CI
+    runners, so they get a wide multiplicative band (--timing-tolerance,
+    default 3.0x). The band is deliberately loose: it will not catch a 20%
+    slowdown, but it *will* catch the order-of-magnitude cliffs that matter
+    (a fusion pass silently disabled, a plan recompiled per epoch, an
+    accidental O(V*E) loop) while staying quiet across runner jitter.
+  * Counting metrics (steady_plan_misses, steady_fresh_mallocs) are
+    deterministic properties of the caching machinery, not of the machine,
+    so they are gated hard: plan misses must be exactly zero, and fresh
+    mallocs may exceed the baseline by at most --malloc-slack (default 5,
+    matching the steady-state bound the CI smoke already asserts).
+
+Scenarios/runs are matched by identity keys (model+dataset for training,
+scenario name for serving). A baseline entry with no fresh counterpart is a
+failure (a benchmark silently dropped is itself a regression); a fresh entry
+with no baseline is reported but allowed (new coverage should not need a
+two-commit dance).
+
+Usage:
+  tools/bench_check.py --baseline-dir bench/baselines \
+      --train BENCH_train_epoch.json --serve BENCH_serve.json
+  tools/bench_check.py --self-test     # prove the gate trips on regressions
+
+Exit codes: 0 ok, 1 regression detected, 2 usage or I/O error.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+TRAIN_BASELINE = "BENCH_train_epoch.json"
+SERVE_BASELINE = "BENCH_serve.json"
+
+
+class Gate:
+    """Accumulates per-metric verdicts and formats the report."""
+
+    def __init__(self):
+        self.failures = []
+        self.notes = []
+        self.checked = 0
+
+    def check(self, where, metric, fresh, baseline, limit, detail):
+        self.checked += 1
+        if fresh > limit:
+            self.failures.append(
+                f"FAIL {where} {metric}: {fresh:g} > limit {limit:g} "
+                f"(baseline {baseline:g}; {detail})")
+        else:
+            self.notes.append(
+                f"  ok {where} {metric}: {fresh:g} (baseline {baseline:g}, "
+                f"limit {limit:g})")
+
+    def missing(self, where):
+        self.failures.append(
+            f"FAIL {where}: present in baseline but missing from fresh report "
+            "(benchmark dropped?)")
+
+    def extra(self, where):
+        self.notes.append(f"  new {where}: no baseline yet (not gated)")
+
+    def report(self, out=sys.stdout):
+        for line in self.notes:
+            print(line, file=out)
+        for line in self.failures:
+            print(line, file=out)
+        verdict = "REGRESSION" if self.failures else "ok"
+        print(
+            f"bench_check: {self.checked} metrics checked, "
+            f"{len(self.failures)} failed -> {verdict}", file=out)
+        return 1 if self.failures else 0
+
+
+def check_train(gate, baseline, fresh, timing_tol, malloc_slack):
+    base_runs = {(r["model"], r["dataset"]): r for r in baseline.get("runs", [])}
+    fresh_runs = {(r["model"], r["dataset"]): r for r in fresh.get("runs", [])}
+    for key, base in sorted(base_runs.items()):
+        where = f"train {key[0]}/{key[1]}"
+        run = fresh_runs.get(key)
+        if run is None:
+            gate.missing(where)
+            continue
+        gate.check(where, "steady_avg_ms", run["steady_avg_ms"],
+                   base["steady_avg_ms"], base["steady_avg_ms"] * timing_tol,
+                   f"{timing_tol:g}x timing band")
+        gate.check(where, "steady_fresh_mallocs", run["steady_fresh_mallocs"],
+                   base["steady_fresh_mallocs"],
+                   base["steady_fresh_mallocs"] + malloc_slack,
+                   f"baseline + {malloc_slack:g} slack")
+        first_steady = fresh.get("steady_first_epoch", 0)
+        steady_misses = sum(
+            e["plan_misses"] for e in run.get("epochs", [])[first_steady:])
+        gate.check(where, "steady_plan_misses", steady_misses, 0, 0,
+                   "exact: steady epochs must not recompile plans")
+    for key in sorted(set(fresh_runs) - set(base_runs)):
+        gate.extra(f"train {key[0]}/{key[1]}")
+
+
+def check_serve(gate, baseline, fresh, timing_tol, malloc_slack):
+    base_scen = {s["name"]: s for s in baseline.get("scenarios", [])}
+    fresh_scen = {s["name"]: s for s in fresh.get("scenarios", [])}
+    for name, base in sorted(base_scen.items()):
+        where = f"serve {name}"
+        scen = fresh_scen.get(name)
+        if scen is None:
+            gate.missing(where)
+            continue
+        for metric in ("p50_ms", "p99_ms"):
+            gate.check(where, metric, scen[metric], base[metric],
+                       base[metric] * timing_tol, f"{timing_tol:g}x timing band")
+        gate.check(where, "steady_plan_misses", scen["steady_plan_misses"],
+                   base["steady_plan_misses"], 0,
+                   "exact: warmed serving must not recompile plans")
+        gate.check(where, "steady_fresh_mallocs", scen["steady_fresh_mallocs"],
+                   base["steady_fresh_mallocs"],
+                   base["steady_fresh_mallocs"] + malloc_slack,
+                   f"baseline + {malloc_slack:g} slack")
+        # The serving accounting identity is machine-independent; a fresh
+        # report that violates it is wrong regardless of any baseline.
+        outcomes = sum(scen[k] for k in
+                       ("served", "degraded", "shed", "expired", "failed"))
+        gate.check(where, "accounting_gap",
+                   abs(scen["submitted"] - outcomes), 0, 0,
+                   f"submitted={scen['submitted']} vs outcome sum={outcomes}")
+    for name in sorted(set(fresh_scen) - set(base_scen)):
+        gate.extra(f"serve {name}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_check: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def run_gate(args):
+    gate = Gate()
+    compared = 0
+    pairs = (
+        (args.train, os.path.join(args.baseline_dir, TRAIN_BASELINE), check_train),
+        (args.serve, os.path.join(args.baseline_dir, SERVE_BASELINE), check_serve),
+    )
+    for fresh_path, baseline_path, checker in pairs:
+        if not fresh_path:
+            continue
+        if not os.path.exists(baseline_path):
+            print(f"bench_check: no baseline {baseline_path}; skipping "
+                  f"{fresh_path} (commit one to arm the gate)")
+            continue
+        checker(gate, load(baseline_path), load(fresh_path),
+                args.timing_tolerance, args.malloc_slack)
+        compared += 1
+    if compared == 0:
+        print("bench_check: nothing compared (pass --train/--serve and commit "
+              "baselines)", file=sys.stderr)
+        return 2
+    return gate.report()
+
+
+def self_test(args):
+    """Fabricates baseline+fresh reports to prove the gate trips when it must
+    and stays quiet when it must not. No files are touched."""
+    train_base = {
+        "bench": "train_epoch", "steady_first_epoch": 3,
+        "runs": [{
+            "model": "GCN", "dataset": "cora", "steady_avg_ms": 10.0,
+            "steady_fresh_mallocs": 1.0,
+            "epochs": [{"epoch": i, "plan_misses": 0} for i in range(6)],
+        }],
+    }
+    serve_base = {
+        "bench": "serve",
+        "scenarios": [{
+            "name": "clean", "p50_ms": 2.0, "p99_ms": 8.0,
+            "steady_plan_misses": 0, "steady_fresh_mallocs": 0,
+            "submitted": 100, "served": 90, "degraded": 4, "shed": 3,
+            "expired": 2, "failed": 1,
+        }],
+    }
+
+    failures = []
+
+    def expect(label, gate_result, want_fail):
+        got_fail = bool(gate_result.failures)
+        if got_fail != want_fail:
+            failures.append(
+                f"self-test {label}: expected "
+                f"{'failure' if want_fail else 'pass'}, gate said "
+                f"{gate_result.failures or 'pass'}")
+
+    # 1. Identical reports pass.
+    g = Gate()
+    check_train(g, train_base, copy.deepcopy(train_base), 3.0, 5.0)
+    check_serve(g, serve_base, copy.deepcopy(serve_base), 3.0, 5.0)
+    expect("identical", g, want_fail=False)
+
+    # 2. Timing just inside the band passes; beyond it fails.
+    near = copy.deepcopy(train_base)
+    near["runs"][0]["steady_avg_ms"] = 29.0
+    g = Gate()
+    check_train(g, train_base, near, 3.0, 5.0)
+    expect("timing-in-band", g, want_fail=False)
+
+    slow = copy.deepcopy(train_base)
+    slow["runs"][0]["steady_avg_ms"] = 31.0
+    g = Gate()
+    check_train(g, train_base, slow, 3.0, 5.0)
+    expect("timing-regressed", g, want_fail=True)
+
+    # 3. A single steady-state plan miss fails, timing unchanged.
+    recompiles = copy.deepcopy(train_base)
+    recompiles["runs"][0]["epochs"][4]["plan_misses"] = 1
+    g = Gate()
+    check_train(g, train_base, recompiles, 3.0, 5.0)
+    expect("steady-plan-miss", g, want_fail=True)
+
+    # 4. Serving p99 blowup fails.
+    spiky = copy.deepcopy(serve_base)
+    spiky["scenarios"][0]["p99_ms"] = 100.0
+    g = Gate()
+    check_serve(g, serve_base, spiky, 3.0, 5.0)
+    expect("serve-p99", g, want_fail=True)
+
+    # 5. Broken accounting identity fails even with good timings.
+    leaky = copy.deepcopy(serve_base)
+    leaky["scenarios"][0]["served"] = 89  # one request vanishes
+    g = Gate()
+    check_serve(g, serve_base, leaky, 3.0, 5.0)
+    expect("serve-identity", g, want_fail=True)
+
+    # 6. A dropped benchmark fails; a new one passes with a note.
+    g = Gate()
+    check_serve(g, serve_base, {"scenarios": []}, 3.0, 5.0)
+    expect("dropped-scenario", g, want_fail=True)
+
+    grown = copy.deepcopy(serve_base)
+    grown["scenarios"].append(dict(serve_base["scenarios"][0], name="burst"))
+    g = Gate()
+    check_serve(g, serve_base, grown, 3.0, 5.0)
+    expect("new-scenario", g, want_fail=False)
+
+    for line in failures:
+        print(line, file=sys.stderr)
+    print(f"bench_check --self-test: {'FAIL' if failures else 'ok'} "
+          f"(7 cases)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory holding committed baseline reports")
+    parser.add_argument("--train", default="",
+                        help="fresh BENCH_train_epoch.json to gate")
+    parser.add_argument("--serve", default="",
+                        help="fresh BENCH_serve.json to gate")
+    parser.add_argument("--timing-tolerance", type=float, default=3.0,
+                        help="multiplicative band for timing metrics")
+    parser.add_argument("--malloc-slack", type=float, default=5.0,
+                        help="allowed fresh-malloc increase over baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate against fabricated regressions")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test(args))
+    sys.exit(run_gate(args))
+
+
+if __name__ == "__main__":
+    main()
