@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gat.h"
 
 namespace seastar {
@@ -29,17 +30,16 @@ int Run(int argc, char** argv) {
 
   double fused_ms = 0.0;
   double unfused_ms = 0.0;
-  for (Backend backend : {Backend::kSeastar, Backend::kSeastarNoFusion}) {
-    BackendConfig config;
-    config.backend = backend;
+  for (bool fused : {true, false}) {
     GatConfig gat;
     gat.num_heads = 8;
     gat.hidden_dim = 8;
-    Gat model(data, gat, config);
+    Gat model(data, gat,
+              std::move(*ExecutorFactory::Create(fused ? "seastar" : "seastar-nofuse")));
     TrainResult result = TrainNodeClassification(model, data, train);
-    std::printf("%-18s %14.2f %14s\n", BackendName(backend), result.avg_epoch_ms,
-                MemoryCell(result).c_str());
-    (backend == Backend::kSeastar ? fused_ms : unfused_ms) = result.avg_epoch_ms;
+    std::printf("%-18s %14.2f %14s\n", model.session().executor().name(),
+                result.avg_epoch_ms, MemoryCell(result).c_str());
+    (fused ? fused_ms : unfused_ms) = result.avg_epoch_ms;
   }
   if (fused_ms > 0.0) {
     std::printf("\nfusion speedup: %.2fx\n", unfused_ms / fused_ms);

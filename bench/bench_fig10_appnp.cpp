@@ -9,11 +9,11 @@
 int main(int argc, char** argv) {
   using namespace seastar;
   return bench::RunFig10("Fig.10(c)", "APPNP", argc, argv,
-                         [](const Dataset& data, const BackendConfig& config) {
+                         [](const Dataset& data, std::shared_ptr<const Executor> executor) {
                            AppnpConfig appnp;
                            appnp.hidden_dim = 64;
                            appnp.num_hops = 10;
                            appnp.alpha = 0.1f;
-                           return std::unique_ptr<GnnModel>(new Appnp(data, appnp, config));
+                           return std::unique_ptr<GnnModel>(new Appnp(data, appnp, std::move(executor)));
                          });
 }

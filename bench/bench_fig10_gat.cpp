@@ -8,10 +8,10 @@
 int main(int argc, char** argv) {
   using namespace seastar;
   return bench::RunFig10("Fig.10(a)", "GAT", argc, argv,
-                         [](const Dataset& data, const BackendConfig& config) {
+                         [](const Dataset& data, std::shared_ptr<const Executor> executor) {
                            GatConfig gat;
                            gat.num_heads = 8;
                            gat.hidden_dim = 8;
-                           return std::unique_ptr<GnnModel>(new Gat(data, gat, config));
+                           return std::unique_ptr<GnnModel>(new Gat(data, gat, std::move(executor)));
                          });
 }

@@ -8,9 +8,9 @@
 int main(int argc, char** argv) {
   using namespace seastar;
   return bench::RunFig10("Fig.10(b)", "GCN", argc, argv,
-                         [](const Dataset& data, const BackendConfig& config) {
+                         [](const Dataset& data, std::shared_ptr<const Executor> executor) {
                            GcnConfig gcn;
                            gcn.hidden_dim = 16;
-                           return std::unique_ptr<GnnModel>(new Gcn(data, gcn, config));
+                           return std::unique_ptr<GnnModel>(new Gcn(data, gcn, std::move(executor)));
                          });
 }

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/appnp.h"
 #include "src/core/models/gat.h"
 #include "src/core/models/gcn.h"
@@ -16,19 +17,19 @@ namespace bench {
 namespace {
 
 std::unique_ptr<GnnModel> MakeModel(const std::string& model_name, const Dataset& data,
-                                    const BackendConfig& config) {
+                                    std::shared_ptr<const Executor> executor) {
   if (model_name == "GAT") {
     GatConfig gat;
     gat.num_heads = 8;
     gat.hidden_dim = 8;
-    return std::make_unique<Gat>(data, gat, config);
+    return std::make_unique<Gat>(data, gat, std::move(executor));
   }
   if (model_name == "GCN") {
     GcnConfig gcn;
-    return std::make_unique<Gcn>(data, gcn, config);
+    return std::make_unique<Gcn>(data, gcn, std::move(executor));
   }
   AppnpConfig appnp;
-  return std::make_unique<Appnp>(data, appnp, config);
+  return std::make_unique<Appnp>(data, appnp, std::move(executor));
 }
 
 int Run(int argc, char** argv) {
@@ -56,18 +57,17 @@ int Run(int argc, char** argv) {
       std::string cells[3];
       double pyg_mb = 0.0;
       double seastar_mb = 0.0;
-      const Backend backends[3] = {Backend::kDglLike, Backend::kPygLike, Backend::kSeastar};
+      const char* kSpecs[3] = {"dgl", "pyg", "seastar"};
       for (int i = 0; i < 3; ++i) {
-        BackendConfig config;
-        config.backend = backends[i];
-        std::unique_ptr<GnnModel> model = MakeModel(model_name, data, config);
+        std::unique_ptr<GnnModel> model =
+            MakeModel(model_name, data, std::move(*ExecutorFactory::Create(kSpecs[i])));
         TrainResult result = TrainNodeClassification(*model, data, train);
         cells[i] = MemoryCell(result);
         const double mb = static_cast<double>(result.peak_bytes) / (1024.0 * 1024.0);
-        if (backends[i] == Backend::kPygLike) {
+        if (i == 1) {
           pyg_mb = result.oom ? 0.0 : mb;
         }
-        if (backends[i] == Backend::kSeastar) {
+        if (i == 2) {
           seastar_mb = mb;
         }
       }

@@ -34,6 +34,7 @@
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/exec/plan_cache.h"
 #include "src/serve/server.h"
@@ -91,11 +92,9 @@ void Drive(serve::Server& server, const Dataset& data, int64_t count, double qps
 ScenarioReport RunScenario(const std::string& name, const Dataset& data, int64_t warm,
                            int64_t requests, double qps, double deadline_ms, double flaky_p,
                            uint64_t seed) {
-  BackendConfig backend;
-  backend.backend = Backend::kSeastar;
   GcnConfig gcn;
   gcn.hidden_dim = 16;
-  Gcn model(data, gcn, backend);
+  Gcn model(data, gcn, std::move(*ExecutorFactory::Create("seastar")));
 
   serve::ServeConfig config;
   config.queue_capacity = 128;

@@ -22,7 +22,7 @@
 #include "bench/bench_util.h"
 #include "src/common/json.h"
 #include "src/common/stopwatch.h"
-#include "src/core/backend.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gat.h"
 #include "src/core/models/gcn.h"
 #include "src/core/nn.h"
@@ -60,14 +60,13 @@ struct RunReport {
 };
 
 using ModelFactory =
-    std::function<std::unique_ptr<GnnModel>(const Dataset&, const BackendConfig&)>;
+    std::function<std::unique_ptr<GnnModel>(const Dataset&, std::shared_ptr<const Executor>)>;
 
 RunReport RunOne(const std::string& model_name, const ModelFactory& factory,
                  const DatasetSpec& spec, const BenchOptions& options, Profiler* profiler) {
   Dataset data = LoadDataset(spec, options);
-  BackendConfig backend;
-  backend.backend = Backend::kSeastar;
-  std::unique_ptr<GnnModel> model = factory(data, backend);
+  std::unique_ptr<GnnModel> model =
+      factory(data, std::move(*ExecutorFactory::Create("seastar")));
   model->SetProfiler(profiler);
 
   std::vector<Var> parameters = model->Parameters();
@@ -174,15 +173,15 @@ int Main(int argc, char** argv) {
   std::vector<std::pair<std::string, ModelFactory>> models;
   for (const std::string& name : Split(model_filter, ',')) {
     if (name == "gcn") {
-      models.emplace_back("GCN", [](const Dataset& data, const BackendConfig& config) {
+      models.emplace_back("GCN", [](const Dataset& data, std::shared_ptr<const Executor> executor) {
         GcnConfig gcn;
         gcn.hidden_dim = 16;
-        return std::unique_ptr<GnnModel>(new Gcn(data, gcn, config));
+        return std::unique_ptr<GnnModel>(new Gcn(data, gcn, std::move(executor)));
       });
     } else if (name == "gat") {
-      models.emplace_back("GAT", [](const Dataset& data, const BackendConfig& config) {
+      models.emplace_back("GAT", [](const Dataset& data, std::shared_ptr<const Executor> executor) {
         GatConfig gat;
-        return std::unique_ptr<GnnModel>(new Gat(data, gat, config));
+        return std::unique_ptr<GnnModel>(new Gat(data, gat, std::move(executor)));
       });
     } else {
       std::fprintf(stderr, "unknown model '%s' (expected gcn/gat)\n", name.c_str());

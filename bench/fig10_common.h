@@ -9,14 +9,14 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "src/core/backend.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/model.h"
 
 namespace seastar {
 namespace bench {
 
 using ModelFactory =
-    std::function<std::unique_ptr<GnnModel>(const Dataset&, const BackendConfig&)>;
+    std::function<std::unique_ptr<GnnModel>(const Dataset&, std::shared_ptr<const Executor>)>;
 
 inline int RunFig10(const char* figure, const char* model_name, int argc, char** argv,
                     const ModelFactory& factory) {
@@ -41,20 +41,18 @@ inline int RunFig10(const char* figure, const char* model_name, int argc, char**
     double dgl_ms = 0.0;
     double seastar_ms = 0.0;
     std::string cells[3];
-    const Backend backends[3] = {Backend::kDglLike, Backend::kPygLike, Backend::kSeastar};
+    const char* kSpecs[3] = {"dgl", "pyg", "seastar"};
     for (int i = 0; i < 3; ++i) {
-      BackendConfig config;
-      config.backend = backends[i];
-      std::unique_ptr<GnnModel> model = factory(data, config);
+      std::unique_ptr<GnnModel> model =
+          factory(data, std::move(*ExecutorFactory::Create(kSpecs[i])));
       train.profiler = profile.sink();
-      ProfileScope bench_span(profile.sink(),
-                              spec.name + "/" + BackendName(backends[i]), "bench");
+      ProfileScope bench_span(profile.sink(), spec.name + "/" + kSpecs[i], "bench");
       TrainResult result = TrainNodeClassification(*model, data, train);
       cells[i] = TimeCell(result);
-      if (backends[i] == Backend::kDglLike) {
+      if (i == 0) {
         dgl_ms = result.oom ? 0.0 : result.avg_epoch_ms;
       }
-      if (backends[i] == Backend::kSeastar) {
+      if (i == 2) {
         seastar_ms = result.avg_epoch_ms;
       }
     }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gat.h"
 #include "src/core/train.h"
 
@@ -24,20 +25,19 @@ int main(int argc, char** argv) {
   std::printf("dataset: %s\n\n", data.graph.DebugString().c_str());
   std::printf("%-16s %14s %14s %10s\n", "backend", "epoch (ms)", "peak memory", "loss");
 
-  for (Backend backend : {Backend::kSeastar, Backend::kSeastarNoFusion, Backend::kDglLike,
-                          Backend::kPygLike}) {
-    BackendConfig config;
-    config.backend = backend;
+  for (const char* spec : {"seastar", "seastar-nofuse", "dgl", "pyg"}) {
+    StatusOr<std::unique_ptr<Executor>> executor = ExecutorFactory::Create(spec);
+    SEASTAR_CHECK(executor.has_value()) << executor.status().ToString();
     GatConfig gat;
     gat.num_heads = 4;
     gat.hidden_dim = 8;
-    Gat model(data, gat, config);
+    Gat model(data, gat, std::move(*executor));
     TrainConfig train;
     train.epochs = epochs;
     train.warmup_epochs = 2;
     TrainResult result = TrainNodeClassification(model, data, train);
-    std::printf("%-16s %14.2f %14s %10.4f\n", BackendName(backend), result.avg_epoch_ms,
-                HumanBytes(result.peak_bytes).c_str(), result.final_loss);
+    std::printf("%-16s %14.2f %14s %10.4f\n", model.session().executor().name(),
+                result.avg_epoch_ms, HumanBytes(result.peak_bytes).c_str(), result.final_loss);
   }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/nn.h"
 #include "src/core/program.h"
 #include "src/core/train.h"
@@ -26,8 +27,9 @@ namespace {
 
 class MaxPoolGnn : public GnnModel {
  public:
-  MaxPoolGnn(const Dataset& data, int64_t hidden, const BackendConfig& backend)
-      : data_(data), backend_(backend), rng_(7) {
+  MaxPoolGnn(const Dataset& data, int64_t hidden, std::shared_ptr<const Executor> executor)
+      : data_(data), rng_(7) {
+    session_ = MakeSession(std::move(executor), data.graph);
     in_layer_ = Linear(data.features.dim(1), hidden, /*with_bias=*/true, rng_);
     out_layer_ = Linear(hidden, data.spec.num_classes, /*with_bias=*/true, rng_);
     features_ = Var::Leaf(data.features, /*requires_grad=*/false);
@@ -49,9 +51,9 @@ class MaxPoolGnn : public GnnModel {
   }
 
   Var Forward(bool training) override {
+    BindProfiler();
     Var h = ag::Relu(in_layer_.Forward(features_));
-    h = program_.Run(data_.graph, {.vertex = {{"h", h}}, .edge = {{"w", edge_weight_}}},
-                     backend_, {.profiler = profiler()});
+    h = program_.Run({.vertex = {{"h", h}}, .edge = {{"w", edge_weight_}}}, session());
     return out_layer_.Forward(h);
   }
 
@@ -67,7 +69,6 @@ class MaxPoolGnn : public GnnModel {
 
  private:
   const Dataset& data_;
-  BackendConfig backend_;
   Rng rng_;
   Linear in_layer_;
   Linear out_layer_;
@@ -88,8 +89,8 @@ int main(int argc, char** argv) {
   Dataset data = MakeDatasetByName("amz_photo", options);
   std::printf("dataset: %s\n", data.graph.DebugString().c_str());
 
-  BackendConfig backend;  // Seastar by default.
-  MaxPoolGnn model(data, /*hidden=*/32, backend);
+  MaxPoolGnn model(data, /*hidden=*/32,
+                   std::move(*ExecutorFactory::Create("seastar")));  // Seastar by default.
 
   TrainConfig train;
   train.epochs = epochs;

@@ -1,7 +1,7 @@
 // Quickstart: train a 2-layer GCN on a cora-sized synthetic citation graph
 // with the Seastar backend.
 //
-//   ./quickstart [--epochs=50] [--backend=seastar|dgl|pyg] [--scale=1.0]
+//   ./quickstart [--epochs=50] [--backend=seastar|dgl|pyg|sharded:N] [--scale=1.0]
 //               [--checkpoint=gcn.ckpt] [--resume]
 //
 // With --checkpoint the run snapshots its full training state (parameters,
@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/core/train.h"
 
@@ -41,17 +42,14 @@ int main(int argc, char** argv) {
   Dataset data = MakeDatasetByName("cora", options);
   std::printf("dataset: %s  %s\n", data.spec.name.c_str(), data.graph.DebugString().c_str());
 
-  // 2. Model: 2-layer GCN, hidden 16, on the chosen backend.
-  const std::optional<Backend> parsed_backend = BackendFromString(backend_name);
-  if (!parsed_backend.has_value()) {
-    std::fprintf(stderr, "unknown backend '%s' (valid choices: %s)\n", backend_name.c_str(),
-                 BackendChoices());
+  // 2. Model: 2-layer GCN, hidden 16, on the chosen executor.
+  StatusOr<std::unique_ptr<Executor>> executor = ExecutorFactory::Create(backend_name);
+  if (!executor.has_value()) {
+    std::fprintf(stderr, "%s\n", executor.status().ToString().c_str());
     return 1;
   }
-  BackendConfig backend;
-  backend.backend = *parsed_backend;
   GcnConfig config;
-  Gcn model(data, config, backend);
+  Gcn model(data, config, std::move(*executor));
 
   // 3. Train with the paper's protocol (cross-entropy on the train mask).
   TrainConfig train;
@@ -67,7 +65,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("\nbackend           : %s\n", BackendName(backend.backend));
+  std::printf("\nbackend           : %s\n", model.session().executor().name());
   std::printf("epochs            : %d\n", result.epochs_run);
   std::printf("avg epoch time    : %.2f ms\n", result.avg_epoch_ms);
   std::printf("final train loss  : %.4f\n", result.final_loss);

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/minibatch.h"
 #include "src/core/models/gcn.h"
 #include "src/core/nn.h"
@@ -57,11 +58,11 @@ int main(int argc, char** argv) {
               holdout.size());
 
   // Full-graph training.
-  BackendConfig backend;
+  std::shared_ptr<const Executor> executor = std::move(*ExecutorFactory::Create("seastar"));
   GcnConfig gcn;
   gcn.hidden_dim = 16;
   gcn.dropout = 0.3f;
-  Gcn model(data, gcn, backend);
+  Gcn model(data, gcn, executor);
   TrainConfig train;
   train.epochs = epochs;
   TrainResult result = TrainNodeClassification(model, data, train);
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
   mini.epochs = std::max(1, epochs / 10);
   mini.batch_size = 64;
   mini.fanouts = {10, 10};
-  MiniBatchResult mini_result = TrainMiniBatchGcn(data, mini, backend);
+  MiniBatchResult mini_result = TrainMiniBatchGcn(data, mini, executor);
   std::printf("mini-batch GCN : loss %.3f, seed acc %.3f (%d batches, %.1f ms/batch)\n",
               mini_result.final_loss, mini_result.seed_accuracy, mini_result.batches_run,
               mini_result.avg_batch_ms);

@@ -47,6 +47,7 @@
 #include "src/common/profiler.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/appnp.h"
 #include "src/core/models/gat.h"
 #include "src/core/models/gcn.h"
@@ -58,24 +59,24 @@ namespace seastar {
 namespace {
 
 std::unique_ptr<GnnModel> MakeModel(const std::string& name, const Dataset& data, int64_t hidden,
-                                    const BackendConfig& backend) {
+                                    std::shared_ptr<const Executor> executor) {
   if (name == "gcn") {
     GcnConfig config;
     if (hidden > 0) config.hidden_dim = hidden;
-    return std::make_unique<Gcn>(data, config, backend);
+    return std::make_unique<Gcn>(data, config, std::move(executor));
   }
   if (name == "gat") {
     GatConfig config;
     if (hidden > 0) config.hidden_dim = hidden;
-    return std::make_unique<Gat>(data, config, backend);
+    return std::make_unique<Gat>(data, config, std::move(executor));
   }
   if (name == "appnp") {
     AppnpConfig config;
     if (hidden > 0) config.hidden_dim = hidden;
-    return std::make_unique<Appnp>(data, config, backend);
+    return std::make_unique<Appnp>(data, config, std::move(executor));
   }
   if (name == "sgc") {
-    return std::make_unique<Sgc>(data, SgcConfig{}, backend);
+    return std::make_unique<Sgc>(data, SgcConfig{}, std::move(executor));
   }
   return nullptr;
 }
@@ -126,9 +127,8 @@ int Run(int argc, char** argv) {
   }
   Dataset data = *std::move(made);
 
-  BackendConfig backend;
-  backend.backend = Backend::kSeastar;
-  std::unique_ptr<GnnModel> model = MakeModel(model_name, data, hidden, backend);
+  std::unique_ptr<GnnModel> model =
+      MakeModel(model_name, data, hidden, std::move(*ExecutorFactory::Create("seastar")));
   if (model == nullptr) {
     std::fprintf(stderr, "unknown --model '%s' (gcn|gat|appnp|sgc)\n", model_name.c_str());
     return 1;

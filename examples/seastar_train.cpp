@@ -2,12 +2,13 @@
 // from the command line, with optional CSV output for scripting sweeps.
 //
 //   ./seastar_train --model=gcn --dataset=cora --backend=seastar
+//   ./seastar_train --model=gcn --dataset=cora --backend=sharded:4
 //   ./seastar_train --model=gat --dataset=amz_photo --backend=pyg --epochs=20
 //   ./seastar_train --model=rgcn --dataset=aifb --rgcn-mode=dgl-bmm
 //   ./seastar_train --model=sage --dataset=pubmed --csv
 //
 // Flags: --model=gcn|gat|appnp|rgcn|sage|gin|sgc  --dataset=<table-2 name>
-//        --backend=seastar|seastar-nofuse|dgl|pyg  --epochs --warmup --lr
+//        --backend=seastar|seastar-nofuse|dgl|pyg|sharded[:N]  --epochs --warmup --lr
 //        --scale --max-feat --hidden --budget-gb --csv
 //        --edges=<file.tsv|file.mtx>  (train on your own graph instead)
 //        --profile=<trace.json>  (Chrome-trace of the run; see docs/INTERNALS.md)
@@ -34,6 +35,7 @@
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/common/string_util.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/appnp.h"
 #include "src/core/models/gat.h"
 #include "src/core/models/gcn.h"
@@ -180,14 +182,12 @@ int Run(int argc, char** argv) {
     data = *std::move(made);
   }
 
-  const std::optional<Backend> parsed_backend = BackendFromString(backend_name);
-  if (!parsed_backend.has_value()) {
-    std::fprintf(stderr, "unknown backend '%s' (valid choices: %s)\n", backend_name.c_str(),
-                 BackendChoices());
+  StatusOr<std::unique_ptr<Executor>> created = ExecutorFactory::Create(backend_name);
+  if (!created.has_value()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
     return 1;
   }
-  BackendConfig backend;
-  backend.backend = *parsed_backend;
+  std::shared_ptr<const Executor> executor = std::move(*created);
 
   std::unique_ptr<GnnModel> model;
   if (model_name == "gcn") {
@@ -195,19 +195,19 @@ int Run(int argc, char** argv) {
     if (hidden > 0) {
       config.hidden_dim = hidden;
     }
-    model = std::make_unique<Gcn>(data, config, backend);
+    model = std::make_unique<Gcn>(data, config, executor);
   } else if (model_name == "gat") {
     GatConfig config;
     if (hidden > 0) {
       config.hidden_dim = hidden;
     }
-    model = std::make_unique<Gat>(data, config, backend);
+    model = std::make_unique<Gat>(data, config, executor);
   } else if (model_name == "appnp") {
     AppnpConfig config;
     if (hidden > 0) {
       config.hidden_dim = hidden;
     }
-    model = std::make_unique<Appnp>(data, config, backend);
+    model = std::make_unique<Appnp>(data, config, executor);
   } else if (model_name == "rgcn") {
     RgcnConfig config;
     config.mode = RgcnModeFromString(FlagValue(argc, argv, "rgcn-mode", "seastar"));
@@ -223,16 +223,16 @@ int Run(int argc, char** argv) {
     config.aggregator = FlagValue(argc, argv, "sage-agg", "mean") == "pool"
                             ? SageAggregator::kPool
                             : SageAggregator::kMean;
-    model = std::make_unique<Sage>(data, config, backend);
+    model = std::make_unique<Sage>(data, config, executor);
   } else if (model_name == "gin") {
     GinConfig config;
     if (hidden > 0) {
       config.hidden_dim = hidden;
     }
-    model = std::make_unique<Gin>(data, config, backend);
+    model = std::make_unique<Gin>(data, config, executor);
   } else if (model_name == "sgc") {
     SgcConfig config;
-    model = std::make_unique<Sgc>(data, config, backend);
+    model = std::make_unique<Sgc>(data, config, executor);
   } else {
     std::fprintf(stderr, "unknown --model '%s' (gcn|gat|appnp|rgcn|sage|gin|sgc)\n",
                  model_name.c_str());
@@ -302,7 +302,7 @@ int Run(int argc, char** argv) {
                 result.oom ? 1 : 0);
   } else {
     std::printf("\n%s on %s via %s: %d epochs, %.2f ms/epoch, loss %.4f, acc %.3f, peak %s%s\n",
-                model->name(), data.spec.name.c_str(), BackendName(backend.backend),
+                model->name(), data.spec.name.c_str(), model->session().executor().name(),
                 result.epochs_run, result.avg_epoch_ms, result.final_loss,
                 result.train_accuracy, HumanBytes(result.peak_bytes).c_str(),
                 result.oom ? " [OOM]" : "");

@@ -1,0 +1,67 @@
+// ExecutorFactory: spec strings -> executors.
+//
+// The single place that knows how to spell an execution strategy. CLIs,
+// examples and tests pass the user's string straight through:
+//
+//   auto executor = ExecutorFactory::Create(flag_value);
+//   if (!executor) { die(executor.status(), ExecutorFactory::Choices()); }
+//   ExecutionSession session = MakeSession(std::move(*executor), graph);
+//
+// Accepted specs: "seastar", "seastar-nofuse" (alias "nofuse"), "dgl",
+// "pyg", "sharded" (2 shards), "sharded:<N>". This replaces the old
+// Backend-enum plumbing (BackendFromString + BackendConfig switch at every
+// call site), which could only ever name the three whole-graph strategies —
+// a strategy with its own parameters ("sharded:4") had nowhere to live in
+// an enum.
+#ifndef SRC_CORE_EXECUTOR_FACTORY_H_
+#define SRC_CORE_EXECUTOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/backend.h"
+#include "src/exec/executor.h"
+#include "src/exec/shard_runtime.h"
+
+namespace seastar {
+
+// A parsed executor spec. `kind` is one of the base names above; `num_shards`
+// only applies to "sharded".
+struct ExecutorSpec {
+  std::string kind = "seastar";
+  int num_shards = 2;
+};
+
+// Parses "<kind>" or "sharded:<N>". Errors name the bad token so CLIs can
+// print it next to Choices().
+StatusOr<ExecutorSpec> ParseExecutorSpec(const std::string& spec);
+
+// Knob overrides applied to whichever executor the spec selects (a bench
+// sweeping block schedules passes seastar_options; everyone else defaults).
+struct ExecutorFactoryOptions {
+  SeastarExecutorOptions seastar_options;
+  BaselineExecutorOptions baseline_options;
+  // Sharded only: give each shard worker a private thread-pool slice.
+  bool use_pool_slices = true;
+};
+
+class ExecutorFactory {
+ public:
+  static StatusOr<std::unique_ptr<Executor>> Create(const std::string& spec,
+                                                    const ExecutorFactoryOptions& options = {});
+  static StatusOr<std::unique_ptr<Executor>> Create(const ExecutorSpec& spec,
+                                                    const ExecutorFactoryOptions& options = {});
+
+  // The accepted spellings, for CLI error messages.
+  static const char* Choices();
+};
+
+// Bridges the legacy Backend enum to the executor API (the deprecated
+// RunWithBackend / VertexProgram::Run(graph, ..., config) shims and the few
+// call sites that still select by enum go through here).
+std::unique_ptr<Executor> MakeExecutor(const BackendConfig& config);
+
+}  // namespace seastar
+
+#endif  // SRC_CORE_EXECUTOR_FACTORY_H_

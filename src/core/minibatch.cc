@@ -12,8 +12,9 @@
 namespace seastar {
 
 MiniBatchResult TrainMiniBatchGcn(const Dataset& data, const MiniBatchConfig& config,
-                                  const BackendConfig& backend) {
+                                  std::shared_ptr<const Executor> executor) {
   SEASTAR_CHECK(data.features.defined());
+  SEASTAR_CHECK(executor != nullptr) << "TrainMiniBatchGcn: null executor";
   SEASTAR_CHECK_EQ(static_cast<int>(config.fanouts.size()), config.num_layers)
       << "one fanout per layer";
   Rng rng(config.seed);
@@ -76,11 +77,15 @@ MiniBatchResult TrainMiniBatchGcn(const Dataset& data, const MiniBatchConfig& co
       }
       Var norm_var = Var::Leaf(std::move(norm), /*requires_grad=*/false);
 
+      // The block graph is batch-local, so the session is too; it lives
+      // until Backward below finishes with the block.
+      ExecutionSession block_session = MakeSession(executor, block.graph);
+      block_session.set_profiler(profiler);
+
       for (size_t layer = 0; layer < layers.size(); ++layer) {
         Var transformed = layers[layer].Forward(h);
         Var aggregated = programs[layer].Run(
-            block.graph, {.vertex = {{"h", transformed}, {"norm", norm_var}}}, backend,
-            {.profiler = profiler});
+            {.vertex = {{"h", transformed}, {"norm", norm_var}}}, block_session);
         h = ag::AddRowBroadcast(aggregated, biases[layer]);
         if (layer + 1 < layers.size()) {
           h = ag::Relu(h);

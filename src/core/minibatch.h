@@ -13,9 +13,10 @@
 #define SRC_CORE_MINIBATCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "src/core/backend.h"
+#include "src/exec/executor.h"
 #include "src/graph/datasets.h"
 #include "src/graph/sampling.h"
 
@@ -44,9 +45,12 @@ struct MiniBatchResult {
   float seed_accuracy = 0.0f;  // Over the last epoch's seed vertices.
 };
 
-// Trains a GCN on `data` with sampled mini-batches under `backend`.
+// Trains a GCN on `data` with sampled mini-batches through `executor`.
+// Every sampled block is a fresh Graph, so each batch binds a transient
+// session over its block (per-graph prepared state is rebuilt per block —
+// the sampling regime the whole-graph session amortization cannot help).
 MiniBatchResult TrainMiniBatchGcn(const Dataset& data, const MiniBatchConfig& config,
-                                  const BackendConfig& backend);
+                                  std::shared_ptr<const Executor> executor);
 
 }  // namespace seastar
 

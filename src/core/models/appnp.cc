@@ -4,9 +4,11 @@
 
 namespace seastar {
 
-Appnp::Appnp(const Dataset& data, const AppnpConfig& config, const BackendConfig& backend)
-    : data_(data), config_(config), backend_(backend), rng_(config.seed) {
+Appnp::Appnp(const Dataset& data, const AppnpConfig& config,
+             std::shared_ptr<const Executor> executor)
+    : data_(data), config_(config), rng_(config.seed) {
   SEASTAR_CHECK(data.features.defined()) << "APPNP needs vertex features";
+  session_ = MakeSession(std::move(executor), data_.graph);
   features_ = Var::Leaf(data_.features, /*requires_grad=*/false);
   norm_ = Var::Leaf(data_.gcn_norm, /*requires_grad=*/false);
 
@@ -24,6 +26,7 @@ Appnp::Appnp(const Dataset& data, const AppnpConfig& config, const BackendConfig
 }
 
 Var Appnp::Forward(bool training) {
+  BindProfiler();
   Var h = ag::Dropout(features_, config_.dropout, rng_, training);
   h = ag::Relu(mlp_in_.Forward(h));
   h = ag::Dropout(h, config_.dropout, rng_, training);
@@ -31,8 +34,7 @@ Var Appnp::Forward(bool training) {
 
   Var h_k = h0;
   for (int hop = 0; hop < config_.num_hops; ++hop) {
-    h_k = propagate_.Run(data_.graph, {.vertex = {{"h", h_k}, {"norm", norm_}, {"h0", h0}}},
-                         backend_, {.profiler = profiler()});
+    h_k = propagate_.Run({.vertex = {{"h", h_k}, {"norm", norm_}, {"h0", h0}}}, session());
   }
   return h_k;
 }

@@ -29,7 +29,7 @@ struct AppnpConfig {
 
 class Appnp : public GnnModel {
  public:
-  Appnp(const Dataset& data, const AppnpConfig& config, const BackendConfig& backend);
+  Appnp(const Dataset& data, const AppnpConfig& config, std::shared_ptr<const Executor> executor);
 
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
@@ -39,7 +39,6 @@ class Appnp : public GnnModel {
  private:
   const Dataset& data_;
   AppnpConfig config_;
-  BackendConfig backend_;
   Rng rng_;
   Linear mlp_in_;
   Linear mlp_out_;

@@ -5,10 +5,11 @@
 
 namespace seastar {
 
-Gat::Gat(const Dataset& data, const GatConfig& config, const BackendConfig& backend)
-    : data_(data), config_(config), backend_(backend), rng_(config.seed) {
+Gat::Gat(const Dataset& data, const GatConfig& config, std::shared_ptr<const Executor> executor)
+    : data_(data), config_(config), rng_(config.seed) {
   SEASTAR_CHECK_GE(config.num_layers, 1);
   SEASTAR_CHECK(data.features.defined()) << "GAT needs vertex features";
+  session_ = MakeSession(std::move(executor), data_.graph);
   features_ = Var::Leaf(data_.features, /*requires_grad=*/false);
 
   int64_t in_dim = data_.features.dim(1);
@@ -45,11 +46,11 @@ Var Gat::RunHead(const Layer& layer, const Head& head, const Var& h) const {
   Var f = head.projection.Forward(h);          // [N, dim]
   Var eu = ag::Matmul(f, head.attn_left);      // [N, 1]
   Var ev = ag::Matmul(f, head.attn_right);     // [N, 1]
-  return layer.program.Run(data_.graph, {.vertex = {{"eu", eu}, {"ev", ev}, {"h", f}}},
-                           backend_, {.profiler = profiler()});
+  return layer.program.Run({.vertex = {{"eu", eu}, {"ev", ev}, {"h", f}}}, session());
 }
 
 Var Gat::Forward(bool training) {
+  BindProfiler();
   Var h = features_;
   for (size_t layer_index = 0; layer_index < layers_.size(); ++layer_index) {
     const Layer& layer = layers_[layer_index];

@@ -30,7 +30,7 @@ struct GatConfig {
 
 class Gat : public GnnModel {
  public:
-  Gat(const Dataset& data, const GatConfig& config, const BackendConfig& backend);
+  Gat(const Dataset& data, const GatConfig& config, std::shared_ptr<const Executor> executor);
 
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
@@ -52,7 +52,6 @@ class Gat : public GnnModel {
 
   const Dataset& data_;
   GatConfig config_;
-  BackendConfig backend_;
   Rng rng_;
   std::vector<Layer> layers_;
   Var features_;

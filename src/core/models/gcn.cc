@@ -4,10 +4,11 @@
 
 namespace seastar {
 
-Gcn::Gcn(const Dataset& data, const GcnConfig& config, const BackendConfig& backend)
-    : data_(data), config_(config), backend_(backend), rng_(config.seed) {
+Gcn::Gcn(const Dataset& data, const GcnConfig& config, std::shared_ptr<const Executor> executor)
+    : data_(data), config_(config), rng_(config.seed) {
   SEASTAR_CHECK_GE(config.num_layers, 1);
   SEASTAR_CHECK(data.features.defined()) << "GCN needs vertex features";
+  session_ = MakeSession(std::move(executor), data_.graph);
 
   features_ = Var::Leaf(data_.features, /*requires_grad=*/false);
   norm_ = Var::Leaf(data_.gcn_norm, /*requires_grad=*/false);
@@ -30,14 +31,14 @@ Gcn::Gcn(const Dataset& data, const GcnConfig& config, const BackendConfig& back
 }
 
 Var Gcn::Forward(bool training) {
+  BindProfiler();
   Var h = features_;
   for (size_t layer = 0; layer < layers_.size(); ++layer) {
     const bool last = layer + 1 == layers_.size();
     h = ag::Dropout(h, config_.dropout, rng_, training);
     Var transformed = layers_[layer].Forward(h);
-    Var aggregated = programs_[layer].Run(
-        data_.graph, {.vertex = {{"h", transformed}, {"norm", norm_}}}, backend_,
-        {.profiler = profiler()});
+    Var aggregated =
+        programs_[layer].Run({.vertex = {{"h", transformed}, {"norm", norm_}}}, session_);
     h = ag::AddRowBroadcast(aggregated, biases_[layer]);
     if (!last) {
       h = ag::Relu(h);

@@ -27,7 +27,7 @@ struct GcnConfig {
 
 class Gcn : public GnnModel {
  public:
-  Gcn(const Dataset& data, const GcnConfig& config, const BackendConfig& backend);
+  Gcn(const Dataset& data, const GcnConfig& config, std::shared_ptr<const Executor> executor);
 
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
@@ -37,7 +37,6 @@ class Gcn : public GnnModel {
  private:
   const Dataset& data_;
   GcnConfig config_;
-  BackendConfig backend_;
   Rng rng_;
   std::vector<Linear> layers_;
   std::vector<Var> biases_;

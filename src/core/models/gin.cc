@@ -4,9 +4,10 @@
 
 namespace seastar {
 
-Gin::Gin(const Dataset& data, const GinConfig& config, const BackendConfig& backend)
-    : data_(data), config_(config), backend_(backend), rng_(config.seed) {
+Gin::Gin(const Dataset& data, const GinConfig& config, std::shared_ptr<const Executor> executor)
+    : data_(data), config_(config), rng_(config.seed) {
   SEASTAR_CHECK(data.features.defined()) << "GIN needs vertex features";
+  session_ = MakeSession(std::move(executor), data_.graph);
   features_ = Var::Leaf(data_.features, /*requires_grad=*/false);
 
   int64_t in_dim = data_.features.dim(1);
@@ -29,12 +30,12 @@ Gin::Gin(const Dataset& data, const GinConfig& config, const BackendConfig& back
 }
 
 Var Gin::Forward(bool training) {
+  BindProfiler();
   Var h = features_;
   for (size_t layer_index = 0; layer_index < layers_.size(); ++layer_index) {
     const Layer& layer = layers_[layer_index];
     const bool last = layer_index + 1 == layers_.size();
-    Var aggregated = layer.program.Run(data_.graph, {.vertex = {{"h", h}}}, backend_,
-                                       {.profiler = profiler()});
+    Var aggregated = layer.program.Run({.vertex = {{"h", h}}}, session());
     h = layer.mlp_out.Forward(ag::Relu(layer.mlp_hidden.Forward(aggregated)));
     if (!last) {
       h = ag::Relu(h);

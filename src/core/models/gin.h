@@ -27,7 +27,7 @@ struct GinConfig {
 
 class Gin : public GnnModel {
  public:
-  Gin(const Dataset& data, const GinConfig& config, const BackendConfig& backend);
+  Gin(const Dataset& data, const GinConfig& config, std::shared_ptr<const Executor> executor);
 
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
@@ -43,7 +43,6 @@ class Gin : public GnnModel {
 
   const Dataset& data_;
   GinConfig config_;
-  BackendConfig backend_;
   Rng rng_;
   std::vector<Layer> layers_;
   Var features_;

@@ -1,14 +1,17 @@
-// Common interface for the four evaluated GNN models (GCN, GAT, APPNP,
-// R-GCN). A model is bound to a Dataset at construction (the paper trains
-// full-graph, one model per dataset) and can run its graph kernels on any
-// Backend, which is how the three-system comparison is staged.
+// Common interface for the evaluated GNN models (GCN, GAT, APPNP, R-GCN,
+// SAGE, GIN, SGC). A model is bound to a Dataset at construction (the paper
+// trains full-graph, one model per dataset) and to an Executor — the
+// execution strategy its vertex programs run through (ExecutorFactory names
+// them: "seastar", "dgl", "pyg", "sharded:<N>", ...). The model owns the
+// resulting ExecutionSession, so per-graph prepared state (a shard
+// partition) is built once at construction, not once per Forward.
 #ifndef SRC_CORE_MODELS_MODEL_H_
 #define SRC_CORE_MODELS_MODEL_H_
 
 #include <string>
 #include <vector>
 
-#include "src/core/backend.h"
+#include "src/exec/executor.h"
 #include "src/graph/datasets.h"
 #include "src/tensor/autograd.h"
 
@@ -36,9 +39,20 @@ class GnnModel {
 
   // Observability: the training loop installs its run profiler here for the
   // duration of a run; models thread it into every vertex-program launch via
-  // RunContext. Null (the default) disables all recording.
+  // the session. Null (the default) disables all recording.
   void SetProfiler(Profiler* profiler) { profiler_ = profiler; }
   Profiler* profiler() const { return profiler_; }
+
+  // The model's execution binding: executor + prepared graph view. Valid
+  // after construction for every concrete model.
+  const ExecutionSession& session() const { return session_; }
+
+ protected:
+  // Concrete models bind this in their constructor (MakeSession over the
+  // dataset graph) and call BindProfiler() at the top of Forward so a
+  // profiler installed after construction reaches the executors.
+  ExecutionSession session_;
+  void BindProfiler() { session_.set_profiler(profiler()); }
 
  private:
   Profiler* profiler_ = nullptr;

@@ -1,6 +1,7 @@
 #include "src/core/models/rgcn.h"
 
 #include "src/common/logging.h"
+#include "src/core/executor_factory.h"
 #include "src/tensor/ops.h"
 
 namespace seastar {
@@ -27,22 +28,26 @@ bool IsSequential(RgcnMode mode) {
   return mode == RgcnMode::kDglSequential || mode == RgcnMode::kPygSequential;
 }
 
-BackendConfig BackendFor(RgcnMode mode) {
-  BackendConfig config;
+// Each Table-3 mode maps onto one of the three whole-graph executors; the
+// mode only additionally decides batched-vs-sequential kernel structure.
+std::shared_ptr<const Executor> ExecutorFor(RgcnMode mode) {
+  const char* spec = "seastar";
   switch (mode) {
     case RgcnMode::kSeastar:
-      config.backend = Backend::kSeastar;
+      spec = "seastar";
       break;
     case RgcnMode::kDglBmm:
     case RgcnMode::kDglSequential:
-      config.backend = Backend::kDglLike;
+      spec = "dgl";
       break;
     case RgcnMode::kPygBmm:
     case RgcnMode::kPygSequential:
-      config.backend = Backend::kPygLike;
+      spec = "pyg";
       break;
   }
-  return config;
+  StatusOr<std::unique_ptr<Executor>> executor = ExecutorFactory::Create(spec);
+  SEASTAR_CHECK(executor.has_value()) << executor.status().ToString();
+  return std::move(*executor);
 }
 
 }  // namespace
@@ -99,6 +104,14 @@ Rgcn::Rgcn(const Dataset& data, const RgcnConfig& config)
     }
   }
 
+  // One executor shared by every session; subgraph sessions are created only
+  // after relation_subgraphs_ stops growing (sessions hold Graph pointers).
+  std::shared_ptr<const Executor> executor = ExecutorFor(config_.mode);
+  for (const Graph& subgraph : relation_subgraphs_) {
+    relation_sessions_.push_back(MakeSession(executor, subgraph));
+  }
+  session_ = MakeSession(std::move(executor), data_.graph);
+
   int64_t in_dim = config_.hidden_dim;
   for (int layer_index = 0; layer_index < config_.num_layers; ++layer_index) {
     const bool last = layer_index == config_.num_layers - 1;
@@ -135,7 +148,6 @@ Rgcn::Rgcn(const Dataset& data, const RgcnConfig& config)
 }
 
 Var Rgcn::ForwardLayer(const Layer& layer, const Var& h, bool last) {
-  const BackendConfig backend = BackendFor(config_.mode);
   Var aggregated;
   if (IsSequential(config_.mode)) {
     // One dense GEMM + one message-passing kernel per relation, results
@@ -146,16 +158,14 @@ Var Rgcn::ForwardLayer(const Layer& layer, const Var& h, bool last) {
       }
       Var h_r = ag::Matmul(h, layer.relation_weights[r]);
       Var out_r = layer.per_relation_program.Run(
-          relation_subgraphs_[r],
-          {.vertex = {{"h", h_r}}, .edge = {{"norm", relation_edge_norms_[r]}}}, backend,
-          {.profiler = profiler()});
+          {.vertex = {{"h", h_r}}, .edge = {{"norm", relation_edge_norms_[r]}}},
+          relation_sessions_[r]);
       aggregated = aggregated.defined() ? ag::Add(aggregated, out_r) : out_r;
     }
   } else {
     Var stack = StackedRelationMatmul(h, layer.relation_weights);  // [R, N, out]
     aggregated = layer.typed_program.Run(
-        data_.graph, {.edge = {{"norm", edge_norm_}}, .typed_vertex = {{"wh", stack}}}, backend,
-        {.profiler = profiler()});
+        {.edge = {{"norm", edge_norm_}}, .typed_vertex = {{"wh", stack}}}, session());
   }
   Var out = ag::Add(aggregated, ag::Matmul(h, layer.self_weight));
   out = ag::AddRowBroadcast(out, layer.bias);
@@ -163,6 +173,10 @@ Var Rgcn::ForwardLayer(const Layer& layer, const Var& h, bool last) {
 }
 
 Var Rgcn::Forward(bool /*training*/) {
+  BindProfiler();
+  for (ExecutionSession& relation_session : relation_sessions_) {
+    relation_session.set_profiler(profiler());
+  }
   Var h = embedding_.Full();
   for (size_t layer_index = 0; layer_index < layers_.size(); ++layer_index) {
     h = ForwardLayer(layers_[layer_index], h, layer_index + 1 == layers_.size());

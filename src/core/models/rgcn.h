@@ -70,9 +70,11 @@ class Rgcn : public GnnModel {
   Embedding embedding_;
   std::vector<Layer> layers_;
   Var edge_norm_;  // [E, 1]: 1 / c_{dst(e), type(e)}.
-  // Sequential modes: one subgraph per relation plus its edge norms.
+  // Sequential modes: one subgraph per relation plus its edge norms and a
+  // per-subgraph session (the shared executor bound to each relation graph).
   std::vector<Graph> relation_subgraphs_;
   std::vector<Var> relation_edge_norms_;
+  std::vector<ExecutionSession> relation_sessions_;
 };
 
 }  // namespace seastar

@@ -4,9 +4,11 @@
 
 namespace seastar {
 
-Sage::Sage(const Dataset& data, const SageConfig& config, const BackendConfig& backend)
-    : data_(data), config_(config), backend_(backend), rng_(config.seed) {
+Sage::Sage(const Dataset& data, const SageConfig& config,
+           std::shared_ptr<const Executor> executor)
+    : data_(data), config_(config), rng_(config.seed) {
   SEASTAR_CHECK(data.features.defined()) << "GraphSAGE needs vertex features";
+  session_ = MakeSession(std::move(executor), data_.graph);
   features_ = Var::Leaf(data_.features, /*requires_grad=*/false);
 
   int64_t in_dim = data_.features.dim(1);
@@ -37,6 +39,7 @@ Sage::Sage(const Dataset& data, const SageConfig& config, const BackendConfig& b
 }
 
 Var Sage::Forward(bool training) {
+  BindProfiler();
   Var h = features_;
   for (size_t layer_index = 0; layer_index < layers_.size(); ++layer_index) {
     const Layer& layer = layers_[layer_index];
@@ -45,12 +48,10 @@ Var Sage::Forward(bool training) {
 
     Var aggregated;
     if (config_.aggregator == SageAggregator::kMean) {
-      aggregated = layer.program.Run(data_.graph, {.vertex = {{"h", h}}}, backend_,
-                                     {.profiler = profiler()});
+      aggregated = layer.program.Run({.vertex = {{"h", h}}}, session());
     } else {
       Var pooled_in = layer.pool_transform.Forward(h);
-      aggregated = layer.program.Run(data_.graph, {.vertex = {{"p", pooled_in}}}, backend_,
-                                     {.profiler = profiler()});
+      aggregated = layer.program.Run({.vertex = {{"p", pooled_in}}}, session());
     }
     h = ag::Add(layer.self_transform.Forward(h), layer.neighbor_transform.Forward(aggregated));
     if (!last) {

@@ -28,7 +28,7 @@ struct SageConfig {
 
 class Sage : public GnnModel {
  public:
-  Sage(const Dataset& data, const SageConfig& config, const BackendConfig& backend);
+  Sage(const Dataset& data, const SageConfig& config, std::shared_ptr<const Executor> executor);
 
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;
@@ -45,7 +45,6 @@ class Sage : public GnnModel {
 
   const Dataset& data_;
   SageConfig config_;
-  BackendConfig backend_;
   Rng rng_;
   std::vector<Layer> layers_;
   Var features_;

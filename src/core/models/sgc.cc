@@ -1,13 +1,13 @@
 #include "src/core/models/sgc.h"
 
 #include "src/common/logging.h"
-#include "src/core/backend.h"
 
 namespace seastar {
 
-Sgc::Sgc(const Dataset& data, const SgcConfig& config, const BackendConfig& backend)
+Sgc::Sgc(const Dataset& data, const SgcConfig& config, std::shared_ptr<const Executor> executor)
     : data_(data) {
   SEASTAR_CHECK(data.features.defined()) << "SGC needs vertex features";
+  session_ = MakeSession(std::move(executor), data_.graph);
   Rng rng(config.seed);
 
   // Preprocessing: K rounds of normalized propagation, run once through the
@@ -22,7 +22,7 @@ Sgc::Sgc(const Dataset& data, const SgcConfig& config, const BackendConfig& back
     FeatureMap features;
     features.vertex["h"] = propagated_;
     features.vertex["norm"] = data.gcn_norm;
-    RunResult result = RunWithBackend(backend, propagate.forward(), data.graph, features);
+    RunResult result = session_.Execute(propagate.forward(), features);
     propagated_ = result.outputs.at("out");
   }
   propagated_var_ = Var::Leaf(propagated_, /*requires_grad=*/false);

@@ -25,7 +25,7 @@ struct SgcConfig {
 
 class Sgc : public GnnModel {
  public:
-  Sgc(const Dataset& data, const SgcConfig& config, const BackendConfig& backend);
+  Sgc(const Dataset& data, const SgcConfig& config, std::shared_ptr<const Executor> executor);
 
   Var Forward(bool training) override;
   std::vector<Var> Parameters() const override;

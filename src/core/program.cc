@@ -5,6 +5,7 @@
 #include "src/common/deadline.h"
 #include "src/common/logging.h"
 #include "src/common/profiler.h"
+#include "src/core/executor_factory.h"
 #include "src/gir/fusion.h"
 #include "src/gir/passes.h"
 #include "src/tensor/ops.h"
@@ -104,16 +105,16 @@ const BackwardGir& VertexProgram::backward() const {
   return data_->backward;
 }
 
-Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config,
-                       const RunContext& ctx) const {
+Var VertexProgram::Run(const Inputs& inputs, const ExecutionSession& session) const {
   SEASTAR_CHECK(data_ != nullptr);
+  SEASTAR_CHECK(session.defined()) << "vertex program: undefined execution session";
   // Layer-boundary deadline poll: a model Forward that chains several
   // programs aborts between layers without entering the next executor run.
   CheckExecutionDeadline("vertex program");
   const std::shared_ptr<const Data> data = data_;
-  Profiler* profiler = ctx.profiler;
+  Profiler* profiler = session.profiler();
 
-  ValidateInputs(data->forward, graph, inputs);
+  ValidateInputs(data->forward, session.graph(), inputs);
 
   // Bind runtime tensors.
   FeatureMap features;
@@ -142,7 +143,7 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendCo
     RunContext forward_ctx;
     forward_ctx.retain = &forward_retain;
     forward_ctx.profiler = profiler;
-    fwd = RunWithBackend(config, data->forward, graph, features, forward_ctx);
+    fwd = session.Execute(data->forward, features, forward_ctx);
   }
   SEASTAR_CHECK_EQ(fwd.outputs.size(), 1u);
   Tensor output = fwd.outputs.begin()->second;
@@ -189,7 +190,7 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendCo
   // (autograd saved tensors); Seastar recomputes in fused kernels and frees
   // eagerly (§5.3), so its saved map is dropped here.
   std::shared_ptr<std::map<int32_t, Tensor>> saved;
-  if (BackendSavesIntermediates(config.backend)) {
+  if (session.executor().saves_intermediates()) {
     saved = fwd.saved;
   }
 
@@ -200,9 +201,12 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendCo
   }
 
   // The profiler pointer is captured raw: it must stay alive until backward
-  // runs (the training loop owns it for the whole step).
-  const Graph* graph_ptr = &graph;
-  auto backward_fn = [data, config, features, saved, graph_ptr, grad_output_names,
+  // runs (the training loop owns it for the whole step). The executor is
+  // kept alive by its shared_ptr; the view's graph pointer and prepared
+  // shard state must outlive the tape (the session contract).
+  std::shared_ptr<const Executor> executor = session.executor_ptr();
+  GraphView view = session.view();
+  auto backward_fn = [data, executor, view, features, saved, grad_output_names,
                       profiler](const Tensor& grad_out) {
     FeatureMap backward_features = features;
     backward_features.vertex[kGradInputKey] = grad_out;
@@ -232,8 +236,7 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendCo
       backward_ctx.seed = seed_ptr;
       backward_ctx.retain = &no_retain;
       backward_ctx.profiler = profiler;
-      bwd = RunWithBackend(config, data->backward.graph, *graph_ptr, backward_features,
-                           backward_ctx);
+      bwd = executor->Execute(data->backward.graph, view, backward_features, backward_ctx);
     }
     std::vector<Tensor> grads;
     grads.reserve(grad_output_names.size());
@@ -258,6 +261,16 @@ Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendCo
 
   return ag::CustomOp(std::move(tape_vars), std::move(output), std::move(backward_fn),
                       "vertex_program");
+}
+
+Var VertexProgram::Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config,
+                       const RunContext& ctx) const {
+  // Compatibility shim: one throwaway executor + session per call. Any
+  // per-graph prepared state (a shard partition) is rebuilt every call —
+  // exactly the waste sessions exist to remove.
+  ExecutionSession session = MakeSession(MakeExecutor(config), graph);
+  session.set_profiler(ctx.profiler);
+  return Run(inputs, session);
 }
 
 std::string VertexProgram::DebugString() const {

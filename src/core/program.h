@@ -19,7 +19,8 @@
 //   b.MarkOutput(AggSum(a * b.Src("h", hidden)), "out");
 //   VertexProgram program = VertexProgram::Compile(std::move(b));
 //   ...
-//   Var out = program.Run(graph, {.vertex = {{"eu", eu}, {"ev", ev}, {"h", f}}}, config);
+//   ExecutionSession session = MakeSession(executor, graph);
+//   Var out = program.Run({.vertex = {{"eu", eu}, {"ev", ev}, {"h", f}}}, session);
 #ifndef SRC_CORE_PROGRAM_H_
 #define SRC_CORE_PROGRAM_H_
 
@@ -28,6 +29,7 @@
 #include <string>
 
 #include "src/core/backend.h"
+#include "src/exec/executor.h"
 #include "src/gir/autodiff.h"
 #include "src/gir/builder.h"
 #include "src/tensor/autograd.h"
@@ -46,17 +48,24 @@ class VertexProgram {
   // standard passes + GIR autodiff + backward passes.
   static VertexProgram Compile(GirBuilder&& builder);
 
-  // Executes forward under `config` and hooks the backward GIR into the
-  // autograd tape. `graph` must outlive the tape (i.e. the training step).
+  // Executes forward through the session's executor and hooks the backward
+  // GIR into the autograd tape. The session's graph (and the view's prepared
+  // state) must outlive the tape — i.e. the training step; the backward
+  // closure keeps the executor itself alive through its shared_ptr.
   //
   // Every feature the traced program declared must be present in `inputs`
   // with the declared shape ([N, w] vertex, [E, w] edge, [T, N, w] typed);
   // missing or mis-shaped inputs fail with an error naming the input.
   //
-  // `ctx.profiler`, when set, records forward/backward program spans plus the
-  // executors' per-unit / per-op spans; seed and retain are managed
-  // internally by the autograd bridge, so callers normally set only the
-  // profiler field.
+  // The session's profiler, when set, records forward/backward program spans
+  // plus the executors' per-unit / per-op spans; seed and retain are managed
+  // internally by the autograd bridge.
+  Var Run(const Inputs& inputs, const ExecutionSession& session) const;
+
+  // Deprecated compatibility shim: builds a throwaway executor from `config`
+  // and a single-use session per call (re-partitioning per call for any
+  // strategy with prepared state). Migrate to Run(inputs, session).
+  [[deprecated("build an ExecutionSession (MakeSession) and call Run(inputs, session)")]]
   Var Run(const Graph& graph, const Inputs& inputs, const BackendConfig& config,
           const RunContext& ctx = {}) const;
 

@@ -23,6 +23,7 @@
 #ifndef SRC_EXEC_BASELINE_EXECUTOR_H_
 #define SRC_EXEC_BASELINE_EXECUTOR_H_
 
+#include "src/exec/executor.h"
 #include "src/exec/runtime.h"
 #include "src/gir/ir.h"
 
@@ -36,9 +37,21 @@ struct BaselineExecutorOptions {
   bool fuse_binary_reduce = true;
 };
 
-class BaselineExecutor {
+class BaselineExecutor : public Executor {
  public:
   explicit BaselineExecutor(BaselineExecutorOptions options = {}) : options_(options) {}
+
+  // Executor interface: full-graph runs delegate straight to Run().
+  RunResult Execute(const GirGraph& gir, const GraphView& view, const FeatureMap& features,
+                    const RunContext& ctx = {}) const override {
+    return Run(gir, view.graph(), features, ctx);
+  }
+  const char* name() const override {
+    return options_.flavor == BaselineFlavor::kDglLike ? "dgl" : "pyg";
+  }
+  // Both baselines keep every materialized intermediate alive in
+  // RunResult.saved — the autograd saved-tensors behaviour Fig. 11 measures.
+  bool saves_intermediates() const override { return true; }
 
   // `ctx.seed` maps node ids to already-known values (the forward
   // intermediates saved by a previous Run) — seeded nodes are not

@@ -1,0 +1,49 @@
+#include "src/exec/executor.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/exec/plan_cache.h"
+
+namespace seastar {
+
+const Graph& GraphView::graph() const {
+  SEASTAR_CHECK(graph_ != nullptr) << "GraphView: undefined view";
+  return *graph_;
+}
+
+ExecutionSession::ExecutionSession(std::shared_ptr<const Executor> executor, GraphView view)
+    : executor_(std::move(executor)), view_(std::move(view)) {
+  SEASTAR_CHECK(executor_ != nullptr) << "ExecutionSession: null executor";
+  SEASTAR_CHECK(view_.defined()) << "ExecutionSession: undefined graph view";
+}
+
+const Executor& ExecutionSession::executor() const {
+  SEASTAR_CHECK(executor_ != nullptr) << "ExecutionSession: undefined session";
+  return *executor_;
+}
+
+PlanCache& ExecutionSession::plan_cache() const { return PlanCache::Get(); }
+
+RunContext ExecutionSession::MakeRunContext() const {
+  RunContext ctx;
+  ctx.profiler = profiler_;
+  return ctx;
+}
+
+RunResult ExecutionSession::Execute(const GirGraph& gir, const FeatureMap& features,
+                                    const RunContext& ctx) const {
+  return executor().Execute(gir, view_, features, ctx);
+}
+
+RunResult ExecutionSession::Execute(const GirGraph& gir, const FeatureMap& features) const {
+  return Execute(gir, features, MakeRunContext());
+}
+
+ExecutionSession MakeSession(std::shared_ptr<const Executor> executor, const Graph& graph) {
+  SEASTAR_CHECK(executor != nullptr) << "MakeSession: null executor";
+  GraphView view = executor->PrepareView(graph);
+  return ExecutionSession(std::move(executor), std::move(view));
+}
+
+}  // namespace seastar

@@ -1,0 +1,132 @@
+// The unified execution entry point: every strategy that can run a GIR —
+// the fused Seastar interpreter, the DGL/PyG-style whole-graph baselines,
+// and the owner/mirror sharded runtime — implements `Executor`, and every
+// caller (models, VertexProgram, the train loop, the serve path, benches,
+// examples) reaches them through an `ExecutionSession`.
+//
+// This replaces the old free-function tail `RunWithBackend(config, graph,
+// features, ctx)`: a free function over a bare Graph hard-codes the
+// whole-graph single-address-space assumption, leaving no seam for
+// executors that need per-graph prepared state (a shard partition, and
+// later: ego-graph serving caches, per-tenant plan budgets). The session
+// makes "which slice of the graph am I running on" a first-class value:
+//
+//   auto executor = ExecutorFactory::Create("sharded:4");            // core/
+//   auto session = MakeSession(std::move(*executor), graph);  // partitions once
+//   session.Execute(gir, features, ctx);                      // runs per shard
+//
+// A GraphView is the session's graph binding: the full graph, plus — when
+// the executor prepared one — the shard decomposition (shard-local graphs
+// with halo vertices). Sessions are cheap values (three pointers); the
+// expensive per-graph state lives behind the view's shared_ptr and is built
+// once in MakeSession/PrepareView.
+#ifndef SRC_EXEC_EXECUTOR_H_
+#define SRC_EXEC_EXECUTOR_H_
+
+#include <memory>
+
+#include "src/exec/runtime.h"
+#include "src/gir/ir.h"
+#include "src/graph/graph.h"
+#include "src/graph/partition.h"
+
+namespace seastar {
+
+class PlanCache;
+
+// A graph as an executor sees it: always the full graph (output tensors are
+// globally indexed regardless of strategy), optionally decorated with the
+// owner/mirror shard decomposition prepared by ShardRuntime::PrepareView.
+// Copies share the decomposition.
+class GraphView {
+ public:
+  GraphView() = default;
+  explicit GraphView(const Graph& graph) : graph_(&graph) {}
+  GraphView(const Graph& graph, std::shared_ptr<const ShardedGraph> sharded)
+      : graph_(&graph), sharded_(std::move(sharded)) {}
+
+  bool defined() const { return graph_ != nullptr; }
+  const Graph& graph() const;
+
+  // Null for full-graph views.
+  const std::shared_ptr<const ShardedGraph>& sharded() const { return sharded_; }
+
+ private:
+  const Graph* graph_ = nullptr;
+  std::shared_ptr<const ShardedGraph> sharded_;
+};
+
+// An execution strategy for GIR programs. Implementations must be safe to
+// share across sessions and calls (they hold options, not per-run state).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  // Runs `gir` over the view's graph with `features`, returning globally
+  // indexed outputs. `ctx` carries the per-run state (seed, retain,
+  // profiler) exactly as RunContext documents.
+  virtual RunResult Execute(const GirGraph& gir, const GraphView& view,
+                            const FeatureMap& features, const RunContext& ctx = {}) const = 0;
+
+  // Builds the per-graph state this executor wants to reuse across runs.
+  // The default is a plain full-graph view; the shard runtime overrides it
+  // to partition the graph once per session instead of once per run.
+  virtual GraphView PrepareView(const Graph& graph) const { return GraphView(graph); }
+
+  // Stable lowercase identifier ("seastar", "dgl", "sharded", ...).
+  virtual const char* name() const = 0;
+
+  // True when Execute materializes every intermediate and returns it in
+  // RunResult.saved (the whole-graph tensor baselines) — the autograd bridge
+  // then keeps the saved map alive for backward instead of recomputing.
+  virtual bool saves_intermediates() const = 0;
+};
+
+// One caller's binding of (executor, graph view, observability). What the
+// old (config, graph, features, ctx) parameter tail collapses into: models
+// hold one session per bound graph, the serve path one per request graph,
+// and VertexProgram::Run takes the session as its single execution
+// parameter. Copying a session is three pointer copies; the executor is
+// shared, the profiler is borrowed (callers own its lifetime, as with
+// RunContext::profiler before).
+class ExecutionSession {
+ public:
+  ExecutionSession() = default;
+  ExecutionSession(std::shared_ptr<const Executor> executor, GraphView view);
+
+  bool defined() const { return executor_ != nullptr && view_.defined(); }
+  const Executor& executor() const;
+  const std::shared_ptr<const Executor>& executor_ptr() const { return executor_; }
+  const GraphView& view() const { return view_; }
+  const Graph& graph() const { return view_.graph(); }
+
+  // The plan-cache handle this session's runs compile through. One process
+  // cache today; a per-tenant handle later changes this accessor, not the
+  // call sites.
+  PlanCache& plan_cache() const;
+
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() const { return profiler_; }
+
+  // The session's baseline run context (currently: the profiler binding).
+  RunContext MakeRunContext() const;
+
+  // Runs through the session's executor. `ctx` overrides MakeRunContext()
+  // for callers that thread seed/retain state (the autograd bridge).
+  RunResult Execute(const GirGraph& gir, const FeatureMap& features,
+                    const RunContext& ctx) const;
+  RunResult Execute(const GirGraph& gir, const FeatureMap& features) const;
+
+ private:
+  std::shared_ptr<const Executor> executor_;
+  GraphView view_;
+  Profiler* profiler_ = nullptr;
+};
+
+// Binds `executor` to `graph`, running the executor's per-graph preparation
+// (for the shard runtime: the partition) exactly once.
+ExecutionSession MakeSession(std::shared_ptr<const Executor> executor, const Graph& graph);
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_EXECUTOR_H_

@@ -321,7 +321,7 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
     launch.chunk_size = options_.dynamic_chunk;
     launch.stats = profiler != nullptr ? &launch_stats : nullptr;
 
-    const int num_workers = ThreadPool::Get().num_threads() + 1;
+    const int num_workers = ThreadPool::Current().num_threads() + 1;
     std::vector<std::vector<float>> scratch_per_worker(
         static_cast<size_t>(num_workers),
         std::vector<float>(static_cast<size_t>(std::max(unit.scratch_floats, 1))));

@@ -24,6 +24,7 @@
 #ifndef SRC_EXEC_SEASTAR_EXECUTOR_H_
 #define SRC_EXEC_SEASTAR_EXECUTOR_H_
 
+#include "src/exec/executor.h"
 #include "src/exec/runtime.h"
 #include "src/gir/fusion.h"
 #include "src/gir/ir.h"
@@ -40,9 +41,21 @@ struct SeastarExecutorOptions {
   bool enable_fusion = true;
 };
 
-class SeastarExecutor {
+class SeastarExecutor : public Executor {
  public:
   explicit SeastarExecutor(SeastarExecutorOptions options = {}) : options_(options) {}
+
+  // Executor interface: full-graph runs delegate straight to Run().
+  RunResult Execute(const GirGraph& gir, const GraphView& view, const FeatureMap& features,
+                    const RunContext& ctx = {}) const override {
+    return Run(gir, view.graph(), features, ctx);
+  }
+  const char* name() const override {
+    return options_.enable_fusion ? "seastar" : "seastar-nofuse";
+  }
+  // Seastar recomputes intra-unit values in backward kernels (§6.3.4); only
+  // unit-crossing values are ever materialized, and none are saved.
+  bool saves_intermediates() const override { return false; }
 
   // Executes `gir` over `graph` with `features`. `ctx.seed` / `ctx.retain`
   // are accepted for interface parity with the baselines but ignored:

@@ -1,0 +1,97 @@
+// Owner/mirror sharded execution runtime (ROADMAP item 1).
+//
+// ShardRuntime is an Executor that runs the *unchanged* fused Algorithm-1
+// interpreter (SeastarExecutor) once per shard, on shard-local graphs
+// produced by the Partitioner, stitched back together with an explicit
+// halo-exchange protocol over bounded message queues:
+//
+//   1. Feature exchange (owner -> mirror). Each shard packs, per mirroring
+//      peer, the owned rows of every vertex input the peer's halo needs and
+//      pushes them into the peer's channel; each shard drains its channel
+//      and scatters the received rows into the halo slots of its local
+//      input tensors. Owned rows are a single contiguous copy (the
+//      partition is a vertex-range partition).
+//   2. Local run. The shard's SeastarExecutor runs the GIR on the local
+//      graph on a dedicated thread-pool slice (ThreadPool::Current()), so
+//      shards never contend on the shared process pool and each works a
+//      cache-sized slice of the tensors.
+//   3. Combine (mirror -> master). D-typed outputs are exact shard-locally
+//      (every in-edge of an owned destination is local) and are written
+//      straight into the owned rows of the global output; E-typed outputs
+//      scatter through the local->global edge id map. S-typed (out-edge)
+//      aggregation outputs are only *partial* — a source's out-edges span
+//      shards — so each shard sends its halo rows' partial sums back to
+//      their owners, and the owner combines: own partial first, then peer
+//      messages in ascending shard id order. The fixed order makes the
+//      float summation bit-reproducible run to run.
+//
+// Programs whose GIR reads an S-typed aggregate internally (a non-output
+// consumer would observe a partial sum) or takes out-degrees cannot be
+// sharded this way; Execute detects this (CheckShardable) and falls back to
+// a single full-graph run on the inner executor, counted in
+// seastar_shard_fallbacks_total.
+#ifndef SRC_EXEC_SHARD_RUNTIME_H_
+#define SRC_EXEC_SHARD_RUNTIME_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/executor.h"
+#include "src/exec/seastar_executor.h"
+#include "src/parallel/thread_pool.h"
+
+namespace seastar {
+
+struct ShardRuntimeOptions {
+  int num_shards = 2;
+  // Options for the per-shard inner interpreter runs.
+  SeastarExecutorOptions seastar_options;
+  // Give each shard worker a private pool slice sized so the total worker
+  // count matches the process pool's. Off = shard workers run their kernels
+  // single-threaded (each worker is still its own OS thread).
+  bool use_pool_slices = true;
+};
+
+class ShardRuntime : public Executor {
+ public:
+  explicit ShardRuntime(ShardRuntimeOptions options = {});
+  ~ShardRuntime() override;
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  // Partitions `graph` once; Execute reuses the decomposition through the
+  // view. A view without a prepared partition (a caller that bypassed
+  // MakeSession) is partitioned on the fly per call — correct but slow.
+  GraphView PrepareView(const Graph& graph) const override;
+
+  RunResult Execute(const GirGraph& gir, const GraphView& view, const FeatureMap& features,
+                    const RunContext& ctx = {}) const override;
+
+  const char* name() const override { return "sharded"; }
+  bool saves_intermediates() const override { return false; }
+
+  const ShardRuntimeOptions& options() const { return options_; }
+
+  // Why `gir` cannot run sharded (Ok = it can). Public so tests can pin the
+  // shardability rules and callers can probe before choosing a strategy.
+  static Status CheckShardable(const GirGraph& gir);
+
+ private:
+  RunResult ExecuteSharded(const GirGraph& gir, const Graph& graph,
+                           const ShardedGraph& sharded, const FeatureMap& features) const;
+  // Lazily builds the per-shard pool slices (first sharded Execute).
+  ThreadPool* SlicePool(int shard) const;
+
+  ShardRuntimeOptions options_;
+  SeastarExecutor inner_;
+
+  mutable std::mutex pools_mutex_;
+  mutable std::vector<std::unique_ptr<ThreadPool>> slice_pools_;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_SHARD_RUNTIME_H_

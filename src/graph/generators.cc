@@ -19,6 +19,28 @@ CooEdges ErdosRenyi(int64_t num_vertices, int64_t num_edges, Rng& rng) {
   return edges;
 }
 
+CooEdges LocalizedRandom(int64_t num_vertices, int64_t num_edges, int64_t span, Rng& rng) {
+  SEASTAR_CHECK_GT(num_vertices, 0);
+  SEASTAR_CHECK_GT(span, 0);
+  CooEdges edges;
+  edges.num_vertices = num_vertices;
+  edges.src.reserve(static_cast<size_t>(num_edges));
+  edges.dst.reserve(static_cast<size_t>(num_edges));
+  const uint64_t window = static_cast<uint64_t>(2 * span + 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const int64_t src = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    // dst in [src - span, src + span], wrapped into [0, n).
+    int64_t dst = src - span + static_cast<int64_t>(rng.NextBounded(window));
+    dst %= num_vertices;
+    if (dst < 0) {
+      dst += num_vertices;
+    }
+    edges.src.push_back(static_cast<int32_t>(src));
+    edges.dst.push_back(static_cast<int32_t>(dst));
+  }
+  return edges;
+}
+
 CooEdges Rmat(int64_t num_vertices, int64_t num_edges, Rng& rng, const RmatParams& params) {
   SEASTAR_CHECK_GT(num_vertices, 0);
   const double total = params.a + params.b + params.c + params.d;

@@ -41,6 +41,15 @@ struct RmatParams {
 };
 CooEdges Rmat(int64_t num_vertices, int64_t num_edges, Rng& rng, const RmatParams& params = {});
 
+// `num_edges` directed edges whose source is uniform and whose destination
+// is drawn within +-`span` of the source (wrapped into range), so most edges
+// connect nearby vertex ids. O(E) — usable at multi-million-edge scale where
+// the O(V^2) SBM sampler is not — and the natural workload for vertex-range
+// sharding: with span << V/num_shards, cross-shard edges are confined to the
+// range boundaries and each shard's working set stays cache-resident (see
+// bench/bench_shard_scaling.cpp).
+CooEdges LocalizedRandom(int64_t num_vertices, int64_t num_edges, int64_t span, Rng& rng);
+
 // All vertices 1..n-1 point at vertex 0.
 CooEdges Star(int64_t num_vertices);
 // i -> i+1 for i in [0, n-1).

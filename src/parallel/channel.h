@@ -1,0 +1,99 @@
+// Bounded multi-producer single-consumer channel for the shard runtime's
+// halo exchange (src/exec/shard_runtime.cc).
+//
+// Each shard worker owns one channel; peers Push halo messages into it and
+// the owner Pops until it has drained the phase's expected message count.
+// The channel is *bounded* — Push blocks when the queue is full — which is
+// the property a real distributed runtime needs (a slow shard must
+// back-pressure its peers instead of letting their send buffers grow without
+// limit). Deadlock freedom is the caller's contract: the shard runtime sizes
+// each channel's capacity to the worst-case number of messages a single
+// exchange phase can put in flight, so within one phase no Push ever
+// actually blocks on a consumer that is itself blocked pushing (see
+// "Halo-exchange protocol" in docs/INTERNALS.md §13).
+//
+// Close() releases blocked parties during error unwinding: Push on a closed
+// channel drops the message and returns false; Pop returns nullopt once the
+// queue is empty and closed.
+#ifndef SRC_PARALLEL_CHANNEL_H_
+#define SRC_PARALLEL_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace seastar {
+
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(size_t capacity) : capacity_(capacity) {
+    SEASTAR_CHECK_GE(capacity, 1u);
+  }
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  // Blocks while the channel is full. Returns false (dropping `value`) if
+  // the channel was closed before space became available.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until a message is available or the channel is closed *and*
+  // drained; nullopt means closed-and-empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Releases every blocked Push/Pop. Messages already queued stay poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace seastar
+
+#endif  // SRC_PARALLEL_CHANNEL_H_

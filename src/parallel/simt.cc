@@ -71,7 +71,7 @@ void LaunchBlocks(const SimtLaunchParams& params,
   if (num_blocks <= 0) {
     return;
   }
-  ThreadPool& pool = ThreadPool::Get();
+  ThreadPool& pool = ThreadPool::Current();
   const int participants = pool.num_threads() + 1;
 
   const SimtCounters& counters = SimtCountersFor(params.schedule);

@@ -21,12 +21,31 @@ int DefaultNumThreads() {
   return hw > 0 ? static_cast<int>(hw) : 4;
 }
 
+// The per-thread pool override installed by ScopedThreadPool; null means
+// Current() falls through to the process pool.
+thread_local ThreadPool* tls_pool = nullptr;
+
 }  // namespace
 
 ThreadPool& ThreadPool::Get() {
   // Never destroyed: avoids shutdown races with static tensor destructors.
   static ThreadPool* pool = new ThreadPool(DefaultNumThreads() - 1);
   return *pool;
+}
+
+ThreadPool& ThreadPool::Current() { return tls_pool != nullptr ? *tls_pool : Get(); }
+
+ScopedThreadPool::ScopedThreadPool(ThreadPool* pool)
+    : previous_(tls_pool), installed_(pool != nullptr) {
+  if (installed_) {
+    tls_pool = pool;
+  }
+}
+
+ScopedThreadPool::~ScopedThreadPool() {
+  if (installed_) {
+    tls_pool = previous_;
+  }
 }
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -124,7 +143,7 @@ void ParallelFor(int64_t count, const std::function<void(int64_t, int64_t)>& fn,
   if (count <= 0) {
     return;
   }
-  ThreadPool& pool = ThreadPool::Get();
+  ThreadPool& pool = ThreadPool::Current();
   int participants = pool.num_threads() + 1;
   if (count <= min_chunk || participants == 1) {
     fn(0, count);

@@ -30,6 +30,16 @@ class ThreadPool {
   // The process-wide pool.
   static ThreadPool& Get();
 
+  // The calling thread's *effective* pool: the pool installed by the
+  // innermost live ScopedThreadPool on this thread, or Get() when none is
+  // installed. All parallel primitives (ParallelFor, the SIMT grid) dispatch
+  // through Current(), which is how the shard runtime pins each shard's
+  // kernels to a dedicated pool slice: the shard worker installs its slice
+  // and every kernel launched underneath it lands there instead of on the
+  // shared process pool. This also keeps RunOnAllWorkers single-submitter —
+  // concurrent shard workers each drive their own pool, never the global one.
+  static ThreadPool& Current();
+
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
@@ -68,7 +78,23 @@ class ThreadPool {
   std::exception_ptr first_exception_;
 };
 
-// Splits [0, count) into roughly equal chunks across the pool and runs
+// Installs `pool` as the calling thread's Current() pool for the scope's
+// lifetime, restoring the previous override on exit (scopes nest). Passing
+// nullptr is a no-op scope — Current() keeps resolving as before.
+class ScopedThreadPool {
+ public:
+  explicit ScopedThreadPool(ThreadPool* pool);
+  ~ScopedThreadPool();
+
+  ScopedThreadPool(const ScopedThreadPool&) = delete;
+  ScopedThreadPool& operator=(const ScopedThreadPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+  bool installed_;
+};
+
+// Splits [0, count) into roughly equal chunks across Current() and runs
 // fn(begin, end) for each chunk in parallel. Serial when count is small.
 void ParallelFor(int64_t count, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk = 1024);

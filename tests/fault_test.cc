@@ -17,6 +17,7 @@
 #include "src/common/profiler.h"
 #include "src/common/rng.h"
 #include "src/core/checkpoint.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/core/train.h"
 #include "src/parallel/simt.h"
@@ -36,10 +37,10 @@ Dataset SmallDataset() {
   return MakeDataset(*FindDataset("cora"), options);
 }
 
-BackendConfig SeastarBackend() {
+std::shared_ptr<const Executor> SeastarBackend() {
   BackendConfig config;
   config.backend = Backend::kSeastar;
-  return config;
+  return MakeExecutor(config);
 }
 
 // ---- FaultInjector ------------------------------------------------------------------------------

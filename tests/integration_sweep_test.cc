@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/core/train.h"
 #include "src/graph/io.h"
@@ -69,7 +70,7 @@ TEST_P(GcnBackendSweepTest, OneTrainingStepMatchesSeastar) {
     backend.backend = kind;
     GcnConfig config;
     config.dropout = 0.0f;  // Determinism across backends.
-    Gcn model(data, config, backend);
+    Gcn model(data, config, MakeExecutor(backend));
     TrainConfig train;
     train.epochs = 2;
     train.warmup_epochs = 0;

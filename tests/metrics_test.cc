@@ -15,6 +15,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/core/backend.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/core/nn.h"
 #include "src/exec/plan_cache.h"
@@ -289,7 +290,7 @@ TEST(MetricsSteadyStateTest, SteadyTrainingEpochsAddNoAllocationsOrLookups) {
   backend.backend = Backend::kSeastar;
   GcnConfig config;
   config.hidden_dim = 8;
-  Gcn model(data, config, backend);
+  Gcn model(data, config, MakeExecutor(backend));
   std::vector<Var> parameters = model.Parameters();
   Adam adam(parameters, /*lr=*/0.01f);
 

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "src/core/executor_factory.h"
 #include "src/core/minibatch.h"
 #include "src/graph/generators.h"
 #include "src/tensor/ops.h"
@@ -51,8 +52,7 @@ TEST(MiniBatchTest, LearnsCommunitiesOnSbm) {
   config.batch_size = 48;
   config.fanouts = {8, 8};
   config.learning_rate = 0.02f;
-  BackendConfig backend;
-  MiniBatchResult result = TrainMiniBatchGcn(data, config, backend);
+  MiniBatchResult result = TrainMiniBatchGcn(data, config, MakeExecutor(BackendConfig{}));
   EXPECT_GT(result.batches_run, 0);
   EXPECT_GT(result.seed_accuracy, 0.8f);
   EXPECT_LT(result.final_loss, 1.0f);
@@ -67,7 +67,7 @@ TEST(MiniBatchTest, RunsOnEveryBackend) {
     config.fanouts = {5, 5};
     BackendConfig backend;
     backend.backend = backend_kind;
-    MiniBatchResult result = TrainMiniBatchGcn(data, config, backend);
+    MiniBatchResult result = TrainMiniBatchGcn(data, config, MakeExecutor(backend));
     EXPECT_EQ(result.batches_run, 3) << BackendName(backend_kind);
     EXPECT_GT(result.avg_batch_ms, 0.0);
   }

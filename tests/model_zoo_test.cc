@@ -2,6 +2,7 @@
 // equivalence, shape checks, learning, and model-specific semantics.
 #include <gtest/gtest.h>
 
+#include "src/core/executor_factory.h"
 #include "src/core/models/gin.h"
 #include "src/core/models/sage.h"
 #include "src/core/models/sgc.h"
@@ -18,10 +19,10 @@ Dataset SmallDataset(const std::string& name = "cora", double scale = 0.08) {
   return MakeDataset(*FindDataset(name), options);
 }
 
-BackendConfig Config(Backend backend) {
+std::shared_ptr<const Executor> Config(Backend backend) {
   BackendConfig config;
   config.backend = backend;
-  return config;
+  return MakeExecutor(config);
 }
 
 class ZooBackendTest : public ::testing::TestWithParam<Backend> {};

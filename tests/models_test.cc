@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "src/core/executor_factory.h"
 #include "src/core/models/appnp.h"
 #include "src/core/models/gat.h"
 #include "src/core/models/gcn.h"
@@ -24,10 +25,10 @@ Dataset SmallDataset(const std::string& name = "cora", double scale = 0.08) {
   return MakeDataset(*FindDataset(name), options);
 }
 
-BackendConfig Config(Backend backend) {
+std::shared_ptr<const Executor> Config(Backend backend) {
   BackendConfig config;
   config.backend = backend;
-  return config;
+  return MakeExecutor(config);
 }
 
 TEST(GcnModelTest, ForwardShapeAndDeterminism) {

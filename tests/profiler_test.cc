@@ -293,6 +293,12 @@ TEST(ProfilerTest, BackendFromStringParsesKnownNamesAndRejectsJunk) {
 }
 
 // ---- VertexProgram input validation --------------------------------------
+//
+// These intentionally run through the deprecated BackendConfig overload of
+// VertexProgram::Run: they double as coverage that the compatibility shim
+// still validates inputs exactly like the ExecutionSession path.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(ProfilerDeathTest, MissingProgramInputNamesTheInput) {
   const Graph g = RandomGraph(20, 60, 0xdead);
@@ -318,6 +324,8 @@ TEST(ProfilerDeathTest, MisShapedProgramInputNamesTheInput) {
   EXPECT_DEATH(program.Run(g, {.vertex = {{"h", bad_rows}}}, config),
                "vertex input 'h' has shape");
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace seastar

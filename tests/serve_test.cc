@@ -19,6 +19,7 @@
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/core/checkpoint.h"
+#include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/core/train.h"
 #include "src/serve/admission_queue.h"
@@ -47,10 +48,10 @@ Dataset SmallDataset() {
   return MakeDataset(*FindDataset("cora"), options);
 }
 
-BackendConfig SeastarBackend() {
+std::shared_ptr<const Executor> SeastarBackend() {
   BackendConfig config;
   config.backend = Backend::kSeastar;
-  return config;
+  return MakeExecutor(config);
 }
 
 std::unique_ptr<Gcn> SmallGcn(const Dataset& data) {

@@ -1,0 +1,412 @@
+// Tests for the sharded execution runtime: partitioner invariants over
+// degenerate graph shapes, the shardability rules, halo-exchange
+// determinism, executor-factory spec parsing, and end-to-end training
+// parity of the sharded runtime against the full-graph interpreter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/core/executor_factory.h"
+#include "src/core/models/gat.h"
+#include "src/core/models/gcn.h"
+#include "src/core/train.h"
+#include "src/exec/seastar_executor.h"
+#include "src/exec/shard_runtime.h"
+#include "src/gir/builder.h"
+#include "src/graph/generators.h"
+#include "src/graph/partition.h"
+#include "src/tensor/ops.h"
+
+namespace seastar {
+namespace {
+
+Graph RandomGraph(int64_t n, int64_t m, uint64_t seed) {
+  Rng rng(seed);
+  return ToGraph(ErdosRenyi(n, m, rng));
+}
+
+// Structural invariants every partition must satisfy, whatever the graph.
+void CheckPartitionInvariants(const Graph& g, const ShardedGraph& sharded) {
+  ASSERT_EQ(sharded.cuts.size(), static_cast<size_t>(sharded.num_shards) + 1);
+  EXPECT_EQ(sharded.cuts.front(), 0);
+  EXPECT_EQ(sharded.cuts.back(), g.num_vertices());
+  int64_t owned_total = 0;
+  int64_t edge_total = 0;
+  for (const GraphShard& shard : sharded.shards) {
+    EXPECT_EQ(shard.owned_begin, sharded.cuts[shard.shard_id]);
+    EXPECT_EQ(shard.owned_end, sharded.cuts[shard.shard_id + 1]);
+    owned_total += shard.owned_count();
+    edge_total += shard.local.num_edges();
+    EXPECT_EQ(shard.local.num_vertices(), shard.local_count());
+    EXPECT_EQ(static_cast<int64_t>(shard.edge_global.size()), shard.local.num_edges());
+    // Local edge order preserves global edge order.
+    EXPECT_TRUE(std::is_sorted(shard.edge_global.begin(), shard.edge_global.end()));
+    // Halo ids are ascending, unique and owned elsewhere.
+    for (size_t i = 0; i < shard.halo_globals.size(); ++i) {
+      const int32_t v = shard.halo_globals[i];
+      if (i > 0) {
+        EXPECT_LT(shard.halo_globals[i - 1], v);
+      }
+      EXPECT_TRUE(v < shard.owned_begin || v >= shard.owned_end);
+      EXPECT_NE(sharded.OwnerOf(v), shard.shard_id);
+    }
+    // No zero-length halo segments, ever (satellite: empty shards, isolated
+    // vertices and self-loops must not emit empty exchange plans).
+    for (const HaloSegment& seg : shard.send_plans) {
+      EXPECT_FALSE(seg.local_rows.empty());
+    }
+    for (const HaloSegment& seg : shard.recv_plans) {
+      EXPECT_FALSE(seg.local_rows.empty());
+    }
+  }
+  EXPECT_EQ(owned_total, g.num_vertices());
+  EXPECT_EQ(edge_total, g.num_edges());
+  // Exchange plans are pairwise aligned: owner's send segment for a peer
+  // matches the peer's recv segment for the owner, row for row.
+  for (const GraphShard& owner : sharded.shards) {
+    for (const HaloSegment& send : owner.send_plans) {
+      const GraphShard& mirrorer = sharded.shards[static_cast<size_t>(send.peer)];
+      const HaloSegment* recv = nullptr;
+      for (const HaloSegment& seg : mirrorer.recv_plans) {
+        if (seg.peer == owner.shard_id) {
+          recv = &seg;
+        }
+      }
+      ASSERT_NE(recv, nullptr);
+      ASSERT_EQ(send.local_rows.size(), recv->local_rows.size());
+      for (size_t i = 0; i < send.local_rows.size(); ++i) {
+        // Both sides list the same global vertex at the same position.
+        const int64_t send_global = owner.owned_begin + send.local_rows[i];
+        const int32_t halo_index =
+            recv->local_rows[i] - static_cast<int32_t>(mirrorer.owned_count());
+        ASSERT_GE(halo_index, 0);
+        EXPECT_EQ(send_global, mirrorer.halo_globals[static_cast<size_t>(halo_index)]);
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, CoversVerticesEdgesAndAlignsPlans) {
+  const Graph g = RandomGraph(200, 1200, 0x5a1);
+  for (int k : {1, 2, 3, 4, 7}) {
+    ShardedGraph sharded = Partitioner::Partition(g, {k});
+    EXPECT_EQ(sharded.num_shards, k);
+    CheckPartitionInvariants(g, sharded);
+  }
+}
+
+TEST(PartitionerTest, EmptyGraph) {
+  const Graph g = Graph::FromCoo(0, {}, {});
+  ShardedGraph sharded = Partitioner::Partition(g, {3});
+  CheckPartitionInvariants(g, sharded);
+  EXPECT_EQ(sharded.TotalMirrors(), 0);
+}
+
+TEST(PartitionerTest, MoreShardsThanVertices) {
+  const Graph g = Graph::FromCoo(3, {0, 1, 2}, {1, 2, 0});
+  ShardedGraph sharded = Partitioner::Partition(g, {8});
+  CheckPartitionInvariants(g, sharded);
+  // Some shards own nothing; they must still be well-formed and plan-free
+  // on the send side (they own nothing anyone could mirror).
+  int64_t empty = 0;
+  for (const GraphShard& shard : sharded.shards) {
+    if (shard.owned_count() == 0) {
+      ++empty;
+      EXPECT_EQ(shard.local.num_edges(), 0);
+      EXPECT_TRUE(shard.send_plans.empty());
+      EXPECT_TRUE(shard.recv_plans.empty());
+    }
+  }
+  EXPECT_GE(empty, 5);
+}
+
+TEST(PartitionerTest, IsolatedVerticesAreOwnedButNeverMirrored) {
+  // Vertices 4..9 have no edges at all.
+  const Graph g = Graph::FromCoo(10, {0, 1, 2}, {1, 2, 3});
+  ShardedGraph sharded = Partitioner::Partition(g, {4});
+  CheckPartitionInvariants(g, sharded);
+  for (const GraphShard& shard : sharded.shards) {
+    for (int32_t v : shard.halo_globals) {
+      EXPECT_LT(v, 4) << "isolated vertex mirrored";
+    }
+  }
+}
+
+TEST(PartitionerTest, SelfLoopsStayShardLocal) {
+  std::vector<int32_t> src, dst;
+  for (int32_t v = 0; v < 12; ++v) {
+    src.push_back(v);
+    dst.push_back(v);
+  }
+  const Graph g = Graph::FromCoo(12, std::move(src), std::move(dst));
+  ShardedGraph sharded = Partitioner::Partition(g, {4});
+  CheckPartitionInvariants(g, sharded);
+  EXPECT_EQ(sharded.TotalMirrors(), 0);
+  for (const GraphShard& shard : sharded.shards) {
+    EXPECT_TRUE(shard.halo_globals.empty());
+    EXPECT_TRUE(shard.send_plans.empty());
+    EXPECT_TRUE(shard.recv_plans.empty());
+  }
+}
+
+TEST(PartitionerTest, DeterministicAcrossCalls) {
+  const Graph g = RandomGraph(150, 900, 0x5a2);
+  ShardedGraph a = Partitioner::Partition(g, {4});
+  ShardedGraph b = Partitioner::Partition(g, {4});
+  ASSERT_EQ(a.cuts, b.cuts);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(a.shards[s].halo_globals, b.shards[s].halo_globals);
+    EXPECT_EQ(a.shards[s].edge_global, b.shards[s].edge_global);
+  }
+}
+
+// ---- Shardability rules --------------------------------------------------
+
+TEST(ShardableTest, AcceptsForwardDstAggregation) {
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Src("h", 4)), "out");
+  EXPECT_TRUE(ShardRuntime::CheckShardable(b.TakeGraph()).ok());
+}
+
+TEST(ShardableTest, AcceptsAdditiveOutputOnlySourceAggregation) {
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Dst("g", 4), AggTo::kSrc), "grad_h");
+  EXPECT_TRUE(ShardRuntime::CheckShardable(b.TakeGraph()).ok());
+}
+
+TEST(ShardableTest, RejectsOutDegree) {
+  GirBuilder b;
+  Node degree;
+  degree.kind = OpKind::kDegree;
+  degree.type = GraphType::kSrc;
+  degree.width = 1;
+  Value deg = b.RawNode(degree);
+  b.MarkOutput(AggSum(b.Src("h", 1) * deg), "out");
+  const Status status = ShardRuntime::CheckShardable(b.TakeGraph());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("out-degree"), std::string::npos);
+}
+
+TEST(ShardableTest, RejectsNonAdditiveSourceAggregation) {
+  GirBuilder b;
+  b.MarkOutput(AggMax(b.Dst("g", 2), AggTo::kSrc), "grad_h");
+  const Status status = ShardRuntime::CheckShardable(b.TakeGraph());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("non-additively"), std::string::npos);
+}
+
+TEST(ShardableTest, RejectsInternallyConsumedSourceAggregation) {
+  GirBuilder b;
+  Value partial = AggSum(b.Dst("g", 2), AggTo::kSrc);
+  b.MarkOutput(Relu(partial), "out");
+  const Status status = ShardRuntime::CheckShardable(b.TakeGraph());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("partial"), std::string::npos);
+}
+
+// ---- Sharded execution vs the full-graph interpreter ---------------------
+
+FeatureMap RandomVertexFeatures(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  FeatureMap features;
+  features.vertex["h"] = ops::RandomNormal({g.num_vertices(), 4}, 0.0f, 1.0f, rng);
+  features.vertex["g"] = ops::RandomNormal({g.num_vertices(), 4}, 0.0f, 1.0f, rng);
+  return features;
+}
+
+TEST(ShardRuntimeTest, ForwardAggregationMatchesFullGraph) {
+  const Graph g = RandomGraph(120, 700, 0x77);
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Src("h", 4) * b.Dst("g", 4)), "out");
+  const GirGraph gir = b.TakeGraph();
+  const FeatureMap features = RandomVertexFeatures(g, 0x78);
+
+  SeastarExecutor full;
+  const Tensor expected = full.Run(gir, g, features).outputs.at("out");
+  for (int k : {1, 2, 4}) {
+    ShardRuntime runtime({.num_shards = k});
+    GraphView view = runtime.PrepareView(g);
+    Tensor got = runtime.Execute(gir, view, features).outputs.at("out");
+    EXPECT_TRUE(expected.AllClose(got, 1e-6f)) << "shards=" << k;
+  }
+}
+
+TEST(ShardRuntimeTest, SourceAggregationCombinesPartials) {
+  const Graph g = RandomGraph(90, 600, 0x79);
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Dst("g", 4) * b.Src("h", 4), AggTo::kSrc), "grad_h");
+  const GirGraph gir = b.TakeGraph();
+  const FeatureMap features = RandomVertexFeatures(g, 0x7a);
+
+  SeastarExecutor full;
+  const Tensor expected = full.Run(gir, g, features).outputs.at("grad_h");
+  for (int k : {2, 3, 4}) {
+    ShardRuntime runtime({.num_shards = k});
+    GraphView view = runtime.PrepareView(g);
+    Tensor got = runtime.Execute(gir, view, features).outputs.at("grad_h");
+    EXPECT_TRUE(expected.AllClose(got, 1e-5f)) << "shards=" << k;
+  }
+}
+
+TEST(ShardRuntimeTest, EdgeOutputsScatterThroughGlobalEdgeIds) {
+  const Graph g = RandomGraph(80, 500, 0x7b);
+  GirBuilder b;
+  b.MarkOutput(b.Src("h", 4) * b.Dst("g", 4), "e_out");
+  const GirGraph gir = b.TakeGraph();
+  const FeatureMap features = RandomVertexFeatures(g, 0x7c);
+
+  SeastarExecutor full;
+  const Tensor expected = full.Run(gir, g, features).outputs.at("e_out");
+  ShardRuntime runtime({.num_shards = 3});
+  GraphView view = runtime.PrepareView(g);
+  Tensor got = runtime.Execute(gir, view, features).outputs.at("e_out");
+  EXPECT_TRUE(expected.AllClose(got, 1e-6f));
+}
+
+TEST(ShardRuntimeTest, HaloExchangeOrderIsDeterministic) {
+  // The S-typed combine applies peer partials in ascending shard id order;
+  // two runs must therefore be bit-identical even though the exchange
+  // happens on concurrent shard workers. (Under TSan this test doubles as
+  // the halo-exchange race check.)
+  const Graph g = RandomGraph(100, 800, 0x7d);
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Dst("g", 4) * b.Src("h", 4), AggTo::kSrc), "grad_h");
+  const GirGraph gir = b.TakeGraph();
+  const FeatureMap features = RandomVertexFeatures(g, 0x7e);
+
+  ShardRuntime runtime({.num_shards = 4});
+  GraphView view = runtime.PrepareView(g);
+  const Tensor first = runtime.Execute(gir, view, features).outputs.at("grad_h");
+  for (int run = 0; run < 3; ++run) {
+    Tensor again = runtime.Execute(gir, view, features).outputs.at("grad_h");
+    EXPECT_TRUE(first.AllClose(again, 0.0f)) << "run " << run << " not bit-identical";
+  }
+}
+
+TEST(ShardRuntimeTest, UnshardableProgramFallsBackExactly) {
+  const Graph g = RandomGraph(60, 300, 0x7f);
+  GirBuilder b;
+  b.MarkOutput(AggMax(b.Dst("g", 4), AggTo::kSrc), "grad_h");
+  const GirGraph gir = b.TakeGraph();
+  const FeatureMap features = RandomVertexFeatures(g, 0x80);
+
+  metrics::Counter* fallbacks =
+      metrics::MetricsRegistry::Get().GetCounter("seastar_shard_fallbacks_total");
+  const int64_t before = fallbacks->value();
+
+  SeastarExecutor full;
+  const Tensor expected = full.Run(gir, g, features).outputs.at("grad_h");
+  ShardRuntime runtime({.num_shards = 4});
+  GraphView view = runtime.PrepareView(g);
+  Tensor got = runtime.Execute(gir, view, features).outputs.at("grad_h");
+  EXPECT_TRUE(expected.AllClose(got, 0.0f));
+  EXPECT_EQ(fallbacks->value(), before + 1);
+}
+
+TEST(ShardRuntimeTest, ExecutesWithoutPreparedView) {
+  // Callers that bypass MakeSession get a per-call partition — slower but
+  // identical results.
+  const Graph g = RandomGraph(70, 400, 0x81);
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Src("h", 4)), "out");
+  const GirGraph gir = b.TakeGraph();
+  const FeatureMap features = RandomVertexFeatures(g, 0x82);
+
+  SeastarExecutor full;
+  const Tensor expected = full.Run(gir, g, features).outputs.at("out");
+  ShardRuntime runtime({.num_shards = 2});
+  GraphView bare(g);
+  Tensor got = runtime.Execute(gir, bare, features).outputs.at("out");
+  EXPECT_TRUE(expected.AllClose(got, 1e-6f));
+}
+
+// ---- Executor factory ----------------------------------------------------
+
+TEST(ExecutorFactoryTest, ParsesSpecs) {
+  EXPECT_EQ(ParseExecutorSpec("seastar")->kind, "seastar");
+  EXPECT_EQ(ParseExecutorSpec("seastar-nofuse")->kind, "seastar-nofuse");
+  EXPECT_EQ(ParseExecutorSpec("nofuse")->kind, "seastar-nofuse");
+  EXPECT_EQ(ParseExecutorSpec("dgl")->kind, "dgl");
+  EXPECT_EQ(ParseExecutorSpec("pyg")->kind, "pyg");
+  StatusOr<ExecutorSpec> sharded = ParseExecutorSpec("sharded");
+  ASSERT_TRUE(sharded.has_value());
+  EXPECT_EQ(sharded->kind, "sharded");
+  EXPECT_EQ(sharded->num_shards, 2);
+  EXPECT_EQ(ParseExecutorSpec("sharded:4")->num_shards, 4);
+  EXPECT_EQ(ParseExecutorSpec("sharded:1")->num_shards, 1);
+
+  EXPECT_FALSE(ParseExecutorSpec("").has_value());
+  EXPECT_FALSE(ParseExecutorSpec("tensorflow").has_value());
+  EXPECT_FALSE(ParseExecutorSpec("sharded:0").has_value());
+  EXPECT_FALSE(ParseExecutorSpec("sharded:-2").has_value());
+  EXPECT_FALSE(ParseExecutorSpec("sharded:heaps").has_value());
+  EXPECT_FALSE(ParseExecutorSpec("sharded:2000").has_value());
+  EXPECT_FALSE(ParseExecutorSpec("seastar:2").has_value());
+}
+
+TEST(ExecutorFactoryTest, CreatesNamedExecutors) {
+  EXPECT_STREQ((*ExecutorFactory::Create("seastar"))->name(), "seastar");
+  EXPECT_STREQ((*ExecutorFactory::Create("seastar-nofuse"))->name(), "seastar-nofuse");
+  EXPECT_STREQ((*ExecutorFactory::Create("dgl"))->name(), "dgl");
+  EXPECT_STREQ((*ExecutorFactory::Create("pyg"))->name(), "pyg");
+
+  StatusOr<std::unique_ptr<Executor>> sharded = ExecutorFactory::Create("sharded:3");
+  ASSERT_TRUE(sharded.has_value());
+  EXPECT_STREQ((*sharded)->name(), "sharded");
+  const auto* runtime = dynamic_cast<const ShardRuntime*>(sharded->get());
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_EQ(runtime->options().num_shards, 3);
+
+  EXPECT_FALSE(ExecutorFactory::Create("cuda").has_value());
+}
+
+// ---- End-to-end training parity (the ISSUE acceptance bar) ---------------
+
+Dataset SmallCora(double scale = 0.08) {
+  DatasetOptions options;
+  options.scale = scale;
+  options.max_feature_dim = 32;
+  return MakeDataset(*FindDataset("cora"), options);
+}
+
+float TrainGcnLoss(const Dataset& data, const char* spec) {
+  GcnConfig config;
+  Gcn model(data, config, std::move(*ExecutorFactory::Create(spec)));
+  TrainConfig train;
+  train.epochs = 3;
+  train.warmup_epochs = 0;
+  return TrainNodeClassification(model, data, train).final_loss;
+}
+
+TEST(ShardParityTest, GcnTrainingLossMatchesUnsharded) {
+  Dataset data = SmallCora();
+  const float reference = TrainGcnLoss(data, "seastar");
+  for (const char* spec : {"sharded:1", "sharded:2", "sharded:4"}) {
+    EXPECT_NEAR(TrainGcnLoss(data, spec), reference, 1e-5) << spec;
+  }
+}
+
+float TrainGatLoss(const Dataset& data, const char* spec) {
+  GatConfig config;
+  config.num_heads = 2;
+  config.hidden_dim = 4;
+  Gat model(data, config, std::move(*ExecutorFactory::Create(spec)));
+  TrainConfig train;
+  train.epochs = 2;
+  train.warmup_epochs = 0;
+  return TrainNodeClassification(model, data, train).final_loss;
+}
+
+TEST(ShardParityTest, GatTrainingLossMatchesUnsharded) {
+  Dataset data = SmallCora(0.06);
+  const float reference = TrainGatLoss(data, "seastar");
+  for (const char* spec : {"sharded:1", "sharded:2", "sharded:4"}) {
+    EXPECT_NEAR(TrainGatLoss(data, spec), reference, 1e-5) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace seastar

@@ -26,9 +26,14 @@ failure (a benchmark silently dropped is itself a regression); a fresh entry
 with no baseline is reported but allowed (new coverage should not need a
 two-commit dance).
 
+The shard report (BENCH_shard.json, from ./bench_shard_scaling) adds a
+scaling-floor gate: speedup_at_max_shards must reach --shard-speedup-floor,
+and a single-shard run must exchange zero halo messages.
+
 Usage:
   tools/bench_check.py --baseline-dir bench/baselines \
-      --train BENCH_train_epoch.json --serve BENCH_serve.json
+      --train BENCH_train_epoch.json --serve BENCH_serve.json \
+      --shard BENCH_shard.json
   tools/bench_check.py --self-test     # prove the gate trips on regressions
 
 Exit codes: 0 ok, 1 regression detected, 2 usage or I/O error.
@@ -42,6 +47,7 @@ import sys
 
 TRAIN_BASELINE = "BENCH_train_epoch.json"
 SERVE_BASELINE = "BENCH_serve.json"
+SHARD_BASELINE = "BENCH_shard.json"
 
 
 class Gate:
@@ -138,6 +144,41 @@ def check_serve(gate, baseline, fresh, timing_tol, malloc_slack):
         gate.extra(f"serve {name}")
 
 
+def check_shard(gate, baseline, fresh, timing_tol, speedup_floor):
+    base_runs = {r["shards"]: r for r in baseline.get("runs", [])}
+    fresh_runs = {r["shards"]: r for r in fresh.get("runs", [])}
+    for shards, base in sorted(base_runs.items()):
+        where = f"shard x{shards}"
+        run = fresh_runs.get(shards)
+        if run is None:
+            gate.missing(where)
+            continue
+        gate.check(where, "avg_epoch_ms", run["avg_epoch_ms"],
+                   base["avg_epoch_ms"], base["avg_epoch_ms"] * timing_tol,
+                   f"{timing_tol:g}x timing band")
+        if shards == 1:
+            # Machine-independent: one shard owns every vertex, so nothing
+            # crosses a shard boundary. A nonzero count means the exchange
+            # plans grew phantom segments.
+            gate.check(where, "halo_messages", run["halo_messages"], 0, 0,
+                       "exact: a single shard exchanges no halo")
+    for shards in sorted(set(fresh_runs) - set(base_runs)):
+        gate.extra(f"shard x{shards}")
+    # The scaling floor is the point of the sharded runtime: if the best
+    # epoch at max shards no longer beats one shard by the floor factor, the
+    # cache-locality (or multi-core) win has been lost. Expressed as a
+    # shortfall so the limit stays a hard zero. The floor is below the
+    # committed baseline's speedup to absorb runner variance; it still trips
+    # on "sharding stopped helping" cliffs.
+    fresh_speedup = fresh.get("speedup_at_max_shards", 0.0)
+    base_speedup = baseline.get("speedup_at_max_shards", 0.0)
+    gate.check("shard scaling", "speedup_shortfall",
+               max(0.0, speedup_floor - fresh_speedup),
+               max(0.0, speedup_floor - base_speedup), 0,
+               f"speedup_at_max_shards {fresh_speedup:g}x must reach the "
+               f"{speedup_floor:g}x floor")
+
+
 def load(path):
     try:
         with open(path) as f:
@@ -150,9 +191,13 @@ def load(path):
 def run_gate(args):
     gate = Gate()
     compared = 0
+    def shard_checker(g, base, fresh_report, timing_tol, _slack):
+        check_shard(g, base, fresh_report, timing_tol, args.shard_speedup_floor)
+
     pairs = (
         (args.train, os.path.join(args.baseline_dir, TRAIN_BASELINE), check_train),
         (args.serve, os.path.join(args.baseline_dir, SERVE_BASELINE), check_serve),
+        (args.shard, os.path.join(args.baseline_dir, SHARD_BASELINE), shard_checker),
     )
     for fresh_path, baseline_path, checker in pairs:
         if not fresh_path:
@@ -192,6 +237,16 @@ def self_test(args):
         }],
     }
 
+    shard_base = {
+        "bench": "shard_scaling", "speedup_at_max_shards": 1.8,
+        "runs": [
+            {"shards": 1, "avg_epoch_ms": 600.0, "halo_messages": 0,
+             "speedup": 1.0},
+            {"shards": 4, "avg_epoch_ms": 330.0, "halo_messages": 24,
+             "speedup": 1.8},
+        ],
+    }
+
     failures = []
 
     def expect(label, gate_result, want_fail):
@@ -206,6 +261,7 @@ def self_test(args):
     g = Gate()
     check_train(g, train_base, copy.deepcopy(train_base), 3.0, 5.0)
     check_serve(g, serve_base, copy.deepcopy(serve_base), 3.0, 5.0)
+    check_shard(g, shard_base, copy.deepcopy(shard_base), 3.0, 1.2)
     expect("identical", g, want_fail=False)
 
     # 2. Timing just inside the band passes; beyond it fails.
@@ -253,10 +309,25 @@ def self_test(args):
     check_serve(g, serve_base, grown, 3.0, 5.0)
     expect("new-scenario", g, want_fail=False)
 
+    # 7. Shard scaling collapse fails even inside the timing band.
+    flat = copy.deepcopy(shard_base)
+    flat["speedup_at_max_shards"] = 1.05
+    flat["runs"][1]["avg_epoch_ms"] = 570.0
+    g = Gate()
+    check_shard(g, shard_base, flat, 3.0, 1.2)
+    expect("shard-scaling-collapse", g, want_fail=True)
+
+    # 8. Halo traffic on a single shard fails (phantom exchange segments).
+    leaky_halo = copy.deepcopy(shard_base)
+    leaky_halo["runs"][0]["halo_messages"] = 3
+    g = Gate()
+    check_shard(g, shard_base, leaky_halo, 3.0, 1.2)
+    expect("shard-halo-at-one", g, want_fail=True)
+
     for line in failures:
         print(line, file=sys.stderr)
     print(f"bench_check --self-test: {'FAIL' if failures else 'ok'} "
-          f"(7 cases)")
+          f"(10 cases)")
     return 1 if failures else 0
 
 
@@ -268,10 +339,15 @@ def main():
                         help="fresh BENCH_train_epoch.json to gate")
     parser.add_argument("--serve", default="",
                         help="fresh BENCH_serve.json to gate")
+    parser.add_argument("--shard", default="",
+                        help="fresh BENCH_shard.json to gate")
     parser.add_argument("--timing-tolerance", type=float, default=3.0,
                         help="multiplicative band for timing metrics")
     parser.add_argument("--malloc-slack", type=float, default=5.0,
                         help="allowed fresh-malloc increase over baseline")
+    parser.add_argument("--shard-speedup-floor", type=float, default=1.2,
+                        help="minimum speedup_at_max_shards in the fresh "
+                             "shard report")
     parser.add_argument("--self-test", action="store_true",
                         help="run the gate against fabricated regressions")
     args = parser.parse_args()
