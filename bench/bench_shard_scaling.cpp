@@ -46,6 +46,8 @@ struct ShardRun {
   int64_t total_mirrors = 0;
   int64_t halo_messages = 0;
   int64_t halo_bytes = 0;
+  int64_t shard_retries = 0;
+  int64_t shard_fallbacks = 0;
   double speedup = 1.0;
 };
 
@@ -81,6 +83,11 @@ int Run(int argc, char** argv) {
   metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
   metrics::Counter* messages = registry.GetCounter("seastar_shard_halo_messages_total");
   metrics::Counter* bytes = registry.GetCounter("seastar_shard_halo_bytes_total");
+  // Recovery counters: a steady-state bench run is healthy only when it
+  // never retried or fell back — both must read zero (gated in bench_check).
+  metrics::Counter* retries = registry.GetCounter("seastar_shard_retries_total");
+  metrics::Counter* unshardable = registry.GetCounter("seastar_shard_fallbacks_total");
+  metrics::Counter* recovery = registry.GetCounter("seastar_shard_recovery_fallbacks_total");
 
   std::printf("shard scaling: GCN-layer epoch on LocalizedRandom |V|=%lld |E|=%lld "
               "span=%lld width=%d\n\n",
@@ -107,6 +114,8 @@ int Run(int argc, char** argv) {
     }
     const int64_t messages_before = messages->value();
     const int64_t bytes_before = bytes->value();
+    const int64_t retries_before = retries->value();
+    const int64_t fallbacks_before = unshardable->value() + recovery->value();
     double total_ms = 0.0;
     double min_ms = 0.0;
     for (int i = 0; i < epochs; ++i) {
@@ -121,6 +130,8 @@ int Run(int argc, char** argv) {
     run.min_epoch_ms = min_ms;
     run.halo_messages = (messages->value() - messages_before) / epochs;
     run.halo_bytes = (bytes->value() - bytes_before) / epochs;
+    run.shard_retries = retries->value() - retries_before;
+    run.shard_fallbacks = unshardable->value() + recovery->value() - fallbacks_before;
     // Speedup from the best epoch of each run: on shared hosts the min is far
     // less sensitive to scheduler noise than the mean, and caching effects —
     // the thing this bench measures — set the floor, not the tail.
@@ -152,6 +163,8 @@ int Run(int argc, char** argv) {
     json.Field("total_mirrors", run.total_mirrors);
     json.Field("halo_messages", static_cast<uint64_t>(run.halo_messages));
     json.Field("halo_bytes", static_cast<uint64_t>(run.halo_bytes));
+    json.Field("shard_retries", static_cast<uint64_t>(run.shard_retries));
+    json.Field("shard_fallbacks", static_cast<uint64_t>(run.shard_fallbacks));
     json.FieldDouble("speedup", run.speedup, 3);
     json.EndObject();
   }

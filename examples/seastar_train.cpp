@@ -8,7 +8,8 @@
 //   ./seastar_train --model=sage --dataset=pubmed --csv
 //
 // Flags: --model=gcn|gat|appnp|rgcn|sage|gin|sgc  --dataset=<table-2 name>
-//        --backend=seastar|seastar-nofuse|dgl|pyg|sharded[:N]  --epochs --warmup --lr
+//        --executor=seastar|seastar-nofuse|dgl|pyg|sharded[:N]  (alias: --backend=)
+//        --epochs --warmup --lr
 //        --scale --max-feat --hidden --budget-gb --csv
 //        --edges=<file.tsv|file.mtx>  (train on your own graph instead)
 //        --profile=<trace.json>  (Chrome-trace of the run; see docs/INTERNALS.md)
@@ -113,7 +114,10 @@ StatusOr<Dataset> DatasetFromEdgeFile(const std::string& path, int64_t feature_d
 int Run(int argc, char** argv) {
   const std::string model_name = FlagValue(argc, argv, "model", "gcn");
   const std::string dataset_name = FlagValue(argc, argv, "dataset", "cora");
-  const std::string backend_name = FlagValue(argc, argv, "backend", "seastar");
+  // --executor= is the canonical spelling (it names an ExecutorFactory
+  // spec); --backend= remains as the historical alias.
+  const std::string backend_name =
+      FlagValue(argc, argv, "executor", FlagValue(argc, argv, "backend", "seastar"));
   const std::string edge_file = FlagValue(argc, argv, "edges", "");
   const int epochs = static_cast<int>(FlagInt(argc, argv, "epochs", 30));
   const int warmup = static_cast<int>(FlagInt(argc, argv, "warmup", 3));

@@ -20,10 +20,32 @@ const char* FaultSiteName(FaultSite site) {
       return "ckpt_read";
     case FaultSite::kGraphRead:
       return "graph_read";
+    case FaultSite::kShardSend:
+      return "shard_send";
+    case FaultSite::kShardRecv:
+      return "shard_recv";
+    case FaultSite::kShardCombine:
+      return "shard_combine";
+    case FaultSite::kShardWorker:
+      return "shard_worker";
     case FaultSite::kNumSites:
       break;
   }
   return "?";
+}
+
+const std::string& FaultSiteList() {
+  static const std::string* list = [] {
+    std::string joined;
+    for (int i = 0; i < static_cast<int>(FaultSite::kNumSites); ++i) {
+      if (!joined.empty()) {
+        joined += '|';
+      }
+      joined += FaultSiteName(static_cast<FaultSite>(i));
+    }
+    return new std::string(std::move(joined));
+  }();
+  return *list;
 }
 
 std::optional<FaultSite> FaultSiteFromString(const std::string& name) {
@@ -129,8 +151,7 @@ bool FaultInjector::ConfigureFromSpec(const std::string& spec, std::string* erro
     const std::vector<std::string> pieces = Split(site_spec, ':');
     const std::optional<FaultSite> site = FaultSiteFromString(pieces[0]);
     if (!site.has_value()) {
-      return fail("unknown fault site '" + pieces[0] +
-                  "' (alloc|simt_worker|ckpt_write|ckpt_read|graph_read)");
+      return fail("unknown fault site '" + pieces[0] + "' (" + FaultSiteList() + ")");
     }
     int64_t after = -1;
     int64_t count = 1;

@@ -22,6 +22,7 @@
 //              | "p=" P            fail each hit with probability P
 //              | "seed=" S         seed for the probabilistic stream
 //   site      := alloc | simt_worker | ckpt_write | ckpt_read | graph_read
+//              | shard_send | shard_recv | shard_combine | shard_worker
 // Example: "alloc:after=100:count=2;ckpt_write:p=0.5:seed=7"
 #ifndef SRC_COMMON_FAULT_H_
 #define SRC_COMMON_FAULT_H_
@@ -42,11 +43,19 @@ enum class FaultSite : int {
   kCheckpointWrite,    // Checkpoint serialization -> truncated write, tmp left behind.
   kCheckpointRead,     // Checkpoint load -> corrupt/unreadable bytes.
   kGraphRead,          // Graph/dataset file loaders -> I/O error.
+  kShardSend,          // Sharded pass 1 -> halo feature push fails on the owner.
+  kShardRecv,          // Sharded pass 2 -> feature drain fails on the mirrorer.
+  kShardCombine,       // Sharded pass 3 -> partial apply fails on the owner.
+  kShardWorker,        // Sharded pass 2 -> per-shard interpreter run fails.
   kNumSites,           // Sentinel.
 };
 
 const char* FaultSiteName(FaultSite site);
 std::optional<FaultSite> FaultSiteFromString(const std::string& name);
+
+// Pipe-separated list of every valid site name ("alloc|simt_worker|...").
+// Generated from the enum so error messages can never drift from it.
+const std::string& FaultSiteList();
 
 class FaultInjector {
  public:

@@ -236,7 +236,10 @@ Var VertexProgram::Run(const Inputs& inputs, const ExecutionSession& session) co
       backward_ctx.seed = seed_ptr;
       backward_ctx.retain = &no_retain;
       backward_ctx.profiler = profiler;
-      bwd = executor->Execute(data->backward.graph, view, backward_features, backward_ctx);
+      // Through the same recovery ladder as the session's forward Execute —
+      // a transient shard fault mid-backward must not escape into autograd.
+      bwd = ExecuteWithRecovery(*executor, view, data->backward.graph, backward_features,
+                                backward_ctx);
     }
     std::vector<Tensor> grads;
     grads.reserve(grad_output_names.size());

@@ -80,7 +80,31 @@ class Executor {
   // RunResult.saved (the whole-graph tensor baselines) — the autograd bridge
   // then keeps the saved map alive for backward instead of recomputing.
   virtual bool saves_intermediates() const = 0;
+
+  // Non-null when this executor has a slower-but-safe strategy for the same
+  // program after a transient failure: the shard runtime returns its inner
+  // whole-graph interpreter. Executors returning null opt out of the
+  // recovery ladder entirely — their failures propagate on the first throw
+  // exactly as before (the training health monitor and the serving retry
+  // loop own those policies). The pointer must stay valid as long as the
+  // executor itself.
+  virtual const Executor* recovery_fallback() const { return nullptr; }
 };
+
+// Runs `gir` through `executor` under the recovery ladder (docs/INTERNALS.md
+// §14). Executors without a recovery_fallback() run exactly as a plain
+// Execute call. For the rest: a DeadlineExceeded propagates unchanged (the
+// caller's time budget is spent either way, and retrying would double-bill
+// it); any other failure retries the same executor once (transient shard
+// faults are consumed by the failed attempt, so the retry is bit-identical
+// to an uninjected run); a second failure runs the fallback executor over
+// the plain full-graph view. Counts seastar_shard_retries_total /
+// seastar_shard_recovery_fallbacks_total and emits "shard" flight-recorder
+// events, so callers above (train loop, Server) see at most one error for a
+// persistent fault and none for a transient one.
+RunResult ExecuteWithRecovery(const Executor& executor, const GraphView& view,
+                              const GirGraph& gir, const FeatureMap& features,
+                              const RunContext& ctx);
 
 // One caller's binding of (executor, graph view, observability). What the
 // old (config, graph, features, ctx) parameter tail collapses into: models

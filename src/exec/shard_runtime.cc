@@ -1,6 +1,7 @@
 #include "src/exec/shard_runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <exception>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "src/common/deadline.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
@@ -56,6 +58,63 @@ struct HaloMessage {
 };
 
 using Channel = BoundedChannel<HaloMessage>;
+
+// The per-execution cancellation token. The first worker that fails wins the
+// race to store its exception and closes every exchange channel, so no peer
+// ever blocks on a Push/Pop against a dead shard; everyone else observes
+// either a closed channel (Push -> false, Pop -> nullopt) or the cancelled
+// flag at a loop boundary and unwinds without doing further work. Unwind is
+// bounded: after Cancel() no worker starts another interpreter run, so the
+// slowest path out is one in-flight inner run plus the channel drains.
+class ShardCancellation {
+ public:
+  ShardCancellation(std::vector<std::unique_ptr<Channel>>& feature_channels,
+                    std::vector<std::unique_ptr<Channel>>& combine_channels)
+      : feature_channels_(feature_channels), combine_channels_(combine_channels) {}
+
+  // Records the calling worker's current exception (first caller wins) and
+  // releases every blocked peer. Safe to call concurrently from any worker.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error_ == nullptr) {
+        error_ = std::current_exception();
+      }
+    }
+    cancelled_.store(true, std::memory_order_release);
+    for (auto& channel : feature_channels_) {
+      channel->Close();
+    }
+    for (auto& channel : combine_channels_) {
+      channel->Close();
+    }
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  // Only meaningful after every worker joined.
+  std::exception_ptr error() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::exception_ptr error_;
+  std::atomic<bool> cancelled_{false};
+  std::vector<std::unique_ptr<Channel>>& feature_channels_;
+  std::vector<std::unique_ptr<Channel>>& combine_channels_;
+};
+
+// Injected-failure check for one shard fault site. Returns without cost in
+// healthy runs (enabled() is one relaxed load); a tripped site throws
+// ShardFault, which the recovery ladder treats as transient.
+void MaybeInjectShardFault(FaultSite site, int shard_id) {
+  FaultInjector& faults = FaultInjector::Get();
+  if (faults.enabled() && faults.ShouldFail(site)) {
+    throw ShardFault(site, shard_id);
+  }
+}
 
 // The inputs a GIR binds per graph granularity, deduplicated by name (the
 // same feature key may be read from both endpoints).
@@ -321,21 +380,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
   // fresh OS threads and would otherwise run unarmed).
   const Deadline* ambient_deadline = CurrentDeadline();
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  const auto capture_error = [&] {
-    {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (first_error == nullptr) {
-        first_error = std::current_exception();
-      }
-    }
-    // Release every peer blocked on a queue so the run can unwind.
-    for (int s = 0; s < num_shards; ++s) {
-      feature_channels[static_cast<size_t>(s)]->Close();
-      combine_channels[static_cast<size_t>(s)]->Close();
-    }
-  };
+  ShardCancellation cancel(feature_channels, combine_channels);
 
   // Per-shard message accounting (disjoint indices; no lock needed) and the
   // per-shard state that must survive between passes.
@@ -349,6 +394,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
     const int64_t owned = shard.owned_count();
     const int64_t local_n = shard.local_count();
     ScopedDeadline deadline_scope(ambient_deadline);
+    CheckExecutionDeadline("shard_pass_features");
 
     FeatureMap& local_features = local_feature_sets[static_cast<size_t>(shard_id)];
     for (const auto& [name, width] : inputs.vertex) {
@@ -380,10 +426,14 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
     int64_t sent_messages = 0;
     int64_t sent_bytes = 0;
     for (const HaloSegment& seg : shard.send_plans) {
+      if (cancel.cancelled()) {
+        return;  // A peer failed; stop producing work.
+      }
       const int64_t rows = static_cast<int64_t>(seg.local_rows.size());
       for (size_t vi = 0; vi < inputs.vertex.size(); ++vi) {
         const auto& [name, width] = inputs.vertex[vi];
         const Tensor& global = features.vertex.at(name);
+        MaybeInjectShardFault(FaultSite::kShardSend, shard_id);
         HaloMessage message;
         message.from = shard_id;
         message.slot = static_cast<int>(vi);
@@ -399,6 +449,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
       for (size_t ti = 0; ti < inputs.typed.size(); ++ti) {
         const auto& [name, width] = inputs.typed[ti];
         const Tensor& global = features.typed_vertex.at(name);
+        MaybeInjectShardFault(FaultSite::kShardSend, shard_id);
         HaloMessage message;
         message.from = shard_id;
         message.slot = static_cast<int>(inputs.vertex.size() + ti);
@@ -426,6 +477,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
     const int64_t owned = shard.owned_count();
     const int64_t local_n = shard.local_count();
     ScopedDeadline deadline_scope(ambient_deadline);
+    CheckExecutionDeadline("shard_pass_run");
     ScopedThreadPool pool_scope(SlicePool(shard_id));
     FeatureMap& local_features = local_feature_sets[static_cast<size_t>(shard_id)];
     int64_t sent_messages = 0;
@@ -440,6 +492,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
       if (!message.has_value()) {
         return;  // Closed mid-drain: unwinding an error elsewhere.
       }
+      MaybeInjectShardFault(FaultSite::kShardRecv, shard_id);
       const HaloSegment* seg = nullptr;
       for (const HaloSegment& candidate : shard.recv_plans) {
         if (candidate.peer == message->from) {
@@ -464,6 +517,10 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
       }
     }
 
+    if (cancel.cancelled()) {
+      return;  // Never start an interpreter run into a cancelled execution.
+    }
+    MaybeInjectShardFault(FaultSite::kShardWorker, shard_id);
     // No profiler inside the workers: spans are recorded per run by the
     // orchestrator; the inner executors' hooks are not built for concurrent
     // sinks.
@@ -554,6 +611,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
   const auto pass_combine = [&](int shard_id) {
     const GraphShard& shard = sharded.shards[static_cast<size_t>(shard_id)];
     ScopedDeadline deadline_scope(ambient_deadline);
+    CheckExecutionDeadline("shard_pass_combine");
 
     // Drain partials addressed to this shard and combine deterministically:
     // own partial is already in place; peer contributions apply in ascending
@@ -570,8 +628,12 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
       if (!message.has_value()) {
         return;
       }
+      MaybeInjectShardFault(FaultSite::kShardCombine, shard_id);
       pending[static_cast<size_t>(message->from)][static_cast<size_t>(message->slot)] =
           std::move(message->payload);
+    }
+    if (cancel.cancelled()) {
+      return;  // Peers are unwinding; leave the owned rows as-is.
     }
     for (int sender = 0; sender < num_shards; ++sender) {
       int slot = 0;
@@ -624,7 +686,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
   // the full tensor does not.
   const bool threaded = ThreadPool::Get().num_threads() > 0 && num_shards > 1;
   const auto run_pass = [&](const std::function<void(int)>& pass) {
-    if (first_error != nullptr) {
+    if (cancel.cancelled()) {
       return;  // An earlier pass failed; channels are closed.
     }
     if (!threaded) {
@@ -632,7 +694,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
         try {
           pass(s);
         } catch (...) {
-          capture_error();
+          cancel.Cancel();
           return;
         }
       }
@@ -645,7 +707,7 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
         try {
           pass(s);
         } catch (...) {
-          capture_error();
+          cancel.Cancel();
         }
       });
     }
@@ -657,8 +719,13 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
   run_pass(pass_features);
   run_pass(pass_run);
   run_pass(pass_combine);
-  if (first_error != nullptr) {
-    std::rethrow_exception(first_error);
+  if (std::exception_ptr error = cancel.error()) {
+    // Every worker has joined: the unwind is complete, the channels are
+    // closed and drained of influence, and the (persistent) slice pools are
+    // reusable by the next Execute. Leave a breadcrumb for post-mortems —
+    // recovery above us may swallow the exception entirely.
+    FlightRecorder::Get().Record("shard", "execute cancelled, unwound", num_shards);
+    std::rethrow_exception(error);
   }
 
   int64_t halo_messages = 0;

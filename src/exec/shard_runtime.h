@@ -35,14 +35,39 @@
 
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/status.h"
 #include "src/exec/executor.h"
 #include "src/exec/seastar_executor.h"
 #include "src/parallel/thread_pool.h"
 
 namespace seastar {
+
+// A transient failure inside one shard of a sharded execution — today only
+// produced by the injected fault sites (shard_send/shard_recv/shard_combine/
+// shard_worker), later by real partial failures (a lost remote worker). The
+// recovery ladder (ExecuteWithRecovery in executor.cc) treats it like any
+// other transient std::exception: retry sharded once, then fall back to the
+// whole-graph interpreter. Deadline aborts are deliberately NOT a ShardFault.
+class ShardFault : public std::runtime_error {
+ public:
+  ShardFault(FaultSite site, int shard_id)
+      : std::runtime_error(std::string("injected shard fault at ") + FaultSiteName(site) +
+                           " (shard " + std::to_string(shard_id) + ")"),
+        site_(site),
+        shard_id_(shard_id) {}
+
+  FaultSite site() const { return site_; }
+  int shard_id() const { return shard_id_; }
+
+ private:
+  FaultSite site_;
+  int shard_id_;
+};
 
 struct ShardRuntimeOptions {
   int num_shards = 2;
@@ -72,6 +97,10 @@ class ShardRuntime : public Executor {
 
   const char* name() const override { return "sharded"; }
   bool saves_intermediates() const override { return false; }
+
+  // The recovery ladder's last rung: the same whole-graph interpreter the
+  // CheckShardable fallback path uses, run over the plain full graph.
+  const Executor* recovery_fallback() const override { return &inner_; }
 
   const ShardRuntimeOptions& options() const { return options_; }
 

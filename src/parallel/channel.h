@@ -14,7 +14,10 @@
 //
 // Close() releases blocked parties during error unwinding: Push on a closed
 // channel drops the message and returns false; Pop returns nullopt once the
-// queue is empty and closed.
+// queue is empty and closed. Close is idempotent and safe to race with
+// concurrent Push/Pop and other Close calls — the cancellation path in the
+// shard runtime has every failing worker close all channels, so double-close
+// is the common case there, not an error.
 #ifndef SRC_PARALLEL_CHANNEL_H_
 #define SRC_PARALLEL_CHANNEL_H_
 
@@ -69,13 +72,24 @@ class BoundedChannel {
   }
 
   // Releases every blocked Push/Pop. Messages already queued stay poppable.
-  void Close() {
+  // Idempotent: returns true only for the call that transitioned the channel
+  // to closed; later (possibly concurrent) calls return false and are no-ops.
+  bool Close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return false;
+      }
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
+    return true;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   size_t capacity() const { return capacity_; }

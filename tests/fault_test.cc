@@ -115,6 +115,33 @@ TEST(FaultInjectorTest, MalformedSpecIsRejectedWithMessage) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(FaultInjectorTest, UnknownSiteErrorListsEveryValidSite) {
+  // The rejection message is the documentation a user sees when a --faults=
+  // spec has a typo; it must enumerate every site the injector knows,
+  // generated from the enum so it can never drift as sites are added.
+  ScopedFaultClear clear;
+  std::string error;
+  EXPECT_FALSE(FaultInjector::Get().ConfigureFromSpec("bogus_site:after=1", &error));
+  EXPECT_NE(error.find("bogus_site"), std::string::npos) << error;
+  for (int i = 0; i < static_cast<int>(FaultSite::kNumSites); ++i) {
+    const char* name = FaultSiteName(static_cast<FaultSite>(i));
+    EXPECT_NE(error.find(name), std::string::npos)
+        << "error does not list site '" << name << "': " << error;
+  }
+}
+
+TEST(FaultInjectorTest, ShardSitesParseAndArmFromSpec) {
+  ScopedFaultClear clear;
+  FaultInjector& faults = FaultInjector::Get();
+  ASSERT_TRUE(faults.ConfigureFromSpec(
+      "shard_send:after=1;shard_recv:after=0;shard_combine:p=0.5:seed=3;shard_worker"));
+  EXPECT_TRUE(faults.enabled());
+  EXPECT_FALSE(faults.ShouldFail(FaultSite::kShardSend));  // Hit 0: window opens at 1.
+  EXPECT_TRUE(faults.ShouldFail(FaultSite::kShardSend));   // Hit 1 fails.
+  EXPECT_TRUE(faults.ShouldFail(FaultSite::kShardRecv));
+  EXPECT_TRUE(faults.ShouldFail(FaultSite::kShardWorker));  // Bare name: first hit.
+}
+
 TEST(FaultInjectorTest, SiteNamesRoundTrip) {
   for (int i = 0; i < static_cast<int>(FaultSite::kNumSites); ++i) {
     const FaultSite site = static_cast<FaultSite>(i);

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <set>
 
+#include "src/common/deadline.h"
+#include "src/common/fault.h"
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/core/executor_factory.h"
@@ -321,6 +325,185 @@ TEST(ShardRuntimeTest, ExecutesWithoutPreparedView) {
   GraphView bare(g);
   Tensor got = runtime.Execute(gir, bare, features).outputs.at("out");
   EXPECT_TRUE(expected.AllClose(got, 1e-6f));
+}
+
+// ---- Fault injection, cancellation and recovery --------------------------
+
+// A program with one D-typed and one S-typed additive output, so at shard
+// counts > 1 every pass carries halo messages and every shard fault site
+// (send/recv/worker/combine) has hits to trip on.
+GirGraph FaultProgram() {
+  GirBuilder b;
+  b.MarkOutput(AggSum(b.Src("h", 4) * b.Dst("g", 4)), "out");
+  b.MarkOutput(AggSum(b.Dst("g", 4) * b.Src("h", 4), AggTo::kSrc), "grad_h");
+  return b.TakeGraph();
+}
+
+void ExpectBitIdentical(const RunResult& expected, const RunResult& got,
+                        const std::string& label) {
+  ASSERT_EQ(expected.outputs.size(), got.outputs.size()) << label;
+  for (const auto& [name, tensor] : expected.outputs) {
+    EXPECT_TRUE(tensor.AllClose(got.outputs.at(name), 0.0f))
+        << label << ": output '" << name << "' not bit-identical";
+  }
+}
+
+struct RecoveryCounterHandles {
+  metrics::Counter* retries;
+  metrics::Counter* recovery_fallbacks;
+};
+
+RecoveryCounterHandles RecoveryCounters() {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  return {registry.GetCounter("seastar_shard_retries_total"),
+          registry.GetCounter("seastar_shard_recovery_fallbacks_total")};
+}
+
+constexpr FaultSite kShardSites[] = {FaultSite::kShardSend, FaultSite::kShardRecv,
+                                     FaultSite::kShardCombine, FaultSite::kShardWorker};
+
+TEST(ShardFaultTest, EverySiteCancelsCleanlyAndRuntimeIsReusable) {
+  // Trip each shard fault site in turn against the bare runtime (no recovery
+  // ladder): the first failing shard must cancel its peers and the Execute
+  // call unwind promptly — never deadlock on a channel against the dead
+  // shard — and the runtime (with its persistent slice pools) must produce
+  // bit-identical results on the very next call. Under TSan this test is the
+  // cancellation-path race check the CI job asserts on.
+  const Graph g = RandomGraph(120, 800, 0x90);
+  const GirGraph gir = FaultProgram();
+  const FeatureMap features = RandomVertexFeatures(g, 0x91);
+
+  ShardRuntime runtime({.num_shards = 4});
+  GraphView view = runtime.PrepareView(g);
+  const RunResult reference = runtime.Execute(gir, view, features);
+
+  for (const FaultSite site : kShardSites) {
+    ScopedFaultClear clear;
+    FaultInjector::Get().Arm(site, /*after_n=*/0, /*count=*/1);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(runtime.Execute(gir, view, features), ShardFault) << FaultSiteName(site);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    // Bounded unwind: generous wall bound (TSan runs are slow) — a channel
+    // deadlock would hang the test outright, a slow unwind trips this.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 30)
+        << FaultSiteName(site);
+    EXPECT_GE(FaultInjector::Get().injected(site), 1) << FaultSiteName(site);
+    FaultInjector::Get().Disarm(site);
+    ExpectBitIdentical(reference, runtime.Execute(gir, view, features),
+                       std::string("rerun after ") + FaultSiteName(site));
+  }
+}
+
+TEST(ShardRecoveryTest, TransientFaultRetriesOnceBitIdentical) {
+  // Through the session (the recovery ladder): a count=1 fault is consumed
+  // by the failed attempt, so the single sharded retry reruns clean and the
+  // caller sees no error and a result bit-identical to an uninjected run.
+  const Graph g = RandomGraph(110, 700, 0x92);
+  const GirGraph gir = FaultProgram();
+  const FeatureMap features = RandomVertexFeatures(g, 0x93);
+
+  auto executor = std::make_shared<ShardRuntime>(ShardRuntimeOptions{.num_shards = 4});
+  ExecutionSession session = MakeSession(executor, g);
+  const RunResult reference = session.Execute(gir, features);
+  const RecoveryCounterHandles counters = RecoveryCounters();
+
+  for (const FaultSite site : kShardSites) {
+    ScopedFaultClear clear;
+    const int64_t retries_before = counters.retries->value();
+    const int64_t fallbacks_before = counters.recovery_fallbacks->value();
+    FaultInjector::Get().Arm(site, /*after_n=*/0, /*count=*/1);
+    RunResult recovered;
+    ASSERT_NO_THROW(recovered = session.Execute(gir, features)) << FaultSiteName(site);
+    EXPECT_EQ(counters.retries->value(), retries_before + 1) << FaultSiteName(site);
+    EXPECT_EQ(counters.recovery_fallbacks->value(), fallbacks_before) << FaultSiteName(site);
+    ExpectBitIdentical(reference, recovered,
+                       std::string("recovered from ") + FaultSiteName(site));
+  }
+}
+
+TEST(ShardRecoveryTest, WorkerFaultRecoversAtEveryShardCount) {
+  const Graph g = RandomGraph(100, 600, 0x94);
+  const GirGraph gir = FaultProgram();
+  const FeatureMap features = RandomVertexFeatures(g, 0x95);
+
+  for (const int shards : {1, 2, 4}) {
+    auto executor = std::make_shared<ShardRuntime>(ShardRuntimeOptions{.num_shards = shards});
+    ExecutionSession session = MakeSession(executor, g);
+    const RunResult reference = session.Execute(gir, features);
+
+    ScopedFaultClear clear;
+    FaultInjector::Get().Arm(FaultSite::kShardWorker, /*after_n=*/0, /*count=*/1);
+    RunResult recovered;
+    ASSERT_NO_THROW(recovered = session.Execute(gir, features)) << "shards=" << shards;
+    ExpectBitIdentical(reference, recovered,
+                       "shards=" + std::to_string(shards) + " post-recovery");
+  }
+}
+
+TEST(ShardRecoveryTest, PersistentFaultFallsBackToWholeGraphExactly) {
+  // A fault that outlives the retry demotes the session to the whole-graph
+  // interpreter — the same executor the CheckShardable fallback uses — so
+  // the result must equal a plain full-graph run bit for bit.
+  const Graph g = RandomGraph(90, 500, 0x96);
+  const GirGraph gir = FaultProgram();
+  const FeatureMap features = RandomVertexFeatures(g, 0x97);
+
+  SeastarExecutor full;
+  const RunResult expected = full.Run(gir, g, features);
+
+  auto executor = std::make_shared<ShardRuntime>(ShardRuntimeOptions{.num_shards = 2});
+  ExecutionSession session = MakeSession(executor, g);
+  const RecoveryCounterHandles counters = RecoveryCounters();
+  const int64_t retries_before = counters.retries->value();
+  const int64_t fallbacks_before = counters.recovery_fallbacks->value();
+
+  ScopedFaultClear clear;
+  FaultInjector::Get().Arm(FaultSite::kShardWorker, /*after_n=*/0, /*count=*/1 << 20);
+  RunResult recovered;
+  ASSERT_NO_THROW(recovered = session.Execute(gir, features));
+  EXPECT_EQ(counters.retries->value(), retries_before + 1);
+  EXPECT_EQ(counters.recovery_fallbacks->value(), fallbacks_before + 1);
+  ExpectBitIdentical(expected, recovered, "whole-graph fallback");
+
+  // The fault is still armed, but the session keeps absorbing it (at most
+  // one fallback run per Execute) — callers above never see the failure.
+  ASSERT_NO_THROW(recovered = session.Execute(gir, features));
+  ExpectBitIdentical(expected, recovered, "second fallback run");
+}
+
+TEST(ShardDeadlineTest, ExpiryMidExecutionAbortsWithoutRetryAndSessionStaysUsable) {
+  // Deadline expiry is not a shard failure: it must surface as
+  // DeadlineExceeded (the Server counts those expired, off the circuit
+  // breaker), must not consume a retry or a fallback, and must leave the
+  // session fully reusable. The simt_worker stalls make the interpreter run
+  // of pass 2 slow enough that the clock deterministically runs out
+  // mid-execution while pass 1's memcpys finish well inside the budget.
+  const Graph g = RandomGraph(130, 900, 0x98);
+  const GirGraph gir = FaultProgram();
+  const FeatureMap features = RandomVertexFeatures(g, 0x99);
+
+  auto executor = std::make_shared<ShardRuntime>(ShardRuntimeOptions{.num_shards = 2});
+  ExecutionSession session = MakeSession(executor, g);
+  const RunResult reference = session.Execute(gir, features);
+  const RecoveryCounterHandles counters = RecoveryCounters();
+  const int64_t retries_before = counters.retries->value();
+  const int64_t fallbacks_before = counters.recovery_fallbacks->value();
+
+  {
+    ScopedFaultClear clear;
+    // Every SIMT dispatch grant stalls 2ms >= the whole budget, so the first
+    // unit boundary after any pass-2 kernel launch observes an expired
+    // deadline (or, on a very slow host, a pass-entry check does — either
+    // way the abort is kDeadlineExceeded, not a shard fault).
+    FaultInjector::Get().ArmProbabilistic(FaultSite::kSimtWorker, 1.0);
+    const Deadline deadline = Deadline::AfterMillis(2);
+    ScopedDeadline scope(&deadline);
+    EXPECT_THROW(session.Execute(gir, features), DeadlineExceeded);
+  }
+
+  EXPECT_EQ(counters.retries->value(), retries_before);
+  EXPECT_EQ(counters.recovery_fallbacks->value(), fallbacks_before);
+  ExpectBitIdentical(reference, session.Execute(gir, features), "post-deadline rerun");
 }
 
 // ---- Executor factory ----------------------------------------------------

@@ -28,7 +28,10 @@ two-commit dance).
 
 The shard report (BENCH_shard.json, from ./bench_shard_scaling) adds a
 scaling-floor gate: speedup_at_max_shards must reach --shard-speedup-floor,
-and a single-shard run must exchange zero halo messages.
+a single-shard run must exchange zero halo messages, and every run must
+report shard_retries == 0 and shard_fallbacks == 0 — a healthy steady-state
+bench that silently retried or demoted itself to the whole-graph
+interpreter is a regression, not noise.
 
 Usage:
   tools/bench_check.py --baseline-dir bench/baselines \
@@ -162,6 +165,13 @@ def check_shard(gate, baseline, fresh, timing_tol, speedup_floor):
             # plans grew phantom segments.
             gate.check(where, "halo_messages", run["halo_messages"], 0, 0,
                        "exact: a single shard exchanges no halo")
+        # Machine-independent recovery gates: the bench runs a shardable
+        # program with no faults armed, so any retry or fallback means the
+        # runtime failed (and recovered) on a healthy steady-state path.
+        gate.check(where, "shard_retries", run.get("shard_retries", 0), 0, 0,
+                   "exact: a healthy run never retries")
+        gate.check(where, "shard_fallbacks", run.get("shard_fallbacks", 0), 0, 0,
+                   "exact: a healthy run never falls back to whole-graph")
     for shards in sorted(set(fresh_runs) - set(base_runs)):
         gate.extra(f"shard x{shards}")
     # The scaling floor is the point of the sharded runtime: if the best
@@ -241,9 +251,9 @@ def self_test(args):
         "bench": "shard_scaling", "speedup_at_max_shards": 1.8,
         "runs": [
             {"shards": 1, "avg_epoch_ms": 600.0, "halo_messages": 0,
-             "speedup": 1.0},
+             "shard_retries": 0, "shard_fallbacks": 0, "speedup": 1.0},
             {"shards": 4, "avg_epoch_ms": 330.0, "halo_messages": 24,
-             "speedup": 1.8},
+             "shard_retries": 0, "shard_fallbacks": 0, "speedup": 1.8},
         ],
     }
 
@@ -324,10 +334,25 @@ def self_test(args):
     check_shard(g, shard_base, leaky_halo, 3.0, 1.2)
     expect("shard-halo-at-one", g, want_fail=True)
 
+    # 9. A whole-graph fallback in a healthy steady-state run fails exactly —
+    # sharding silently degraded to the unsharded interpreter.
+    demoted = copy.deepcopy(shard_base)
+    demoted["runs"][1]["shard_fallbacks"] = 1
+    g = Gate()
+    check_shard(g, shard_base, demoted, 3.0, 1.2)
+    expect("shard-fallback-in-steady-state", g, want_fail=True)
+
+    # 10. Same for a recovery retry: the run completed, but something threw.
+    retried = copy.deepcopy(shard_base)
+    retried["runs"][0]["shard_retries"] = 2
+    g = Gate()
+    check_shard(g, shard_base, retried, 3.0, 1.2)
+    expect("shard-retry-in-steady-state", g, want_fail=True)
+
     for line in failures:
         print(line, file=sys.stderr)
     print(f"bench_check --self-test: {'FAIL' if failures else 'ok'} "
-          f"(10 cases)")
+          f"(12 cases)")
     return 1 if failures else 0
 
 
