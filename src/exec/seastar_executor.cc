@@ -7,16 +7,49 @@
 
 #include "src/common/deadline.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/profiler.h"
 #include "src/exec/compiled_program.h"
 #include "src/exec/kernel_counter.h"
 #include "src/exec/plan_cache.h"
 #include "src/exec/pointwise.h"
+#include "src/exec/tiling.h"
 #include "src/parallel/thread_pool.h"
 #include "src/tensor/allocator.h"
+#include "src/tensor/simd.h"
 
 namespace seastar {
 namespace {
+
+// Always-on per-tile observability (cached handles; bumped once per unit
+// launch on the orchestration path, never inside the edge loops). The SIMD
+// dispatch counter bakes the resolved ISA into a label, Prometheus-style, so
+// an exporter shows which row-kernel variant this process actually ran.
+struct TilingCounters {
+  metrics::Counter* segments;        // seastar_tiling_segments_total
+  metrics::Counter* tile_passes;     // seastar_tiling_tile_passes_total
+  metrics::Counter* edge_visits;     // seastar_tiling_edge_visits_total
+  metrics::Counter* tiled_units;     // seastar_tiling_units_tiled_total
+  metrics::Counter* untiled_units;   // seastar_tiling_units_untiled_total
+  metrics::Counter* simd_dispatch;   // seastar_simd_unit_dispatch_total{isa=...}
+};
+
+const TilingCounters& Tiling() {
+  static const TilingCounters counters = [] {
+    metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+    TilingCounters c;
+    c.segments = registry.GetCounter("seastar_tiling_segments_total");
+    c.tile_passes = registry.GetCounter("seastar_tiling_tile_passes_total");
+    c.edge_visits = registry.GetCounter("seastar_tiling_edge_visits_total");
+    c.tiled_units = registry.GetCounter("seastar_tiling_units_tiled_total");
+    c.untiled_units = registry.GetCounter("seastar_tiling_units_untiled_total");
+    c.simd_dispatch = registry.GetCounter(std::string("seastar_simd_unit_dispatch_total{isa=\"") +
+                                          simd::SimdIsaName() + "\"}");
+    registry.GetGauge("seastar_simd_lanes")->Set(static_cast<double>(simd::SimdLanes()));
+    return c;
+  }();
+  return counters;
+}
 
 inline const float* Resolve(const Operand& op, const float* scratch, int64_t key, int64_t nbr,
                             int64_t eid, int32_t etype, int64_t typed_stride) {
@@ -88,10 +121,17 @@ inline RowVary ClassifyRow(const Operand& op, const float* scratch, int64_t key,
 // FastPath in compiled_program.h). These exist because per-edge dispatch —
 // two operand switches, an op switch and an agg switch — costs more than the
 // arithmetic itself at GNN feature widths.
-inline void RunFastEdgeLoop(const CompiledUnit& unit, const Csr& csr, float* scratch, int64_t key,
-                            int64_t begin, int64_t end) {
+//
+// The loop is column-ranged: it accumulates columns [c0, c0 + n) of the
+// feature row into `acc[0 .. n)`. The untiled path calls it once per vertex
+// with the full width; the tiled path calls it once per (vertex, feature
+// tile). Both route every column through the *same* runtime-dispatched SIMD
+// kernel (src/tensor/simd.h), and each kernel is elementwise-independent
+// across columns, so the two partitionings produce bit-identical results —
+// the invariant the SEASTAR_TILING=0 parity tests pin down.
+inline void RunFastEdgeLoop(const CompiledUnit& unit, const Csr& csr, float* scratch, float* acc,
+                            int64_t key, int64_t begin, int64_t end, int32_t c0, int32_t n) {
   const AggInstr& agg = unit.aggs[0];
-  float* __restrict__ acc = scratch + agg.acc_reg;
   const int32_t w = agg.width;
 
   if (unit.fast_path == FastPath::kCopySum) {
@@ -107,17 +147,11 @@ inline void RunFastEdgeLoop(const CompiledUnit& unit, const Csr& csr, float* scr
     };
     if (in.width == 1 && w > 1) {
       for (int64_t slot = begin; slot < end; ++slot) {
-        const float s = row(slot)[0];
-        for (int32_t j = 0; j < w; ++j) {
-          acc[j] += s;
-        }
+        simd::AddScalarRow(acc, row(slot)[0], n);
       }
     } else {
       for (int64_t slot = begin; slot < end; ++slot) {
-        const float* __restrict__ x = row(slot);
-        for (int32_t j = 0; j < w; ++j) {
-          acc[j] += x[j];
-        }
+        simd::AddRow(acc, row(slot) + c0, n);
       }
     }
     return;
@@ -147,35 +181,24 @@ inline void RunFastEdgeLoop(const CompiledUnit& unit, const Csr& csr, float* scr
   };
   if (wa == w && wb == 1) {
     for (int64_t slot = begin; slot < end; ++slot) {
-      const float* __restrict__ x = a_row(slot);
-      const float s = b_row(slot)[0];
-      for (int32_t j = 0; j < w; ++j) {
-        acc[j] += x[j] * s;
-      }
+      simd::AxpyRow(acc, a_row(slot) + c0, b_row(slot)[0], n);
     }
   } else if (wa == 1 && wb == w) {
     for (int64_t slot = begin; slot < end; ++slot) {
-      const float s = a_row(slot)[0];
-      const float* __restrict__ y = b_row(slot);
-      for (int32_t j = 0; j < w; ++j) {
-        acc[j] += s * y[j];
-      }
+      simd::AxpyRow(acc, b_row(slot) + c0, a_row(slot)[0], n);
     }
   } else if (wa == w && wb == w) {
     for (int64_t slot = begin; slot < end; ++slot) {
-      const float* __restrict__ x = a_row(slot);
-      const float* __restrict__ y = b_row(slot);
-      for (int32_t j = 0; j < w; ++j) {
-        acc[j] += x[j] * y[j];
-      }
+      simd::MulAddRow(acc, a_row(slot) + c0, b_row(slot) + c0, n);
     }
   } else {
-    // Unusual width mix; keep the broadcast-indexed form.
+    // Unusual width mix; broadcast-indexed scalar form. Never tiled
+    // (`tilable` requires one of the three shapes above), so c0 == 0 here.
     for (int64_t slot = begin; slot < end; ++slot) {
       const float* x = a_row(slot);
       const float* y = b_row(slot);
       for (int32_t j = 0; j < w; ++j) {
-        acc[j] += x[wa == 1 ? 0 : j] * y[wb == 1 ? 0 : j];
+        acc[j] = __builtin_fmaf(x[wa == 1 ? 0 : j], y[wb == 1 ? 0 : j], acc[j]);
       }
     }
   }
@@ -312,6 +335,105 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
 
     // ---- Launch -------------------------------------------------------------------------------
     const int64_t typed_stride = num_vertices;
+    const int num_workers = ThreadPool::Current().num_threads() + 1;
+
+    // Per-worker register scratch, one cacheline-aligned row per worker so
+    // concurrent FAT groups never false-share. A pooled Tensor rather than
+    // fresh vectors: in steady state (same GIR, same pool) the allocation is
+    // a pool hit, so the whole epoch runs with zero fresh mallocs.
+    const int64_t scratch_stride =
+        (static_cast<int64_t>(std::max(unit.scratch_floats, 1)) + 15) & ~int64_t{15};
+    Tensor scratch_tensor = Tensor::Zeros({num_workers, scratch_stride});
+    float* scratch_base = scratch_tensor.data();
+
+    // Profiling-only per-worker traversal counters, merged after the launch
+    // (never touched when profiling is off; one padded slot per worker so
+    // the edge loop stays contention-free when it is on).
+    std::vector<WorkerEdgeCount> edge_counts(
+        profiler != nullptr ? static_cast<size_t>(num_workers) : 0);
+    WorkerEdgeCount* edge_slots = edge_counts.empty() ? nullptr : edge_counts.data();
+
+    // Cache-blocked tiled launch (ISSUE 8): fast-path units whose per-vertex
+    // work is only the edge loop plus the aggregation store run segment-by-
+    // segment (L2-sized destination ranges) and feature-tile-by-tile
+    // (L1-sized column ranges), re-walking each segment's edges once per
+    // tile. Same kernels, same per-column operation order as the untiled
+    // loop below — only the iteration space is reshaped.
+    const bool tiled = unit.tilable && TilingEnabled();
+    if (tiled) {
+      const std::shared_ptr<const TilePlan> tile_plan =
+          program->TilingFor(unit_index, csr, num_workers);
+      const int64_t num_segments = tile_plan->num_segments();
+      const AggInstr& agg = unit.aggs[0];
+      const int32_t w = agg.width;
+      const int32_t tile_width = tile_plan->tile_width;
+      const bool is_mean = agg.kind == OpKind::kAggMean;
+
+      SimtLaunchStats launch_stats;
+      SimtLaunchParams launch;
+      launch.num_blocks = num_segments;
+      launch.schedule = options_.schedule;
+      launch.chunk_size = options_.dynamic_chunk;
+      launch.stats = profiler != nullptr ? &launch_stats : nullptr;
+
+      LaunchBlocks(launch, [&](int64_t segment, int worker) {
+        float* acc = scratch_base + worker * scratch_stride;
+        const int64_t p_begin = tile_plan->bounds[static_cast<size_t>(segment)];
+        const int64_t p_end = tile_plan->bounds[static_cast<size_t>(segment) + 1];
+        for (int32_t c0 = 0; c0 < w; c0 += tile_width) {
+          const int32_t n = std::min(tile_width, w - c0);
+          for (int64_t k = p_begin; k < p_end; ++k) {
+            const int64_t key = csr.position_vertex[static_cast<size_t>(k)];
+            const int64_t begin = csr.offsets[static_cast<size_t>(k)];
+            const int64_t end = csr.offsets[static_cast<size_t>(k) + 1];
+            if (edge_slots != nullptr && c0 == 0) {
+              edge_slots[worker].edges += end - begin;  // Unique edges, not re-walks.
+            }
+            for (int32_t j = 0; j < n; ++j) {
+              acc[j] = 0.0f;
+            }
+            RunFastEdgeLoop(unit, csr, acc, acc, key, begin, end, c0, n);
+            if (is_mean) {
+              const float inv = end > begin ? 1.0f / static_cast<float>(end - begin) : 0.0f;
+              simd::ScaleRow(acc, inv, n);
+            }
+            std::memcpy(agg.mat_base + key * w + c0, acc,
+                        static_cast<size_t>(n) * sizeof(float));
+          }
+        }
+      });
+
+      const TilingCounters& counters = Tiling();
+      const int64_t tile_passes = num_segments * tile_plan->num_tiles;
+      counters.segments->Add(num_segments);
+      counters.tile_passes->Add(tile_passes);
+      counters.edge_visits->Add(csr.num_edges * tile_plan->num_tiles);
+      counters.tiled_units->Add(1);
+      counters.simd_dispatch->Add(1);
+
+      if (ProfileEvent* event = unit_span.event()) {
+        int64_t edges = 0;
+        for (const WorkerEdgeCount& count : edge_counts) {
+          edges += count.edges;
+        }
+        event->edges = edges;
+        event->fat_groups = num_vertices;
+        event->fat_group_size = 1;  // Vertex-sequential within a segment.
+        event->num_blocks = num_segments;
+        event->dispatches = launch_stats.dispatches;
+        event->schedule = BlockScheduleName(options_.schedule);
+        event->kernel_launches = 1;
+        event->tile_segments = num_segments;
+        event->tile_passes = tile_passes;
+        event->tile_width = tile_width;
+        event->simd_isa = simd::SimdIsaName();
+        event->bytes_materialized =
+            num_vertices * w * static_cast<int64_t>(sizeof(float));
+      }
+      continue;
+    }
+    Tiling().untiled_units->Add(1);
+
     const FatGeometry geometry =
         program->GeometryFor(unit_index, num_vertices, options_.block_size);
     SimtLaunchStats launch_stats;
@@ -321,20 +443,8 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
     launch.chunk_size = options_.dynamic_chunk;
     launch.stats = profiler != nullptr ? &launch_stats : nullptr;
 
-    const int num_workers = ThreadPool::Current().num_threads() + 1;
-    std::vector<std::vector<float>> scratch_per_worker(
-        static_cast<size_t>(num_workers),
-        std::vector<float>(static_cast<size_t>(std::max(unit.scratch_floats, 1))));
-
-    // Profiling-only per-worker traversal counters, merged after the launch
-    // (never touched when profiling is off; one padded slot per worker so
-    // the edge loop stays contention-free when it is on).
-    std::vector<WorkerEdgeCount> edge_counts(
-        profiler != nullptr ? static_cast<size_t>(num_workers) : 0);
-    WorkerEdgeCount* edge_slots = edge_counts.empty() ? nullptr : edge_counts.data();
-
     LaunchBlocks(launch, [&](int64_t block_id, int worker) {
-      float* scratch = scratch_per_worker[static_cast<size_t>(worker)].data();
+      float* scratch = scratch_base + worker * scratch_stride;
       const int64_t first = geometry.FirstItemOfBlock(block_id);
       const int64_t last = std::min<int64_t>(first + geometry.groups_per_block, num_vertices);
       for (int64_t k = first; k < last; ++k) {
@@ -382,7 +492,8 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
         // 3. Edge-sequential loop (Alg. 1 lines 8-14) — fused fast path when
         // the unit's shape allows, interpreted otherwise.
         if (unit.fast_path != FastPath::kNone) {
-          RunFastEdgeLoop(unit, csr, scratch, key, begin, end);
+          RunFastEdgeLoop(unit, csr, scratch, scratch + unit.aggs[0].acc_reg, key, begin, end,
+                          /*c0=*/0, unit.aggs[0].width);
         } else
         for (int64_t slot = begin; slot < end; ++slot) {
           const int64_t nbr = csr.nbr_ids[static_cast<size_t>(slot)];
@@ -477,9 +588,9 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
           }
           if (agg.kind == OpKind::kAggMean) {
             const float inv = degree > 0 ? 1.0f / static_cast<float>(degree) : 0.0f;
-            for (int32_t j = 0; j < agg.width; ++j) {
-              acc[j] *= inv;
-            }
+            // Same dispatched kernel as the tiled finalize — a lone multiply
+            // per column, so partitioning cannot perturb the scaling either.
+            simd::ScaleRow(acc, inv, agg.width);
           }
           if ((agg.kind == OpKind::kAggMax || agg.kind == OpKind::kAggTypeSumThenMax) &&
               degree == 0) {

@@ -1,0 +1,92 @@
+// Cache-blocked tiling plans for the fused aggregation kernels (FeatGraph-
+// style, see PAPERS.md): the two-level scheme behind the tiled edge loops in
+// src/exec/seastar_executor.cc.
+//
+//  * CSR segment blocking. Destination positions (degree-sorted CSR order)
+//    are partitioned into contiguous segments sized so one segment's source-
+//    feature working set — its edge count times one feature tile's bytes —
+//    stays L2-resident across the segment's whole edge loop. Consecutive
+//    destinations share sources (community structure, and degree sorting
+//    clusters the hubs), so re-touched source rows hit cache instead of DRAM.
+//  * Feature-dimension tiling. Wide feature rows are processed one column
+//    tile at a time: the same edges are walked once per tile, but each pass
+//    only touches tile_width columns of every source row, so the rows the
+//    segment revisits fit in L1. For narrow features (width <= kMaxTileWidth)
+//    there is exactly one tile and only segment blocking remains.
+//
+// A TilePlan is pure geometry — position boundaries plus a tile width. Any
+// partition is *correct* (each destination's edge loop runs exactly once per
+// tile, in slot order, and columns are independent), so the plan only shapes
+// locality and parallel grain, never results. Plans are computed from the
+// CSR's offset (degree) array at first use and memoized on the
+// CompiledProgram alongside the FAT geometry (see compiled_program.h), which
+// lives in the process-wide plan cache: steady-state epochs reuse the plan
+// without re-deriving it.
+//
+// SEASTAR_TILING=0 in the environment (mirroring SEASTAR_POOL=0) forces the
+// untiled edge loops — the escape hatch the tiled-vs-untiled parity tests
+// and A/B benches are built on. Tiled and untiled paths share the SIMD row
+// kernels (src/tensor/simd.h), so toggling changes loop partitioning only
+// and outputs stay bit-identical.
+#ifndef SRC_EXEC_TILING_H_
+#define SRC_EXEC_TILING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace seastar {
+
+// Whether the tiled aggregation path is active. Reads SEASTAR_TILING from
+// the environment once ("0" disables); tests and A/B benches override via
+// SetTilingEnabled.
+bool TilingEnabled();
+void SetTilingEnabled(bool enabled);
+
+struct TilePlan {
+  // Columns per feature tile; always min(feature_width, kMaxTileWidth).
+  int32_t tile_width = 0;
+  // Number of feature tiles = ceil(feature_width / tile_width).
+  int32_t num_tiles = 0;
+  // Position-range boundaries: segment s covers CSR positions
+  // [bounds[s], bounds[s+1]). Size num_segments() + 1; bounds[0] == 0 and
+  // bounds.back() == num_vertices.
+  std::vector<int64_t> bounds;
+
+  int64_t num_segments() const { return static_cast<int64_t>(bounds.size()) - 1; }
+};
+
+struct TilePlanOptions {
+  // Working-set budgets. Deliberately half of the typical 64 KiB L1d /
+  // 1 MiB-ish L2 so destination rows, accumulators and the CSR index arrays
+  // fit beside the source tiles.
+  int64_t l1_budget_bytes = 32 * 1024;
+  int64_t l2_budget_bytes = 512 * 1024;
+  // Upper bound on tile width (floats). Every extra tile re-walks the
+  // segment's CSR indices and re-enters the edge-loop kernel once more per
+  // edge, so narrow tiles only pay when the row slice they save is large:
+  // the kernel sweep (bench_kernels_micro --sweep-out=...) measured width-64
+  // tiles at feature dim 256 losing ~30% to that re-walk while a single
+  // 256-wide pass (1 KiB per source row, still a handful of cache lines)
+  // matches or beats untiled. Multi-tile passes therefore engage only past
+  // 256 columns.
+  int32_t max_tile_width = 256;
+  // Keep at least ~this many segments per worker so the segment launch still
+  // load-balances across the pool (a tiny graph must not collapse to one
+  // work item when several workers are idle).
+  int64_t segments_per_worker = 4;
+};
+
+// Derives a plan from the CSR's offsets (the cached degree information):
+// greedy contiguous packing of positions until a segment's edge working set
+// (edges * tile_width * 4B) would exceed the L2 budget, its vertex count
+// would exceed the balance cap, or the per-worker parallel grain would be
+// lost. Every segment holds >= 1 position, so a single hub vertex whose
+// working set alone exceeds the budget still forms a (correct) singleton
+// segment.
+TilePlan ComputeTilePlan(const std::vector<int64_t>& offsets, int64_t num_vertices,
+                         int32_t feature_width, int num_workers,
+                         const TilePlanOptions& options = {});
+
+}  // namespace seastar
+
+#endif  // SRC_EXEC_TILING_H_

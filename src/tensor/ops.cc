@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/parallel/thread_pool.h"
+#include "src/tensor/simd.h"
 
 namespace seastar {
 namespace ops {
@@ -323,48 +324,89 @@ Tensor MulColBroadcast(const Tensor& matrix, const Tensor& col) {
 
 namespace {
 
-// Register-blocked ikj GEMM core: out[n, m] = a[n, k] @ b[k, m], all
-// row-major dense. The output row is produced in fixed-width panels whose
-// accumulators the compiler keeps in vector registers (the width must be a
-// compile-time constant for that — a runtime-length tile spills to the stack
-// and turns the k loop into a store-forward chain). No zero-skipping: GNN
-// activations are ~half zeros after dropout/ReLU, and a data-dependent branch
-// mispredicting on them costs more than the multiplies it saves.
-template <int kPanel>
-inline void GemmPanel(const float* __restrict__ arow, const float* __restrict__ pb,
-                      float* __restrict__ orow, int64_t k, int64_t m) {
-  float acc[kPanel] = {0.0f};
+// Sub-16-column GEMM tail: out[kRows, kPanel] = a-rows @ b-panel, all
+// row-major dense, accumulators held in registers (both extents are
+// compile-time constants so the autovectorizer keeps them there). The full
+// 16-wide panels go through the runtime-dispatched micro-kernels in
+// src/tensor/simd.h instead — with a runtime B stride the compiler cannot
+// prove the panel rows disjoint and spills this accumulator block to the
+// stack, which turns the k loop into a store-forward chain; the narrow
+// tails here (<= 8 columns) fit registers either way and measured fine.
+// No zero-skipping: GNN activations are ~half zeros after dropout/ReLU, and
+// a data-dependent branch mispredicting on them costs more than the
+// multiplies it saves.
+//
+// Every output element is one k-ascending mul-add chain regardless of which
+// tile shape covers it, so results are deterministic across row counts,
+// panel splits, and thread partitionings.
+template <int kPanel, int kRows>
+inline void GemmTile(const float* __restrict__ pa, int64_t lda, const float* __restrict__ pb,
+                     int64_t ldb, float* __restrict__ po, int64_t ldo, int64_t k) {
+  float acc[kRows][kPanel] = {};
   for (int64_t kk = 0; kk < k; ++kk) {
-    const float av = arow[kk];
-    const float* __restrict__ brow = pb + kk * m;
-    for (int j = 0; j < kPanel; ++j) {
-      acc[j] += av * brow[j];
+    const float* __restrict__ brow = pb + kk * ldb;
+    for (int r = 0; r < kRows; ++r) {
+      const float av = pa[r * lda + kk];
+      for (int j = 0; j < kPanel; ++j) {
+        acc[r][j] += av * brow[j];
+      }
     }
   }
-  for (int j = 0; j < kPanel; ++j) {
-    orow[j] = acc[j];
+  for (int r = 0; r < kRows; ++r) {
+    for (int j = 0; j < kPanel; ++j) {
+      po[r * ldo + j] = acc[r][j];
+    }
+  }
+}
+
+// One kRows-row block of output: full 16-wide panels through the dispatched
+// micro-kernels, then a power-of-two panel cascade (8/4/2/1) for the
+// remainder, so a non-multiple-of-16 feature dim (7, 33, 257, ...) still
+// takes a register-blocked path for every column — the old per-column
+// scalar tail walked B with a stride-m load per k step, which at m = 7
+// meant the *entire* matrix went through strided dots.
+template <int kRows>
+inline void GemmRowBlock(const float* __restrict__ arows, const float* __restrict__ pb,
+                         float* __restrict__ orows, int64_t k, int64_t m) {
+  int64_t j0 = 0;
+  for (; j0 + 16 <= m; j0 += 16) {
+    if constexpr (kRows == 4) {
+      simd::GemmTile4x16(arows, k, pb + j0, m, orows + j0, m, k);
+    } else {
+      for (int r = 0; r < kRows; ++r) {
+        simd::GemmTile1x16(arows + r * k, pb + j0, m, orows + r * m + j0, k);
+      }
+    }
+  }
+  if (j0 + 8 <= m) {
+    GemmTile<8, kRows>(arows, k, pb + j0, m, orows + j0, m, k);
+    j0 += 8;
+  }
+  if (j0 + 4 <= m) {
+    GemmTile<4, kRows>(arows, k, pb + j0, m, orows + j0, m, k);
+    j0 += 4;
+  }
+  if (j0 + 2 <= m) {
+    GemmTile<2, kRows>(arows, k, pb + j0, m, orows + j0, m, k);
+    j0 += 2;
+  }
+  if (j0 < m) {
+    GemmTile<1, kRows>(arows, k, pb + j0, m, orows + j0, m, k);
   }
 }
 
 void GemmRowMajor(const float* pa, const float* pb, float* po, int64_t k, int64_t m,
                   int64_t row_begin, int64_t row_end) {
-  for (int64_t i = row_begin; i < row_end; ++i) {
-    const float* __restrict__ arow = pa + i * k;
-    float* __restrict__ orow = po + i * m;
-    int64_t j0 = 0;
-    for (; j0 + 32 <= m; j0 += 32) {
-      GemmPanel<32>(arow, pb + j0, orow + j0, k, m);
-    }
-    for (; j0 + 8 <= m; j0 += 8) {
-      GemmPanel<8>(arow, pb + j0, orow + j0, k, m);
-    }
-    for (; j0 < m; ++j0) {
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * pb[kk * m + j0];
-      }
-      orow[j0] = acc;
-    }
+  int64_t i = row_begin;
+  for (; i + 4 <= row_end; i += 4) {
+    GemmRowBlock<4>(pa + i * k, pb, po + i * m, k, m);
+  }
+  if (i + 2 <= row_end) {
+    GemmRowBlock<2>(pa + i * k, pb, po + i * m, k, m);
+    i += 2;
+  }
+  if (i < row_end) {
+    GemmRowBlock<1>(pa + i * k, pb, po + i * m, k, m);
   }
 }
 

@@ -1,0 +1,69 @@
+// Shared SIMD row kernels for the aggregation fast paths and the dense ops.
+//
+// These are the 8/16-wide inner loops behind kCopySum / kMulSum (see
+// src/exec/seastar_executor.cc) and the gather/scatter row accumulations the
+// baseline executors are built on. They exist as out-of-line, runtime-
+// dispatched functions for two reasons:
+//
+//  * Bit-reproducibility across loop *partitionings*. The tiled executor
+//    runs the same per-edge accumulation as the untiled one, just restricted
+//    to a column range [c0, c1) of the feature row. Because both paths call
+//    the same kernel — and every kernel here is elementwise-independent
+//    across columns (one fma / add per column, no horizontal operations) —
+//    splitting a row into tiles cannot change a single bit of the result.
+//    Inlining the loops separately at each call site would instead leave the
+//    rounding behaviour (FMA contraction, vector tails) to whatever the
+//    optimizer chose per site.
+//
+//  * Portable builds stay fast. With SEASTAR_NATIVE_ARCH=OFF the translation
+//    units compile for baseline x86-64 (SSE2), but the AVX2+FMA variants are
+//    compiled via `__attribute__((target(...)))` and selected at process
+//    start with __builtin_cpu_supports — a portable binary still runs the
+//    wide kernels on machines that have them, and falls back to the scalar
+//    loops (correct, just slower) everywhere else.
+//
+// Dispatch is resolved once into function pointers at static-init time;
+// callers pay an indirect call per *row segment*, never per element. The
+// chosen ISA is queryable (SimdIsaName) so executors can attribute kernel
+// time to the dispatch that actually ran.
+#ifndef SRC_TENSOR_SIMD_H_
+#define SRC_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace seastar {
+namespace simd {
+
+// Name of the dispatched implementation: "avx2" or "scalar".
+const char* SimdIsaName();
+// Preferred vector width in floats (8 for AVX2, 1 for scalar). Benchmarks
+// and the tile-size heuristic use it to align tile widths to full vectors.
+int SimdLanes();
+
+// acc[i] += x[i]                       (CopySum body)
+extern void (*AddRow)(float* acc, const float* x, int64_t n);
+// acc[i] += s                          (CopySum, width-1 -> w broadcast)
+extern void (*AddScalarRow)(float* acc, float s, int64_t n);
+// acc[i] += x[i] * s                   (MulSum, one side width-1)
+extern void (*AxpyRow)(float* acc, const float* x, float s, int64_t n);
+// acc[i] += x[i] * y[i]                (MulSum, both sides width-w)
+extern void (*MulAddRow)(float* acc, const float* x, const float* y, int64_t n);
+// x[i] *= s                            (AggMean finalization)
+extern void (*ScaleRow)(float* x, float s, int64_t n);
+
+// Dense-GEMM micro-kernels (the 16-column panels of ops.cc's GemmRowMajor).
+// C[rows][16] = A[rows][k] @ B[k][16], row-major; A rows strided by lda, B
+// rows by ldb, C rows by ldo. Written as explicit intrinsics because the
+// shape that makes a GEMM fast — a 4-row × 16-column block of accumulators
+// living in 8 vector registers while each streamed B row is reused 4 times —
+// is exactly the shape autovectorizers lose when the strides are runtime
+// values. Every output element is one k-ascending fma chain, so results are
+// deterministic across row counts and panel splits.
+extern void (*GemmTile4x16)(const float* pa, int64_t lda, const float* pb, int64_t ldb,
+                            float* po, int64_t ldo, int64_t k);
+extern void (*GemmTile1x16)(const float* pa, const float* pb, int64_t ldb, float* po, int64_t k);
+
+}  // namespace simd
+}  // namespace seastar
+
+#endif  // SRC_TENSOR_SIMD_H_
