@@ -1,14 +1,23 @@
 // Serving-path bench: latency percentiles and steady-state allocation
 // behaviour of the inference Server under a paced request stream.
 //
-// Two scenarios per run:
-//   clean   steady load, no faults — measures the warm serving path. The
-//           steady window (everything after the warm phase) must show zero
-//           plan-cache misses and ~zero fresh mallocs: a warm request is
-//           plan-cached and pool-served end to end (ISSUE 3's invariant,
-//           now load-bearing for the micro-batcher's cost model).
-//   faulty  same load with probabilistic allocation faults — measures what
-//           the retry/backoff layer costs when transient faults are real.
+// Three scenarios per run:
+//   clean         steady load, no faults — measures the warm serving path.
+//                 The steady window (everything after the warm phase) must
+//                 show zero plan-cache misses and ~zero fresh mallocs: a warm
+//                 request is plan-cached and pool-served end to end (ISSUE
+//                 3's invariant, now load-bearing for the micro-batcher's
+//                 cost model).
+//   faulty        same load with probabilistic allocation faults — measures
+//                 what the retry/backoff layer costs when transient faults
+//                 are real.
+//   multi_tenant  three tenants through one server: two well-behaved tenants
+//                 on model m0 and a rogue on its own m1 with a small
+//                 admission quota and probabilistic allocation faults scoped
+//                 to its batches. Measures QoS isolation: the report carries
+//                 a per-tenant block (identity counters + latency
+//                 percentiles) so CI can gate the victims' p99 and each
+//                 tenant's exact accounting identity.
 //
 // Emits a machine-readable report (--out=, default BENCH_serve.json) with
 // p50/p95/p99, shed/expired/degraded counts, retry totals, and the steady
@@ -37,12 +46,20 @@
 #include "src/core/executor_factory.h"
 #include "src/core/models/gcn.h"
 #include "src/exec/plan_cache.h"
+#include "src/serve/model_registry.h"
 #include "src/serve/server.h"
 #include "src/tensor/allocator.h"
 
 namespace seastar {
 namespace bench {
 namespace {
+
+struct TenantReport {
+  std::string name;
+  bool rogue = false;
+  serve::TenantStats stats;
+  serve::LatencySummary latency;
+};
 
 struct ScenarioReport {
   std::string name;
@@ -55,12 +72,15 @@ struct ScenarioReport {
   uint64_t steady_plan_misses = 0;
   uint64_t steady_fresh_mallocs = 0;
   uint64_t steady_alloc_requests = 0;
+  // Multi-tenant scenario only: per-tenant identity + latency slices.
+  std::vector<TenantReport> tenants;
 };
 
 // Drives `server` with `count` paced requests and blocks until all are
-// answered.
+// answered. With `tenant_names`, requests rotate round-robin across the
+// named tenants.
 void Drive(serve::Server& server, const Dataset& data, int64_t count, double qps, double deadline_ms,
-           Rng& rng) {
+           Rng& rng, const std::vector<std::string>* tenant_names = nullptr) {
   std::vector<std::future<StatusOr<serve::InferenceResponse>>> futures;
   futures.reserve(static_cast<size_t>(count));
   const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -74,6 +94,9 @@ void Drive(serve::Server& server, const Dataset& data, int64_t count, double qps
     request.vertices.push_back(
         static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
     request.deadline_ms = deadline_ms;
+    if (tenant_names != nullptr && !tenant_names->empty()) {
+      request.tenant = (*tenant_names)[static_cast<size_t>(i) % tenant_names->size()];
+    }
     futures.push_back(server.Submit(std::move(request)));
     // Consume answered futures as we go: holding every response tensor
     // alive until the end would defeat pool reuse and misreport the steady
@@ -133,6 +156,86 @@ ScenarioReport RunScenario(const std::string& name, const Dataset& data, int64_t
   return report;
 }
 
+// Three tenants through one server: tenant-a (weight 2) and tenant-c share
+// model m0; tenant-b is the rogue on its own m1 with a tight admission quota
+// and probabilistic allocation faults scoped to its batches. The interesting
+// outputs are per tenant: the rogue's pressure must show up only in *its*
+// slice (quota sheds, degraded answers, breaker trips) while the victims'
+// identity stays all-served and their latency stays in the clean band.
+ScenarioReport RunMultiTenantScenario(const Dataset& data, int64_t warm, int64_t requests,
+                                      double qps, double deadline_ms, double flaky_p,
+                                      uint64_t seed) {
+  auto factory = [&data]() -> std::unique_ptr<GnnModel> {
+    GcnConfig gcn;
+    gcn.hidden_dim = 16;
+    return std::make_unique<Gcn>(data, gcn, std::move(*ExecutorFactory::Create("seastar")));
+  };
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  SEASTAR_CHECK(registry->Register("m0", data, factory).has_value());
+  SEASTAR_CHECK(registry->Register("m1", data, factory).has_value());
+
+  serve::ServeConfig config;
+  config.queue_capacity = 128;
+  config.default_deadline_ms = deadline_ms;
+  // The tenant fault spec is re-armed (and reseeded) around every rogue
+  // batch, so the probabilistic stream restarts each time and only its first
+  // few draws matter; a small p would never fire. Floor it high enough that
+  // rogue batches pay retries every run.
+  char fault_spec[64];
+  std::snprintf(fault_spec, sizeof(fault_spec), "alloc:p=%.3f:seed=%llu",
+                flaky_p < 0.2 ? 0.2 : flaky_p, static_cast<unsigned long long>(seed));
+  const char* kTenantNames[] = {"tenant-a", "tenant-b", "tenant-c"};
+  for (int i = 0; i < 3; ++i) {
+    serve::TenantConfig tenant;
+    tenant.name = kTenantNames[i];
+    if (i == 1) {  // The rogue.
+      tenant.model_id = "m1";
+      tenant.max_queued = 8;
+      tenant.fault_spec = fault_spec;
+    } else {
+      tenant.model_id = "m0";
+      tenant.weight = (i == 0) ? 2.0 : 1.0;
+    }
+    config.tenants.push_back(std::move(tenant));
+  }
+  serve::Server server(registry, config);
+  Status started = server.Start();
+  SEASTAR_CHECK(started.ok()) << started.ToString();
+
+  const std::vector<std::string> tenant_names(std::begin(kTenantNames), std::end(kTenantNames));
+  Rng rng(seed);
+  Drive(server, data, warm, qps, deadline_ms, rng, &tenant_names);
+
+  TensorAllocator& allocator = TensorAllocator::Get();
+  const uint64_t plan_misses_before = PlanCache::Get().misses();
+  const uint64_t mallocs_before = allocator.fresh_mallocs();
+  const uint64_t alloc_requests_before = allocator.total_allocations();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Drive(server, data, requests, qps, deadline_ms, rng, &tenant_names);
+
+  ScenarioReport report;
+  report.name = "multi_tenant";
+  report.requests = requests;
+  report.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  report.qps_achieved = static_cast<double>(requests) / report.wall_s;
+  report.steady_plan_misses = PlanCache::Get().misses() - plan_misses_before;
+  report.steady_fresh_mallocs = allocator.fresh_mallocs() - mallocs_before;
+  report.steady_alloc_requests = allocator.total_allocations() - alloc_requests_before;
+  server.Shutdown();
+  report.stats = server.stats();
+  report.latency = server.latency_summary();
+  for (const std::string& name : server.tenant_names()) {
+    TenantReport tenant;
+    tenant.name = name;
+    tenant.rogue = (name == "tenant-b");
+    tenant.stats = *server.tenant_stats(name);
+    tenant.latency = *server.tenant_latency_summary(name);
+    report.tenants.push_back(std::move(tenant));
+  }
+  return report;
+}
+
 void WriteReport(const std::string& path, const std::string& dataset,
                  const std::vector<ScenarioReport>& reports) {
   JsonWriter json;
@@ -164,6 +267,28 @@ void WriteReport(const std::string& path, const std::string& dataset,
     json.Field("steady_plan_misses", static_cast<uint64_t>(r.steady_plan_misses));
     json.Field("steady_fresh_mallocs", static_cast<uint64_t>(r.steady_fresh_mallocs));
     json.Field("steady_alloc_requests", static_cast<uint64_t>(r.steady_alloc_requests));
+    if (!r.tenants.empty()) {
+      json.Key("tenants");
+      json.BeginArray();
+      for (const TenantReport& t : r.tenants) {
+        json.BeginObject();
+        json.Field("name", t.name);
+        json.Field("rogue", t.rogue);
+        json.Field("submitted", t.stats.submitted);
+        json.Field("served", t.stats.served);
+        json.Field("degraded", t.stats.degraded);
+        json.Field("shed", t.stats.shed);
+        json.Field("quota_shed", t.stats.quota_shed);
+        json.Field("expired", t.stats.expired);
+        json.Field("failed", t.stats.failed);
+        json.Field("retries", t.stats.retries);
+        json.Field("breaker_trips", t.stats.breaker_trips);
+        json.FieldDouble("p50_ms", t.latency.p50_ms, 3);
+        json.FieldDouble("p99_ms", t.latency.p99_ms, 3);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -207,16 +332,25 @@ int Main(int argc, char** argv) {
       RunScenario("clean", data, warm, requests, qps, deadline_ms, /*flaky_p=*/0.0, 17));
   reports.push_back(
       RunScenario("faulty", data, warm, requests, qps, deadline_ms, flaky_p, 23));
+  reports.push_back(
+      RunMultiTenantScenario(data, warm, requests, qps, deadline_ms, flaky_p, 29));
 
-  std::printf("%-8s %10s %10s %10s %10s %10s %10s %12s %12s\n", "scenario", "p50 ms", "p95 ms",
+  std::printf("%-12s %10s %10s %10s %10s %10s %10s %12s %12s\n", "scenario", "p50 ms", "p95 ms",
               "p99 ms", "served", "degraded", "retries", "plan misses", "mallocs");
   for (const ScenarioReport& r : reports) {
-    std::printf("%-8s %10.3f %10.3f %10.3f %10lld %10lld %10lld %12llu %12llu\n", r.name.c_str(),
+    std::printf("%-12s %10.3f %10.3f %10.3f %10lld %10lld %10lld %12llu %12llu\n", r.name.c_str(),
                 r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
                 static_cast<long long>(r.stats.served), static_cast<long long>(r.stats.degraded),
                 static_cast<long long>(r.stats.retries),
                 static_cast<unsigned long long>(r.steady_plan_misses),
                 static_cast<unsigned long long>(r.steady_fresh_mallocs));
+    for (const TenantReport& t : r.tenants) {
+      std::printf("  %-10s %10.3f %10s %10.3f %10lld %10lld %10lld   shed %lld (quota %lld)%s\n",
+                  t.name.c_str(), t.latency.p50_ms, "-", t.latency.p99_ms,
+                  static_cast<long long>(t.stats.served), static_cast<long long>(t.stats.degraded),
+                  static_cast<long long>(t.stats.retries), static_cast<long long>(t.stats.shed),
+                  static_cast<long long>(t.stats.quota_shed), t.rogue ? "  [rogue]" : "");
+    }
   }
 
   WriteReport(out_path, data.spec.name, reports);
@@ -244,6 +378,23 @@ int Main(int argc, char** argv) {
                    "ACCOUNTING VIOLATION: exported submitted=%lld != outcome sum %lld\n",
                    static_cast<long long>(submitted), static_cast<long long>(outcomes));
       return 2;
+    }
+  }
+
+  // The per-tenant identity must hold exactly for every tenant of the
+  // multi-tenant scenario — the rogue's sheds and degradations land in its
+  // own slice, never smeared across the victims.
+  for (const ScenarioReport& r : reports) {
+    for (const TenantReport& t : r.tenants) {
+      const int64_t accounted =
+          t.stats.served + t.stats.degraded + t.stats.shed + t.stats.expired + t.stats.failed;
+      if (accounted != t.stats.submitted) {
+        std::fprintf(stderr,
+                     "TENANT ACCOUNTING VIOLATION (%s/%s): submitted %lld != accounted %lld\n",
+                     r.name.c_str(), t.name.c_str(), static_cast<long long>(t.stats.submitted),
+                     static_cast<long long>(accounted));
+        return 2;
+      }
     }
   }
 

@@ -31,6 +31,26 @@
 //   --metrics-out=<p>    write the metrics-registry JSON snapshot on exit
 //   --metrics-text=<p>   same data, Prometheus text exposition
 //   --events-out=<p>     write the flight-recorder event dump on exit
+//
+// Multi-tenant drill (--tenants > 1 activates it):
+//   --tenants=<n>        serve n tenants ("tenant-0".."tenant-n-1"); tenants
+//                        share model id "m0" except the rogue, which gets its
+//                        own "m1" generation of the same architecture
+//   --rogue=<i>          index of the misbehaving tenant (-1 = none;
+//                        default 1 when --tenants >= 2)
+//   --rogue-quota=<n>    the rogue's admission quota (max queued; default 8)
+//   --rogue-mult=<x>     rogue submits x requests per scheduled slot (burst)
+//   --rogue-faults=<s>   fault spec armed around the rogue's forwards only
+//                        (default "alloc:p=0.5:seed=13")
+//   --swap-at=<i>        hot-swap model m0 to a new weights version when
+//                        request i is submitted (zero-downtime drill)
+//   --assert-victim-p99-ms=<ms>  exit 4 if any non-rogue tenant's p99
+//                        exceeds this bound (0 = off)
+//
+// Exit codes: 0 ok, 1 usage, 2 boot failure, 3 accounting-identity mismatch
+// (global or any tenant), 4 victim p99 bound exceeded, 5 hot-swap violation
+// (swap failed, or the post-flip steady state compiled plans / touched fresh
+// memory).
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -47,13 +67,17 @@
 #include "src/common/profiler.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
+#include "src/core/checkpoint.h"
 #include "src/core/executor_factory.h"
 #include "src/core/models/appnp.h"
 #include "src/core/models/gat.h"
 #include "src/core/models/gcn.h"
 #include "src/core/models/sgc.h"
 #include "src/core/train.h"
+#include "src/exec/plan_cache.h"
+#include "src/serve/model_registry.h"
 #include "src/serve/server.h"
+#include "src/tensor/allocator.h"
 
 namespace seastar {
 namespace {
@@ -107,6 +131,15 @@ int Run(int argc, char** argv) {
   const std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
   const std::string metrics_text = FlagValue(argc, argv, "metrics-text", "");
   const std::string events_out = FlagValue(argc, argv, "events-out", "");
+  const int64_t num_tenants = FlagInt(argc, argv, "tenants", 1);
+  const int64_t rogue_index = FlagInt(argc, argv, "rogue", num_tenants >= 2 ? 1 : -1);
+  const int64_t rogue_quota = FlagInt(argc, argv, "rogue-quota", 8);
+  const double rogue_mult = FlagDouble(argc, argv, "rogue-mult", 4.0);
+  const std::string rogue_faults =
+      FlagValue(argc, argv, "rogue-faults", "alloc:p=0.5:seed=13");
+  const int64_t swap_at = FlagInt(argc, argv, "swap-at", 0);
+  const double assert_victim_p99_ms = FlagDouble(argc, argv, "assert-victim-p99-ms", 0.0);
+  const bool multi_tenant = num_tenants > 1;
 
   // A CHECK failure anywhere below dumps the flight-recorder ring and a
   // metrics snapshot to stderr before aborting.
@@ -184,7 +217,48 @@ int Run(int argc, char** argv) {
   config.checkpoint_path = checkpoint_path;
   config.profiler = profile_path.empty() ? nullptr : &profiler;
 
-  serve::Server server(*model, data, config);
+  // Multi-tenant drill topology: every tenant is served by model id "m0"
+  // except the rogue, which runs its own "m1" generation of the same
+  // architecture — its breaker and degraded path are cleanly its own.
+  std::vector<std::string> tenant_names;
+  std::string rogue_name;
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  if (multi_tenant) {
+    const auto factory = [&]() -> std::unique_ptr<GnnModel> {
+      return MakeModel(model_name, data, hidden, std::move(*ExecutorFactory::Create("seastar")));
+    };
+    if (!registry->Register("m0", data, factory).has_value()) {
+      std::fprintf(stderr, "failed to register m0\n");
+      return 2;
+    }
+    if (rogue_index >= 0 && rogue_index < num_tenants &&
+        !registry->Register("m1", data, factory).has_value()) {
+      std::fprintf(stderr, "failed to register m1\n");
+      return 2;
+    }
+    for (int64_t i = 0; i < num_tenants; ++i) {
+      serve::TenantConfig tenant;
+      tenant.name = "tenant-" + std::to_string(i);
+      tenant_names.push_back(tenant.name);
+      if (i == rogue_index) {
+        rogue_name = tenant.name;
+        tenant.model_id = "m1";
+        tenant.max_queued = static_cast<int>(rogue_quota);
+        tenant.fault_spec = rogue_faults;
+      } else {
+        tenant.model_id = "m0";
+      }
+      config.tenants.push_back(std::move(tenant));
+    }
+  }
+
+  std::unique_ptr<serve::Server> server_owner;
+  if (multi_tenant) {
+    server_owner = std::make_unique<serve::Server>(registry, config);
+  } else {
+    server_owner = std::make_unique<serve::Server>(*model, data, config);
+  }
+  serve::Server& server = *server_owner;
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server failed to start: %s\n", started.ToString().c_str());
@@ -195,12 +269,42 @@ int Run(int argc, char** argv) {
               static_cast<long long>(data.graph.num_vertices()),
               static_cast<long long>(requests), qps, deadline_ms,
               static_cast<long long>(shed_at));
+  if (multi_tenant) {
+    std::printf("tenants: %lld (rogue: %s, quota %lld, burst x%.1f, faults \"%s\"; swap m0 at request %lld)\n",
+                static_cast<long long>(num_tenants),
+                rogue_name.empty() ? "none" : rogue_name.c_str(),
+                static_cast<long long>(rogue_quota), rogue_mult, rogue_faults.c_str(),
+                static_cast<long long>(swap_at));
+  }
+
+  // Stage the hot-swap snapshot up front (v2 = m0's current weights, tagged)
+  // so the mid-run swap only loads and flips.
+  const std::string swap_ckpt =
+      checkpoint_path.empty() ? "/tmp/seastar_serve_swap.ckpt"
+                              : CheckpointPathForModel(checkpoint_path, "m0.v2");
+  std::future<StatusOr<int64_t>> swap_future;
+  if (multi_tenant && swap_at > 0) {
+    TrainCheckpoint snapshot;
+    snapshot.model_tag = "m0";
+    for (const Var& p : registry->Lookup("m0")->model().Parameters()) {
+      snapshot.parameters.push_back(p.value().Clone());
+    }
+    Status staged = SaveCheckpoint(snapshot, swap_ckpt);
+    if (!staged.ok()) {
+      std::fprintf(stderr, "failed to stage swap checkpoint: %s\n", staged.ToString().c_str());
+      return 2;
+    }
+  }
 
   // Closed-loop client: submit on a fixed-interval schedule, collect every
-  // future afterwards (shed/invalid futures are already fulfilled).
+  // future afterwards (shed/invalid futures are already fulfilled). In the
+  // multi-tenant drill, slots rotate round-robin across tenants and the
+  // rogue bursts `rogue_mult` submissions per slot — the pressure its quota
+  // must absorb.
   Rng rng(seed);
   const int64_t num_vertices = data.graph.num_vertices();
   std::vector<std::future<StatusOr<serve::InferenceResponse>>> futures;
+  std::vector<int> future_tenant;  // Parallel to `futures`; -1 pre-tenancy.
   futures.reserve(static_cast<size_t>(requests));
   const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(1.0 / qps));
@@ -216,14 +320,27 @@ int Run(int argc, char** argv) {
       FaultInjector::Get().Disarm(FaultSite::kTensorAlloc);
       std::printf("!! outage over (breaker now probes its way back)\n");
     }
-    serve::InferenceRequest request;
-    const int fan = 1 + static_cast<int>(rng.NextBounded(4));
-    for (int v = 0; v < fan; ++v) {
-      request.vertices.push_back(
-          static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+    if (multi_tenant && swap_at > 0 && i == swap_at) {
+      std::printf("!! hot-swap: staging m0 v2 (serving continues)\n");
+      swap_future = server.RequestHotSwap("m0", swap_ckpt);
     }
-    request.deadline_ms = deadline_ms;
-    futures.push_back(server.Submit(std::move(request)));
+    const int tenant = multi_tenant ? static_cast<int>(i % num_tenants) : -1;
+    const int copies =
+        (tenant >= 0 && tenant == rogue_index) ? std::max(1, static_cast<int>(rogue_mult)) : 1;
+    for (int c = 0; c < copies; ++c) {
+      serve::InferenceRequest request;
+      const int fan = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int v = 0; v < fan; ++v) {
+        request.vertices.push_back(
+            static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+      }
+      request.deadline_ms = deadline_ms;
+      if (tenant >= 0) {
+        request.tenant = tenant_names[static_cast<size_t>(tenant)];
+      }
+      futures.push_back(server.Submit(std::move(request)));
+      future_tenant.push_back(tenant);
+    }
   }
 
   int64_t ok = 0, degraded = 0, shed = 0, expired = 0, unavailable = 0, other = 0;
@@ -258,6 +375,54 @@ int Run(int argc, char** argv) {
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Hot-swap verification, while the server is still live: the swap future
+  // must have resolved to version 2, and the post-flip steady state must
+  // reuse every plan and pool block (same architecture -> nothing compiles,
+  // nothing fresh-mallocs). A few settle forwards absorb the one-off warmup
+  // traffic shapes before the measured window.
+  int swap_verdict = 0;  // 0 ok, else exit code 5.
+  if (multi_tenant && swap_at > 0) {
+    StatusOr<int64_t> swapped = swap_future.get();
+    if (!swapped.has_value()) {
+      std::fprintf(stderr, "HOT-SWAP FAILED: %s\n", swapped.status().ToString().c_str());
+      swap_verdict = 5;
+    } else if (*swapped != 2) {
+      std::fprintf(stderr, "HOT-SWAP: unexpected version %lld (want 2)\n",
+                   static_cast<long long>(*swapped));
+      swap_verdict = 5;
+    } else {
+      auto probe_once = [&]() -> StatusOr<serve::InferenceResponse> {
+        serve::InferenceRequest request;
+        request.tenant = tenant_names[0];
+        request.vertices.push_back(
+            static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+        request.deadline_ms = -1.0;
+        return server.Infer(std::move(request));
+      };
+      for (int i = 0; i < 3; ++i) (void)probe_once();  // Settle.
+      const uint64_t misses_before = PlanCache::Get().misses();
+      const uint64_t mallocs_before = TensorAllocator::Get().fresh_mallocs();
+      int64_t fresh_answers = 0;
+      for (int i = 0; i < 5; ++i) {
+        StatusOr<serve::InferenceResponse> answer = probe_once();
+        if (answer.has_value() && !answer->degraded && answer->model_version == 2) {
+          ++fresh_answers;
+        }
+      }
+      const uint64_t miss_delta = PlanCache::Get().misses() - misses_before;
+      const uint64_t malloc_delta = TensorAllocator::Get().fresh_mallocs() - mallocs_before;
+      std::printf("hot-swap steady state: %lld/5 fresh v2 answers, plan misses +%llu, fresh mallocs +%llu\n",
+                  static_cast<long long>(fresh_answers),
+                  static_cast<unsigned long long>(miss_delta),
+                  static_cast<unsigned long long>(malloc_delta));
+      if (fresh_answers != 5 || miss_delta != 0 || malloc_delta != 0) {
+        std::fprintf(stderr, "HOT-SWAP: post-flip steady state not warm\n");
+        swap_verdict = 5;
+      }
+    }
+  }
+
   server.Shutdown();
   FaultInjector::Get().DisarmAll();
 
@@ -288,6 +453,48 @@ int Run(int argc, char** argv) {
   std::printf("latency over %lld answers: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms\n",
               static_cast<long long>(latency.count), latency.p50_ms, latency.p95_ms,
               latency.p99_ms, latency.max_ms);
+  if (multi_tenant) {
+    std::printf("hot-swaps: %lld flipped, %lld failed, %lld old generations retired\n",
+                static_cast<long long>(stats.swaps), static_cast<long long>(stats.swap_failures),
+                static_cast<long long>(stats.swap_retired));
+  }
+
+  // Per-tenant accounting and QoS verdicts. Every tenant must satisfy the
+  // identity exactly; non-rogue tenants must additionally stay inside the
+  // p99 bound when one was asserted.
+  int tenant_identity_verdict = 0;  // 0 ok, else exit code 3.
+  int victim_p99_verdict = 0;       // 0 ok, else exit code 4.
+  if (multi_tenant) {
+    std::printf("\n--- per-tenant view ---\n");
+    for (const std::string& name : server.tenant_names()) {
+      const serve::TenantStats t = *server.tenant_stats(name);
+      const serve::LatencySummary lat = *server.tenant_latency_summary(name);
+      const char* breaker = serve::BreakerStateName(*server.tenant_breaker_state(name));
+      const bool rogue = (name == rogue_name);
+      std::printf(
+          "%s%s: submitted %lld = served %lld + degraded %lld + shed %lld (quota %lld) + "
+          "expired %lld + failed %lld | retries %lld | breaker %s (trips %lld) | "
+          "p50 %.2f ms p99 %.2f ms\n",
+          name.c_str(), rogue ? " [rogue]" : "", static_cast<long long>(t.submitted),
+          static_cast<long long>(t.served), static_cast<long long>(t.degraded),
+          static_cast<long long>(t.shed), static_cast<long long>(t.quota_shed),
+          static_cast<long long>(t.expired), static_cast<long long>(t.failed),
+          static_cast<long long>(t.retries), breaker, static_cast<long long>(t.breaker_trips),
+          lat.p50_ms, lat.p99_ms);
+      const int64_t t_accounted = t.served + t.degraded + t.shed + t.expired + t.failed;
+      if (t_accounted != t.submitted) {
+        std::fprintf(stderr, "TENANT ACCOUNTING MISMATCH (%s): submitted %lld != accounted %lld\n",
+                     name.c_str(), static_cast<long long>(t.submitted),
+                     static_cast<long long>(t_accounted));
+        tenant_identity_verdict = 3;
+      }
+      if (!rogue && assert_victim_p99_ms > 0.0 && lat.p99_ms > assert_victim_p99_ms) {
+        std::fprintf(stderr, "VICTIM P99 EXCEEDED (%s): %.2f ms > %.2f ms\n", name.c_str(),
+                     lat.p99_ms, assert_victim_p99_ms);
+        victim_p99_verdict = 4;
+      }
+    }
+  }
 
   if (!profile_path.empty()) {
     if (profiler.WriteChromeTrace(profile_path)) {
@@ -297,16 +504,16 @@ int Run(int argc, char** argv) {
     }
   }
 
-  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Get();
+  metrics::MetricsRegistry& metrics_registry = metrics::MetricsRegistry::Get();
   if (!metrics_out.empty()) {
-    if (registry.WriteJsonFile(metrics_out)) {
+    if (metrics_registry.WriteJsonFile(metrics_out)) {
       std::printf("metrics: %s\n", metrics_out.c_str());
     } else {
       std::fprintf(stderr, "metrics: failed to write %s\n", metrics_out.c_str());
     }
   }
   if (!metrics_text.empty()) {
-    if (registry.WriteTextFile(metrics_text)) {
+    if (metrics_registry.WriteTextFile(metrics_text)) {
       std::printf("metrics: %s\n", metrics_text.c_str());
     } else {
       std::fprintf(stderr, "metrics: failed to write %s\n", metrics_text.c_str());
@@ -320,6 +527,18 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (multi_tenant && swap_at > 0 && swap_verdict == 0 &&
+      (stats.swaps != 1 || stats.swap_failures != 0)) {
+    std::fprintf(stderr, "HOT-SWAP: expected exactly 1 clean swap, saw %lld (failures %lld)\n",
+                 static_cast<long long>(stats.swaps),
+                 static_cast<long long>(stats.swap_failures));
+    swap_verdict = 5;
+  }
+  if (multi_tenant && swap_at > 0) {
+    std::remove(swap_ckpt.c_str());
+    std::remove((swap_ckpt + ".prev").c_str());
+  }
+
   const int64_t accounted =
       stats.served + stats.degraded + stats.shed + stats.expired + stats.failed;
   if (accounted != stats.submitted) {
@@ -328,6 +547,12 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--- flight recorder ---\n%s", FlightRecorder::Get().Dump().c_str());
     return 3;
   }
+  if (tenant_identity_verdict != 0) {
+    std::fprintf(stderr, "--- flight recorder ---\n%s", FlightRecorder::Get().Dump().c_str());
+    return tenant_identity_verdict;
+  }
+  if (victim_p99_verdict != 0) return victim_p99_verdict;
+  if (swap_verdict != 0) return swap_verdict;
   return 0;
 }
 

@@ -32,6 +32,8 @@ enum class StatusCode {
   kUnavailable,        // Transient I/O failure; retrying may succeed.
   kInternal,           // Invariant violated while recovering (should not happen).
   kDeadlineExceeded,   // Request deadline passed before the work completed.
+  kFailedPrecondition,  // State mismatch (wrong model tag, stale swap version).
+  kAlreadyExists,      // Name collision on registration.
 };
 
 const char* StatusCodeName(StatusCode code);

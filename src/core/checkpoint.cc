@@ -11,7 +11,13 @@ namespace seastar {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'S', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+// Version 1: untagged payload. Version 2: payload prefixed with a model tag
+// (u32 length + bytes). Untagged checkpoints always write version 1 so files
+// produced by this code stay readable by pre-tag readers.
+constexpr uint32_t kVersionUntagged = 1;
+constexpr uint32_t kVersionTagged = 2;
+// Upper bound on an embedded model tag; anything longer is corruption.
+constexpr uint32_t kMaxTagBytes = 256;
 // Serialized header: magic + version + payload size + checksum.
 constexpr size_t kHeaderBytes = sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
 // Decode-time guard against absurd counts from corrupt length fields that
@@ -98,6 +104,14 @@ class PayloadReader {
     return false;
   }
 
+  bool Skip(size_t count) {
+    if (!RequireBytes(count, "skipped field")) {
+      return false;
+    }
+    cursor_ += count;
+    return true;
+  }
+
   bool exhausted() const { return cursor_ == payload_.size(); }
   const Status& status() const { return status_; }
   size_t cursor() const { return cursor_; }
@@ -151,6 +165,14 @@ uint64_t Fnv1a64(const char* data, size_t size) {
 
 Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path) {
   PayloadWriter writer;
+  const uint32_t version =
+      checkpoint.model_tag.empty() ? kVersionUntagged : kVersionTagged;
+  if (version == kVersionTagged) {
+    SEASTAR_CHECK_LE(checkpoint.model_tag.size(), static_cast<size_t>(kMaxTagBytes))
+        << "checkpoint model tag too long";
+    writer.Pod(static_cast<uint32_t>(checkpoint.model_tag.size()));
+    writer.Bytes(checkpoint.model_tag.data(), checkpoint.model_tag.size());
+  }
   writer.Pod(checkpoint.epoch);
   writer.Pod(checkpoint.learning_rate);
   writer.Pod(checkpoint.retries_used);
@@ -192,7 +214,7 @@ Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path
     }
     out.write(kMagic, sizeof(kMagic));
     const uint64_t payload_size = payload.size();
-    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
     out.write(reinterpret_cast<const char*>(&payload_size), sizeof(payload_size));
     out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
     if (inject_truncation) {
@@ -226,7 +248,8 @@ Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path
 namespace {
 
 // One file, no fallback: the body of LoadCheckpoint before rotation existed.
-StatusOr<TrainCheckpoint> LoadCheckpointFile(const std::string& path) {
+StatusOr<TrainCheckpoint> LoadCheckpointFile(const std::string& path,
+                                             const std::string& expected_tag) {
   FaultInjector& faults = FaultInjector::Get();
   if (faults.enabled() && faults.ShouldFail(FaultSite::kCheckpointRead)) {
     return ErrorStatus(StatusCode::kUnavailable) << path << ": injected I/O fault";
@@ -250,10 +273,10 @@ StatusOr<TrainCheckpoint> LoadCheckpointFile(const std::string& path) {
   if (!in) {
     return ErrorStatus(StatusCode::kDataLoss) << path << ": truncated header";
   }
-  if (version != kVersion) {
+  if (version != kVersionUntagged && version != kVersionTagged) {
     return ErrorStatus(StatusCode::kInvalidArgument)
-           << path << ": unsupported checkpoint version " << version << " (expected " << kVersion
-           << ")";
+           << path << ": unsupported checkpoint version " << version << " (expected "
+           << kVersionUntagged << " or " << kVersionTagged << ")";
   }
   if (payload_size > kSanityLimit) {
     return ErrorStatus(StatusCode::kDataLoss)
@@ -275,6 +298,30 @@ StatusOr<TrainCheckpoint> LoadCheckpointFile(const std::string& path) {
 
   TrainCheckpoint checkpoint;
   PayloadReader reader(payload, path);
+  if (version == kVersionTagged) {
+    uint32_t tag_len = 0;
+    if (!reader.Pod(&tag_len) || tag_len > kMaxTagBytes) {
+      reader.Fail("bad model tag length");
+      return reader.status();
+    }
+    if (reader.cursor() + tag_len > payload.size()) {
+      reader.Fail("truncated model tag");
+      return reader.status();
+    }
+    checkpoint.model_tag.assign(payload.data() + reader.cursor(), tag_len);
+    if (!reader.Skip(tag_len)) {
+      return reader.status();
+    }
+  }
+  // Wrong tag means another model's snapshot occupies this path — the caller
+  // must not load these weights, and the rotated previous generation may
+  // still be the right model's (hence the dedicated fallback-eligible code).
+  if (!expected_tag.empty() && !checkpoint.model_tag.empty() &&
+      checkpoint.model_tag != expected_tag) {
+    return ErrorStatus(StatusCode::kFailedPrecondition)
+           << path << ": checkpoint is tagged for model '" << checkpoint.model_tag
+           << "' but '" << expected_tag << "' was expected";
+  }
   uint8_t has_rng = 0;
   if (!reader.Pod(&checkpoint.epoch) || !reader.Pod(&checkpoint.learning_rate) ||
       !reader.Pod(&checkpoint.retries_used) || !reader.Pod(&checkpoint.best_loss) ||
@@ -331,22 +378,31 @@ StatusOr<TrainCheckpoint> LoadCheckpointFile(const std::string& path) {
 }  // namespace
 
 StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
-  StatusOr<TrainCheckpoint> primary = LoadCheckpointFile(path);
+  return LoadCheckpoint(path, /*expected_tag=*/"");
+}
+
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path,
+                                         const std::string& expected_tag) {
+  StatusOr<TrainCheckpoint> primary = LoadCheckpointFile(path, expected_tag);
   if (primary.has_value()) {
     return primary;
   }
   // Fallback to the rotated previous generation — but only for conditions
-  // where retrying the primary cannot help: corruption (kDataLoss) or a
+  // where retrying the primary cannot help: corruption (kDataLoss), a
   // missing primary (kNotFound, e.g. a crash between the two rotation
-  // renames). Transient read faults (kUnavailable) stay errors so the
-  // caller's retry policy targets the *newer* snapshot instead of silently
-  // resuming from an older one.
+  // renames), or a primary tagged for a different model (kFailedPrecondition,
+  // i.e. another model's rotation clobbered this slot). Transient read faults
+  // (kUnavailable) stay errors so the caller's retry policy targets the
+  // *newer* snapshot instead of silently resuming from an older one. The
+  // fallback is tag-checked too: an alien .prev must not rescue an alien
+  // primary.
   const StatusCode code = primary.status().code();
-  if (code != StatusCode::kDataLoss && code != StatusCode::kNotFound) {
+  if (code != StatusCode::kDataLoss && code != StatusCode::kNotFound &&
+      code != StatusCode::kFailedPrecondition) {
     return primary;
   }
   const std::string prev_path = path + ".prev";
-  StatusOr<TrainCheckpoint> previous = LoadCheckpointFile(prev_path);
+  StatusOr<TrainCheckpoint> previous = LoadCheckpointFile(prev_path, expected_tag);
   if (!previous.has_value()) {
     return primary;  // Report the primary's failure; .prev is best-effort.
   }
@@ -354,6 +410,27 @@ StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
                        << "); falling back to previous snapshot " << prev_path << " (epoch "
                        << previous->epoch << ")";
   return previous;
+}
+
+std::string CheckpointPathForModel(const std::string& base_path, const std::string& model_id) {
+  std::string tag;
+  tag.reserve(model_id.size());
+  for (char c : model_id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    tag.push_back(ok ? c : '_');
+  }
+  if (tag.empty()) {
+    tag = "model";
+  }
+  const size_t slash = base_path.find_last_of('/');
+  const size_t dot = base_path.find_last_of('.');
+  // Insert before the extension so ".tmp"/".prev" suffixes stay last:
+  // "fleet.ckpt" -> "fleet.<tag>.ckpt"; extensionless paths just append.
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    return base_path.substr(0, dot) + "." + tag + base_path.substr(dot);
+  }
+  return base_path + "." + tag;
 }
 
 }  // namespace seastar

@@ -21,7 +21,18 @@
 //
 // Layout (version 1): magic "SSCK", u32 version, u64 payload size, u64
 // checksum, then the payload (fixed-width little-endian fields; tensors as
-// u32 ndim + i64 dims + f32 data).
+// u32 ndim + i64 dims + f32 data). Version 2 prefixes the payload with a
+// model tag (u32 length + bytes) naming the model the snapshot belongs to;
+// untagged snapshots still serialize as version 1, bit-identical to before,
+// so old files and old readers interoperate with new ones.
+//
+// Multi-model namespacing: several models sharing one checkpoint directory
+// must not clobber each other's primary or ".prev" rotation state (a swap of
+// model A that rotated model B's snapshot into A's .prev slot would make A's
+// corruption fallback resurrect B's weights). CheckpointPathForModel derives
+// a per-model path — "<stem>.<model-id><ext>" — so each model id gets its own
+// file *and* its own tmp/.prev rotation chain, and the tag-checked load
+// overload rejects a snapshot whose embedded tag names a different model.
 #ifndef SRC_CORE_CHECKPOINT_H_
 #define SRC_CORE_CHECKPOINT_H_
 
@@ -48,6 +59,10 @@ struct TrainCheckpoint {
   int64_t adam_t = 0;
   std::vector<Tensor> adam_m;  // Same shapes as parameters.
   std::vector<Tensor> adam_v;
+  // Which model this snapshot belongs to ("" = untagged legacy snapshot).
+  // Serialized as format version 2 when set; verified by the tag-checked
+  // LoadCheckpoint overload.
+  std::string model_tag;
 };
 
 // Serializes and atomically replaces `path`, rotating the prior snapshot to
@@ -61,6 +76,22 @@ Status SaveCheckpoint(const TrainCheckpoint& checkpoint, const std::string& path
 // falls back to "<path>.prev" (with a logged warning) when that previous
 // generation verifies cleanly; transient read errors do not fall back.
 StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path);
+
+// Tag-checked load: additionally requires the snapshot's embedded model tag
+// to equal `expected_tag` (untagged legacy snapshots pass any expectation; an
+// empty expectation skips the check). A wrong-tag primary is treated like a
+// corrupt one — kFailedPrecondition naming both tags, with the same ".prev"
+// fallback — because it means another model's rotation clobbered this slot
+// and the previous generation may still hold the right model's weights.
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path,
+                                         const std::string& expected_tag);
+
+// Per-model checkpoint path: "<stem>.<model-id><ext>" (model id sanitized to
+// [A-Za-z0-9._-]), e.g. ("ckpt/fleet.ckpt", "gcn-a") -> "ckpt/fleet.gcn-a.ckpt".
+// Keeping the extension last means the derived file's ".tmp"/".prev"
+// companions are namespaced per model too — the rotation-state isolation the
+// multi-tenant registry relies on.
+std::string CheckpointPathForModel(const std::string& base_path, const std::string& model_id);
 
 // 64-bit FNV-1a, exposed for tests that hand-corrupt checkpoint bytes.
 uint64_t Fnv1a64(const char* data, size_t size);

@@ -39,10 +39,11 @@ std::vector<std::unique_ptr<PendingRequest>> MicroBatcher::NextBatch() {
     window_end = std::min(window_end, leader->deadline.time_point());
   }
   const uint64_t key = leader->batch_key;
+  const uint32_t tenant = leader->tenant_index;
   batch.push_back(std::move(leader));
 
   while (static_cast<int>(batch.size()) < options_.max_batch) {
-    std::unique_ptr<PendingRequest> follower = queue_.PopMatchingUntil(key, window_end);
+    std::unique_ptr<PendingRequest> follower = queue_.PopMatchingUntil(tenant, key, window_end);
     if (follower == nullptr) {
       break;  // Window closed (or queue closed) with no compatible request.
     }

@@ -7,12 +7,15 @@
 // batch is just the per-request row gather, which is why dynamic batching is
 // worth doing even at small max_delay windows (BatchMaker's argument).
 //
-// Policy: take the oldest queued request as the batch leader, then keep
-// admitting requests with the *same batch key* until the batch is full
-// (max_batch), the batching window (max_delay_ms after the leader was
-// dequeued) closes, or the leader's deadline slack says waiting longer would
-// spend time the leader doesn't have. Non-matching requests stay queued for
-// the next batch, preserving their arrival order.
+// Policy: take the queue's pick as the batch leader (weighted-fair across
+// tenants — see AdmissionQueue), then keep admitting requests *of the same
+// tenant with the same batch key* until the batch is full (max_batch), the
+// batching window (max_delay_ms after the leader was dequeued) closes, or
+// the leader's deadline slack says waiting longer would spend time the
+// leader doesn't have. Non-matching requests stay queued for the next batch,
+// preserving their arrival order. The batch key covers (model id, weights
+// version, architecture, graph), so requests for different tenants or
+// different weight generations are never coalesced into one forward.
 #ifndef SRC_SERVE_BATCHER_H_
 #define SRC_SERVE_BATCHER_H_
 

@@ -116,6 +116,23 @@ void CircuitBreaker::RecordProbeAbandoned() {
   opened_at_ = Clock::now() - probe_interval_;
 }
 
+void CircuitBreaker::NoteBackendReplaced() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kClosed) {
+    return;
+  }
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kOpen;
+    PublishState(state_);
+  }
+  // Backdate so AllowExecution admits a probe of the new version on the
+  // very next batch.
+  opened_at_ = Clock::now() - probe_interval_;
+  FlightRecorder::Get().Record("breaker", "backend replaced: probe new version next batch",
+                               probes_);
+}
+
 BreakerState CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_;

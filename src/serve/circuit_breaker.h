@@ -61,6 +61,16 @@ class CircuitBreaker {
   // never arrives. No-op outside HALF_OPEN.
   void RecordProbeAbandoned();
 
+  // The execution path behind this breaker was replaced (weight hot-swap):
+  // accumulated failure state describes the *old* weights, not the new ones.
+  // CLOSED just clears the consecutive-failure counter; OPEN backdates the
+  // probe clock so the very next batch probes the new version instead of
+  // waiting out the interval; HALF_OPEN returns to OPEN the same way (the
+  // in-flight probe's verdict is about the old version and must not close
+  // the breaker for the new one). The breaker still closes only on an
+  // actual probe success against the new backend.
+  void NoteBackendReplaced();
+
   BreakerState state() const;
   int consecutive_failures() const;
   int64_t trips() const;

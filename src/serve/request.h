@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/deadline.h"
@@ -19,6 +21,8 @@
 
 namespace seastar {
 namespace serve {
+
+class ModelEntry;
 
 struct InferenceRequest {
   // Vertex ids whose logits the client wants (gathered from the full-graph
@@ -34,6 +38,10 @@ struct InferenceRequest {
   // does not match the server's are rejected at admission — they could batch
   // with nothing and their answer would be for the wrong model.
   uint64_t model_fingerprint = 0;
+
+  // Which tenant this request belongs to; "" routes to the server's default
+  // tenant. Unknown tenant names are rejected at admission.
+  std::string tenant;
 };
 
 struct InferenceResponse {
@@ -52,6 +60,13 @@ struct InferenceResponse {
   double queue_ms = 0.0;  // Admission -> dequeue.
   double exec_ms = 0.0;   // Dequeue -> fulfillment.
   double total_ms = 0.0;  // Admission -> fulfillment.
+
+  // Which (model, weights version) produced the answer and which tenant it
+  // was served for. A request admitted before a hot-swap reports the version
+  // it was admitted against even when fulfilled after the flip.
+  std::string model_id;
+  int64_t model_version = 0;
+  std::string tenant;
 };
 
 // A request in flight inside the server: admission metadata plus the promise
@@ -63,6 +78,12 @@ struct PendingRequest {
   uint64_t id = 0;         // Admission-ordered id; names the request in the
                            // flight recorder and in structured log lines.
   uint64_t batch_key = 0;  // Requests batch only with an equal key.
+  uint32_t tenant_index = 0;  // Resolved tenant (subqueue index).
+  // The (model, weights version) pinned at admission. RCU read side of the
+  // hot-swap protocol: a flip publishes a new entry for *future* admissions,
+  // while this shared_ptr keeps the admitted version alive (and executed
+  // against) until every in-flight request holding it is fulfilled.
+  std::shared_ptr<const ModelEntry> entry;
   std::chrono::steady_clock::time_point admitted_at{};
   std::chrono::steady_clock::time_point dequeued_at{};
   std::promise<StatusOr<InferenceResponse>> promise;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/fault.h"
 #include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
@@ -29,6 +30,7 @@ struct ServeMetrics {
   metrics::Counter* submitted;
   metrics::Counter* rejected;
   metrics::Counter* shed;
+  metrics::Counter* quota_shed;
   metrics::Counter* served;
   metrics::Counter* degraded;
   metrics::Counter* expired;
@@ -37,6 +39,9 @@ struct ServeMetrics {
   metrics::Counter* batches;
   metrics::Counter* unit_aborts;
   metrics::Counter* boot_retries;
+  metrics::Counter* swaps;
+  metrics::Counter* swap_failures;
+  metrics::Counter* swap_retired;
   metrics::Histogram* request_latency;  // End-to-end, answered requests only.
   metrics::Histogram* queue_wait;       // Admission -> dequeue, answered only.
   metrics::Histogram* batch_occupancy;  // Live requests per executed batch.
@@ -51,6 +56,7 @@ const ServeMetrics& GetServeMetrics() {
     m.submitted = r.GetCounter("seastar_serve_submitted_total");
     m.rejected = r.GetCounter("seastar_serve_rejected_total");
     m.shed = r.GetCounter("seastar_serve_shed_total");
+    m.quota_shed = r.GetCounter("seastar_serve_quota_shed_total");
     m.served = r.GetCounter("seastar_serve_served_total");
     m.degraded = r.GetCounter("seastar_serve_degraded_total");
     m.expired = r.GetCounter("seastar_serve_expired_total");
@@ -59,6 +65,9 @@ const ServeMetrics& GetServeMetrics() {
     m.batches = r.GetCounter("seastar_serve_batches_total");
     m.unit_aborts = r.GetCounter("seastar_serve_deadline_unit_aborts_total");
     m.boot_retries = r.GetCounter("seastar_serve_boot_retries_total");
+    m.swaps = r.GetCounter("seastar_serve_swaps_total");
+    m.swap_failures = r.GetCounter("seastar_serve_swap_failures_total");
+    m.swap_retired = r.GetCounter("seastar_serve_swap_retired_total");
     m.request_latency = r.GetHistogram("seastar_serve_request_latency_ms");
     m.queue_wait = r.GetHistogram("seastar_serve_queue_wait_ms");
     m.batch_occupancy = r.GetHistogram("seastar_serve_batch_occupancy");
@@ -73,22 +82,20 @@ double MillisBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
-// Identity of what this server executes: requests pinning a different
-// fingerprint cannot batch with (or be answered by) this model.
-uint64_t ComputeFingerprint(const GnnModel& model, const Dataset& data) {
-  char buffer[256];
-  int written =
-      std::snprintf(buffer, sizeof(buffer), "%s|%lld|%lld|%lld|%lld", model.name(),
-                    static_cast<long long>(data.graph.num_vertices()),
-                    static_cast<long long>(data.graph.num_edges()),
-                    static_cast<long long>(data.spec.num_classes),
-                    static_cast<long long>(data.features.defined() ? data.features.dim(1) : 0));
-  // snprintf returns the untruncated length (or < 0 on error); hash only the
-  // bytes actually in the buffer.
-  const size_t length =
-      written < 0 ? 0 : std::min(static_cast<size_t>(written), sizeof(buffer) - 1);
-  uint64_t hash = Fnv1a64(buffer, length);
-  return hash != 0 ? hash : 1;  // 0 is reserved for "don't care" in requests.
+// Per-tenant registry name with the Prometheus label baked in, e.g.
+// seastar_serve_tenant_served_total{tenant="analytics"}.
+std::string TenantMetricName(const char* base, const std::string& tenant) {
+  return std::string("seastar_serve_tenant_") + base + "_total{tenant=\"" + tenant + "\"}";
+}
+
+// Batch key = entry fingerprint (model id, weights version, architecture,
+// graph) mixed with the tenant index: two tenants sharing one model id still
+// never coalesce into one forward — their QoS, breaker, and accounting are
+// distinct even when their answers would be identical.
+uint64_t BatchKeyFor(uint64_t entry_fingerprint, uint32_t tenant_index) {
+  uint64_t key = entry_fingerprint;
+  key ^= static_cast<uint64_t>(tenant_index) + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
+  return key != 0 ? key : 1;
 }
 
 bool HasNonFinite(const Tensor& t) {
@@ -102,23 +109,72 @@ bool HasNonFinite(const Tensor& t) {
   return false;
 }
 
+std::shared_ptr<ModelRegistry> MakeSingleModelRegistry(GnnModel& model, const Dataset& data) {
+  auto registry = std::make_shared<ModelRegistry>();
+  StatusOr<std::shared_ptr<const ModelEntry>> entry =
+      registry->RegisterBorrowed("default", model, data);
+  SEASTAR_CHECK(entry.has_value()) << entry.status().ToString();
+  return registry;
+}
+
+// Fills in the default tenant when the config names none, binding it to the
+// registry's single entry (or "default" when ambiguous — Start() validates).
+ServeConfig NormalizeTenants(ServeConfig config, const ModelRegistry& registry) {
+  if (config.tenants.empty()) {
+    TenantConfig tenant;
+    const std::vector<ModelEntryInfo> entries = registry.List();
+    if (entries.size() == 1) {
+      tenant.model_id = entries[0].model_id;
+    }
+    config.tenants.push_back(std::move(tenant));
+  }
+  return config;
+}
+
 }  // namespace
 
 Server::Server(GnnModel& model, const Dataset& data, ServeConfig config)
-    : model_(model),
-      data_(data),
-      config_(std::move(config)),
-      fingerprint_(ComputeFingerprint(model, data)),
+    : Server(MakeSingleModelRegistry(model, data), std::move(config)) {}
+
+Server::Server(std::shared_ptr<ModelRegistry> registry, ServeConfig config)
+    : config_(NormalizeTenants(std::move(config), *registry)),
       profiler_((config_.profiler != nullptr && config_.profiler->enabled()) ? config_.profiler
                                                                              : nullptr),
+      registry_(std::move(registry)),
       queue_(config_.queue_capacity),
       batcher_(queue_, BatcherOptions{config_.max_batch, config_.max_batch_delay_ms,
-                                      /*idle_poll_ms=*/5.0}),
-      breaker_(config_.breaker_trip_after, config_.breaker_probe_interval_ms) {}
+                                      /*idle_poll_ms=*/5.0}) {
+  metrics::MetricsRegistry& registry_metrics = metrics::MetricsRegistry::Get();
+  tenants_.reserve(config_.tenants.size());
+  for (size_t i = 0; i < config_.tenants.size(); ++i) {
+    const TenantConfig& tc = config_.tenants[i];
+    SEASTAR_CHECK(!tc.name.empty()) << "tenant " << i << " has an empty name";
+    SEASTAR_CHECK_GT(tc.weight, 0.0) << "tenant '" << tc.name << "': weight must be positive";
+    SEASTAR_CHECK_GE(tc.max_queued, 0) << "tenant '" << tc.name << "': negative quota";
+    auto tenant = std::make_unique<Tenant>();
+    tenant->index = static_cast<uint32_t>(i);
+    tenant->config = tc;
+    tenant->breaker = std::make_unique<CircuitBreaker>(config_.breaker_trip_after,
+                                                       config_.breaker_probe_interval_ms);
+    tenant->m_submitted = registry_metrics.GetCounter(TenantMetricName("submitted", tc.name));
+    tenant->m_rejected = registry_metrics.GetCounter(TenantMetricName("rejected", tc.name));
+    tenant->m_shed = registry_metrics.GetCounter(TenantMetricName("shed", tc.name));
+    tenant->m_quota_shed = registry_metrics.GetCounter(TenantMetricName("quota_shed", tc.name));
+    tenant->m_served = registry_metrics.GetCounter(TenantMetricName("served", tc.name));
+    tenant->m_degraded = registry_metrics.GetCounter(TenantMetricName("degraded", tc.name));
+    tenant->m_expired = registry_metrics.GetCounter(TenantMetricName("expired", tc.name));
+    tenant->m_failed = registry_metrics.GetCounter(TenantMetricName("failed", tc.name));
+    const bool inserted =
+        tenant_index_.emplace(tc.name, static_cast<uint32_t>(i)).second;
+    SEASTAR_CHECK(inserted) << "duplicate tenant name '" << tc.name << "'";
+    queue_.ConfigureTenant(static_cast<uint32_t>(i), tc.weight, tc.max_queued);
+    tenants_.push_back(std::move(tenant));
+  }
+}
 
 Server::~Server() { Shutdown(); }
 
-Status Server::RestoreFromCheckpoint() {
+Status Server::RestoreFromCheckpoint(const ModelEntry& entry) {
   // Boot-time transient faults (FaultSite::kCheckpointRead surfaces as
   // kUnavailable) are retried with backoff; structural errors (corrupt file
   // after .prev fallback, wrong model) are fatal to Start().
@@ -141,34 +197,13 @@ Status Server::RestoreFromCheckpoint() {
   if (!loaded.has_value()) {
     return loaded.status();
   }
-
-  const TrainCheckpoint& snapshot = loaded.value();
-  std::vector<Var> parameters = model_.Parameters();
-  if (snapshot.parameters.size() != parameters.size()) {
-    return ErrorStatus(StatusCode::kInvalidArgument)
-           << "checkpoint '" << config_.checkpoint_path << "' holds " << snapshot.parameters.size()
-           << " parameters, model '" << model_.name() << "' has " << parameters.size();
-  }
-  for (size_t p = 0; p < parameters.size(); ++p) {
-    if (snapshot.parameters[p].shape() != parameters[p].value().shape()) {
-      return ErrorStatus(StatusCode::kInvalidArgument)
-             << "checkpoint parameter " << p << " is " << snapshot.parameters[p].ShapeString()
-             << ", model expects " << parameters[p].value().ShapeString();
-    }
-  }
-  // Inference only restores weights (and dropout RNG for reproducibility of
-  // any training-mode probes); optimizer moments stay with the trainer.
-  for (size_t p = 0; p < parameters.size(); ++p) {
-    Tensor& value = parameters[p].mutable_value();
-    std::copy(snapshot.parameters[p].data(), snapshot.parameters[p].data() + value.numel(),
-              value.data());
-    parameters[p].ClearGrad();
-  }
-  if (Rng* rng = model_.MutableRng(); rng != nullptr && snapshot.model_rng.has_value()) {
-    rng->RestoreState(*snapshot.model_rng);
+  Status applied = ApplyCheckpointToModel(loaded.value(), entry.model(),
+                                          "checkpoint '" + config_.checkpoint_path + "'");
+  if (!applied.ok()) {
+    return applied;
   }
   SEASTAR_LOG(Info) << "serve boot: restored '" << config_.checkpoint_path << "' (epoch "
-                    << snapshot.epoch << ", " << parameters.size() << " parameters)";
+                    << loaded->epoch << ") into model '" << entry.model_id() << "'";
   return Status::Ok();
 }
 
@@ -177,10 +212,22 @@ Status Server::Start() {
     return ErrorStatus(StatusCode::kInvalidArgument) << "server already started";
   }
 
+  // Every tenant must resolve to a registered entry before the first
+  // admission: a dangling model id should fail the boot, not the requests.
+  for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+    if (registry_->Lookup(tenant->config.model_id) == nullptr) {
+      return ErrorStatus(StatusCode::kNotFound)
+             << "tenant '" << tenant->config.name << "' is bound to unregistered model id '"
+             << tenant->config.model_id << "'";
+    }
+  }
+
   {
     ProfileScope boot_scope(profiler_, "boot", "serve");
     if (!config_.checkpoint_path.empty()) {
-      Status restored = RestoreFromCheckpoint();
+      std::shared_ptr<const ModelEntry> entry =
+          registry_->Lookup(tenants_[0]->config.model_id);
+      Status restored = RestoreFromCheckpoint(*entry);
       if (!restored.ok()) {
         return restored;
       }
@@ -188,20 +235,33 @@ Status Server::Start() {
   }
 
   if (config_.warmup) {
-    // First forward compiles every plan into the PlanCache and sizes the
-    // allocator pool; it also seeds the last-known-good cache so degraded
-    // mode has answers from the first request on. Warmup shares the serving
-    // retry policy because boot-time fault injection hits it too.
+    // First forward per distinct model compiles every plan into the
+    // PlanCache and sizes the allocator pool; it also seeds the tenants'
+    // last-known-good caches so degraded mode has answers from the first
+    // request on. Warmup shares the serving retry policy because boot-time
+    // fault injection hits it too.
     ProfileScope warm_scope(profiler_, "warmup", "serve");
-    Deadline no_deadline;  // Unarmed: warmup may take as long as it takes.
-    int retries_paid = 0;
-    AttemptResult warm = ExecuteWithRetries(no_deadline, &retries_paid);
-    UpdateStats([retries_paid](ServerStats& s) { s.retries += retries_paid; });
-    GetServeMetrics().retries->Add(retries_paid);
-    if (!warm.status.ok()) {
-      // Not fatal: the breaker/retry machinery will keep trying per batch.
-      SEASTAR_LOG(Warning) << "serve boot: warmup forward failed (" << warm.status.message()
-                           << "); starting anyway";
+    std::map<const ModelEntry*, Tensor> warm_logits;
+    for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+      std::shared_ptr<const ModelEntry> entry = registry_->Lookup(tenant->config.model_id);
+      auto warmed = warm_logits.find(entry.get());
+      if (warmed == warm_logits.end()) {
+        Deadline no_deadline;  // Unarmed: warmup may take as long as it takes.
+        int retries_paid = 0;
+        AttemptResult warm = ExecuteWithRetries(*entry, no_deadline, &retries_paid);
+        UpdateStats([retries_paid](ServerStats& s) { s.retries += retries_paid; });
+        GetServeMetrics().retries->Add(retries_paid);
+        if (!warm.status.ok()) {
+          // Not fatal: the breaker/retry machinery will keep trying per batch.
+          SEASTAR_LOG(Warning) << "serve boot: warmup forward of '" << entry->model_id()
+                               << "' failed (" << warm.status.message() << "); starting anyway";
+        }
+        warmed = warm_logits.emplace(entry.get(), std::move(warm.logits)).first;
+      }
+      if (warmed->second.defined()) {
+        std::lock_guard<std::mutex> lock(lkg_mutex_);
+        tenant->lkg = warmed->second.Clone();
+      }
     }
   }
 
@@ -226,6 +286,22 @@ void Server::Shutdown() {
   if (serving_thread_.joinable()) {
     serving_thread_.join();
   }
+  // Swaps staged after the serving loop exited would otherwise never
+  // resolve; every swap future is fulfilled, like every request future.
+  std::deque<PendingSwap> orphaned;
+  {
+    std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+    orphaned.swap(pending_swaps_);
+  }
+  for (PendingSwap& swap : orphaned) {
+    swap.promise.set_value(ErrorStatus(StatusCode::kUnavailable)
+                           << "server shut down before applying the staged swap");
+  }
+}
+
+Server::Tenant* Server::FindTenant(const std::string& name) const {
+  auto it = tenant_index_.find(name);
+  return it == tenant_index_.end() ? nullptr : tenants_[it->second].get();
 }
 
 std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request) {
@@ -237,30 +313,59 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
     rejected.set_value(ErrorStatus(StatusCode::kUnavailable) << "server not started");
     return rejected_future;
   }
-  if (request.vertices.empty()) {
-    UpdateStats([](ServerStats& s) { ++s.rejected; });
-    metrics.rejected->Add(1);
-    rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
-                       << "request names no vertices");
-    return rejected_future;
-  }
-  const int64_t num_vertices = data_.graph.num_vertices();
-  for (int32_t v : request.vertices) {
-    if (v < 0 || v >= num_vertices) {
+  Tenant* tenant = nullptr;
+  if (request.tenant.empty()) {
+    tenant = tenants_[0].get();
+  } else {
+    tenant = FindTenant(request.tenant);
+    if (tenant == nullptr) {
+      // No tenant to attribute this to — it only counts globally.
       UpdateStats([](ServerStats& s) { ++s.rejected; });
       metrics.rejected->Add(1);
       rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
-                         << "vertex " << v << " out of range [0, " << num_vertices << ")");
+                         << "unknown tenant '" << request.tenant << "'");
       return rejected_future;
     }
   }
-  if (request.model_fingerprint != 0 && request.model_fingerprint != fingerprint_) {
-    UpdateStats([](ServerStats& s) { ++s.rejected; });
+  std::shared_ptr<const ModelEntry> entry = registry_->Lookup(tenant->config.model_id);
+  if (entry == nullptr) {
+    UpdateStats(*tenant, [](ServerStats& g, TenantStats& t) {
+      ++g.rejected;
+      ++t.rejected;
+    });
     metrics.rejected->Add(1);
-    rejected.set_value(ErrorStatus(StatusCode::kInvalidArgument)
-                       << "request pins model fingerprint " << request.model_fingerprint
-                       << " but this server runs " << fingerprint_);
+    tenant->m_rejected->Add(1);
+    rejected.set_value(ErrorStatus(StatusCode::kUnavailable)
+                       << "model id '" << tenant->config.model_id << "' is not registered");
     return rejected_future;
+  }
+  const auto reject_invalid = [&](Status status) {
+    UpdateStats(*tenant, [](ServerStats& g, TenantStats& t) {
+      ++g.rejected;
+      ++t.rejected;
+    });
+    metrics.rejected->Add(1);
+    tenant->m_rejected->Add(1);
+    rejected.set_value(std::move(status));
+    return std::move(rejected_future);
+  };
+  if (request.vertices.empty()) {
+    return reject_invalid(ErrorStatus(StatusCode::kInvalidArgument)
+                          << "request names no vertices");
+  }
+  const int64_t num_vertices = entry->data().graph.num_vertices();
+  for (int32_t v : request.vertices) {
+    if (v < 0 || v >= num_vertices) {
+      return reject_invalid(ErrorStatus(StatusCode::kInvalidArgument)
+                            << "vertex " << v << " out of range [0, " << num_vertices << ")");
+    }
+  }
+  if (request.model_fingerprint != 0 && request.model_fingerprint != entry->fingerprint()) {
+    return reject_invalid(ErrorStatus(StatusCode::kInvalidArgument)
+                          << "request pins model fingerprint " << request.model_fingerprint
+                          << " but tenant '" << tenant->config.name << "' runs "
+                          << entry->fingerprint() << " ('" << entry->model_id() << "' v"
+                          << entry->version() << ")");
   }
 
   auto pending = std::make_unique<PendingRequest>();
@@ -271,52 +376,221 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
   }
   pending->request = std::move(request);
   pending->id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  pending->batch_key = fingerprint_;  // One model per server today; the key
-                                      // exists so multi-model servers batch
-                                      // correctly without an API change.
+  pending->tenant_index = tenant->index;
+  // RCU pin: this request is answered by the entry it was admitted against,
+  // even if a hot-swap flips the live entry while it waits.
+  pending->batch_key = BatchKeyFor(entry->fingerprint(), tenant->index);
+  pending->entry = std::move(entry);
   pending->admitted_at = Clock::now();
   const uint64_t id = pending->id;
   std::future<StatusOr<InferenceResponse>> future = pending->promise.get_future();
 
-  Status pushed = queue_.TryPush(std::move(pending));
-  if (!pushed.ok()) {
-    // Answer immediately so the client can back off instead of waiting out
-    // its deadline. A full queue is a shed (inside the submitted identity —
-    // both counters move under one lock so no reader sees the request half
-    // accounted); a closed queue is a rejection — the request never entered
-    // the serving pipeline.
-    if (pushed.code() == StatusCode::kUnavailable) {
-      UpdateStats([](ServerStats& s) { ++s.rejected; });
-      metrics.rejected->Add(1);
-    } else {
-      UpdateStats([](ServerStats& s) {
-        ++s.submitted;
-        ++s.shed;
+  const AdmitResult admitted = queue_.TryPush(std::move(pending));
+  switch (admitted) {
+    case AdmitResult::kAdmitted:
+      UpdateStats(*tenant, [](ServerStats& g, TenantStats& t) {
+        ++g.submitted;
+        ++t.submitted;
       });
       metrics.submitted->Add(1);
+      tenant->m_submitted->Add(1);
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+      return future;
+    case AdmitResult::kClosed:
+      // The request never entered the serving pipeline: a rejection, outside
+      // the submitted identity.
+      UpdateStats(*tenant, [](ServerStats& g, TenantStats& t) {
+        ++g.rejected;
+        ++t.rejected;
+      });
+      metrics.rejected->Add(1);
+      tenant->m_rejected->Add(1);
+      rejected.set_value(ErrorStatus(StatusCode::kUnavailable)
+                         << "admission queue closed (shutting down)");
+      return rejected_future;
+    case AdmitResult::kShedCapacity:
+    case AdmitResult::kShedQuota: {
+      // Answer immediately so the client can back off instead of waiting out
+      // its deadline. Sheds are inside the submitted identity — all counters
+      // move under one lock so no reader sees the request half accounted.
+      const bool quota = admitted == AdmitResult::kShedQuota;
+      UpdateStats(*tenant, [quota](ServerStats& g, TenantStats& t) {
+        ++g.submitted;
+        ++t.submitted;
+        ++g.shed;
+        ++t.shed;
+        if (quota) {
+          ++g.quota_shed;
+          ++t.quota_shed;
+        }
+      });
+      metrics.submitted->Add(1);
+      tenant->m_submitted->Add(1);
       metrics.shed->Add(1);
-      FlightRecorder::Get().Record("serve", "request shed (queue full)", id);
+      tenant->m_shed->Add(1);
+      if (quota) {
+        metrics.quota_shed->Add(1);
+        tenant->m_quota_shed->Add(1);
+        FlightRecorder::Get().Record("serve", "request shed (tenant over quota)", id,
+                                     static_cast<int64_t>(tenant->index));
+        rejected.set_value(ErrorStatus(StatusCode::kResourceExhausted)
+                           << "tenant '" << tenant->config.name << "' over admission quota ("
+                           << tenant->config.max_queued << " queued): request shed");
+      } else {
+        FlightRecorder::Get().Record("serve", "request shed (queue full)", id);
+        rejected.set_value(ErrorStatus(StatusCode::kResourceExhausted)
+                           << "admission queue full (capacity " << queue_.capacity()
+                           << "): request shed");
+      }
+      return rejected_future;
     }
-    rejected.set_value(pushed);
-    return rejected_future;
   }
-  UpdateStats([](ServerStats& s) { ++s.submitted; });
-  metrics.submitted->Add(1);
-  metrics.queue_depth->Set(static_cast<double>(queue_.size()));
-  return future;
+  rejected.set_value(ErrorStatus(StatusCode::kInternal) << "unreachable admission outcome");
+  return rejected_future;
 }
 
 StatusOr<InferenceResponse> Server::Infer(InferenceRequest request) {
   return Submit(std::move(request)).get();
 }
 
+std::future<StatusOr<int64_t>> Server::RequestHotSwap(const std::string& model_id,
+                                                      const std::string& checkpoint_path) {
+  std::promise<StatusOr<int64_t>> promise;
+  std::future<StatusOr<int64_t>> future = promise.get_future();
+  if (!started_.load(std::memory_order_acquire)) {
+    promise.set_value(ErrorStatus(StatusCode::kFailedPrecondition)
+                      << "hot-swap requires a started server");
+    return future;
+  }
+  // Staging — checkpoint load + factory build + weight copy — happens on
+  // *this* thread; serving is untouched until the serving thread warms and
+  // publishes the staged entry between batches.
+  StatusOr<std::shared_ptr<const ModelEntry>> staged =
+      registry_->PrepareSwap(model_id, checkpoint_path);
+  if (!staged.has_value()) {
+    UpdateStats([](ServerStats& s) { ++s.swap_failures; });
+    GetServeMetrics().swap_failures->Add(1);
+    FlightRecorder::Get().Record("swap", "stage failed", 0,
+                                 static_cast<int64_t>(staged.status().code()));
+    promise.set_value(staged.status());
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      promise.set_value(ErrorStatus(StatusCode::kUnavailable)
+                        << "server shutting down; staged swap dropped");
+      return future;
+    }
+    pending_swaps_.push_back(PendingSwap{std::move(staged.value()), std::move(promise)});
+  }
+  return future;
+}
+
+StatusOr<int64_t> Server::HotSwap(const std::string& model_id,
+                                  const std::string& checkpoint_path) {
+  return RequestHotSwap(model_id, checkpoint_path).get();
+}
+
+void Server::ProcessPendingSwaps() {
+  std::deque<PendingSwap> staged;
+  {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    staged.swap(pending_swaps_);
+  }
+  for (PendingSwap& swap : staged) {
+    const std::string model_id = swap.staged->model_id();
+    const int64_t version = swap.staged->version();
+    char detail[88];
+    ProfileScope swap_scope(profiler_, "swap", "serve");
+
+    // Warmup forward of the staged entry: compiles nothing new (same
+    // architecture -> PlanCache hits), touches only pooled tensors, and
+    // produces the logits that seed the affected tenants' LKG caches. A
+    // swap that cannot complete one forward must not go live.
+    std::snprintf(detail, sizeof(detail), "warm %s v%lld", model_id.c_str(),
+                  static_cast<long long>(version));
+    FlightRecorder::Get().Record("swap", detail, version);
+    Deadline no_deadline;
+    int retries_paid = 0;
+    AttemptResult warm = ExecuteWithRetries(*swap.staged, no_deadline, &retries_paid);
+    UpdateStats([retries_paid](ServerStats& s) { s.retries += retries_paid; });
+    GetServeMetrics().retries->Add(retries_paid);
+    if (!warm.status.ok()) {
+      UpdateStats([](ServerStats& s) { ++s.swap_failures; });
+      GetServeMetrics().swap_failures->Add(1);
+      std::snprintf(detail, sizeof(detail), "warm failed %s v%lld", model_id.c_str(),
+                    static_cast<long long>(version));
+      FlightRecorder::Get().Record("swap", detail, version,
+                                   static_cast<int64_t>(warm.status.code()));
+      SEASTAR_LOG(Warning) << "hot-swap: warmup of '" << model_id << "' v" << version
+                           << " failed (" << warm.status.message() << "); old version stays live";
+      swap.promise.set_value(warm.status);
+      continue;
+    }
+
+    StatusOr<std::shared_ptr<const ModelEntry>> replaced =
+        registry_->Publish(std::move(swap.staged));
+    if (!replaced.has_value()) {
+      UpdateStats([](ServerStats& s) { ++s.swap_failures; });
+      GetServeMetrics().swap_failures->Add(1);
+      swap.promise.set_value(replaced.status());
+      continue;
+    }
+
+    for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+      if (tenant->config.model_id != model_id) {
+        continue;
+      }
+      {
+        // Fresh LKG from the new weights: degraded answers track the version
+        // new admissions are pinned to.
+        std::lock_guard<std::mutex> lock(lkg_mutex_);
+        tenant->lkg = warm.logits.Clone();
+      }
+      // Accumulated failure state described the old weights; an OPEN breaker
+      // probes the new version on the very next batch.
+      tenant->breaker->NoteBackendReplaced();
+    }
+
+    UpdateStats([](ServerStats& s) { ++s.swaps; });
+    GetServeMetrics().swaps->Add(1);
+    std::snprintf(detail, sizeof(detail), "flip %s v%lld -> v%lld", model_id.c_str(),
+                  static_cast<long long>(replaced.value()->version()),
+                  static_cast<long long>(version));
+    FlightRecorder::Get().Record("swap", detail, version);
+    SEASTAR_LOG(Info) << "hot-swap: '" << model_id << "' v" << replaced.value()->version()
+                      << " -> v" << version << " live; old version drains in flight";
+    swap.promise.set_value(version);
+    // `replaced` drops here; the old generation retires once in-flight
+    // requests release their pins (PollRetirements observes the drain).
+  }
+}
+
+void Server::PollRetirements() {
+  for (const RetiredEntry& retired : registry_->PollRetired()) {
+    UpdateStats([](ServerStats& s) { ++s.swap_retired; });
+    GetServeMetrics().swap_retired->Add(1);
+    char detail[88];
+    std::snprintf(detail, sizeof(detail), "retire %s v%lld (drained)", retired.model_id.c_str(),
+                  static_cast<long long>(retired.version));
+    FlightRecorder::Get().Record("swap", detail, retired.version);
+    SEASTAR_LOG(Info) << "hot-swap: '" << retired.model_id << "' v" << retired.version
+                      << " fully drained and retired";
+  }
+}
+
 void Server::ServeLoop() {
   const ServeMetrics& metrics = GetServeMetrics();
   for (;;) {
+    ProcessPendingSwaps();
+    PollRetirements();
     std::vector<std::unique_ptr<PendingRequest>> batch = batcher_.NextBatch();
     metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     if (batch.empty()) {
       if (queue_.closed() && queue_.size() == 0) {
+        ProcessPendingSwaps();  // Fail-or-apply anything staged mid-shutdown.
+        PollRetirements();
         return;  // Drained; shutdown completes.
       }
       continue;
@@ -327,7 +601,7 @@ void Server::ServeLoop() {
   }
 }
 
-Server::AttemptResult Server::RunForwardOnce(const Deadline& deadline) {
+Server::AttemptResult Server::RunForwardOnce(const ModelEntry& entry, const Deadline& deadline) {
   AttemptResult result;
   TensorAllocator& allocator = TensorAllocator::Get();
   UpdateStats([](ServerStats& s) { ++s.batches; });
@@ -336,7 +610,7 @@ Server::AttemptResult Server::RunForwardOnce(const Deadline& deadline) {
     // The executors poll this deadline at unit/op boundaries
     // (CheckExecutionDeadline) and abort expired work mid-forward.
     ScopedDeadline ambient(&deadline);
-    Var out = model_.Forward(/*training=*/false);
+    Var out = entry.model().Forward(/*training=*/false);
     if (allocator.failure_injected()) {
       allocator.ClearInjectedFailure();
       result.status = ErrorStatus(StatusCode::kUnavailable)
@@ -372,13 +646,12 @@ Server::AttemptResult Server::RunForwardOnce(const Deadline& deadline) {
   }
 }
 
-Server::AttemptResult Server::ExecuteWithRetries(const Deadline& deadline, int* retries_paid) {
+Server::AttemptResult Server::ExecuteWithRetries(const ModelEntry& entry, const Deadline& deadline,
+                                                 int* retries_paid) {
   AttemptResult result;
   for (int attempt = 0;; ++attempt) {
-    result = RunForwardOnce(deadline);
+    result = RunForwardOnce(entry, deadline);
     if (result.status.ok()) {
-      std::lock_guard<std::mutex> lock(lkg_mutex_);
-      lkg_logits_ = result.logits.Clone();
       return result;
     }
     if (!result.retryable || attempt >= config_.max_retries) {
@@ -405,8 +678,8 @@ Server::AttemptResult Server::ExecuteWithRetries(const Deadline& deadline, int* 
 }
 
 void Server::FulfillFromLogits(const Tensor& logits,
-                               std::vector<std::unique_ptr<PendingRequest>>& batch, bool degraded,
-                               int retries_paid) {
+                               std::vector<std::unique_ptr<PendingRequest>>& batch,
+                               Tenant& tenant, bool degraded, int retries_paid) {
   const ServeMetrics& metrics = GetServeMetrics();
   const int batch_size = static_cast<int>(batch.size());
   const int64_t num_classes = logits.dim(1);
@@ -415,8 +688,12 @@ void Server::FulfillFromLogits(const Tensor& logits,
     if (pending->deadline.armed() && pending->deadline.expired()) {
       // The batch made it, this request's budget didn't: its client has
       // already moved on, so the answer would only be discarded.
-      UpdateStats([](ServerStats& s) { ++s.expired; });
+      UpdateStats(tenant, [](ServerStats& g, TenantStats& t) {
+        ++g.expired;
+        ++t.expired;
+      });
       metrics.expired->Add(1);
+      tenant.m_expired->Add(1);
       FlightRecorder::Get().Record("serve", "request expired before fulfillment", pending->id);
       pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
                                  << "deadline expired before fulfillment");
@@ -436,21 +713,35 @@ void Server::FulfillFromLogits(const Tensor& logits,
     response.queue_ms = MillisBetween(pending->admitted_at, pending->dequeued_at);
     response.exec_ms = MillisBetween(pending->dequeued_at, now);
     response.total_ms = MillisBetween(pending->admitted_at, now);
-    UpdateStats([degraded](ServerStats& s) { ++(degraded ? s.degraded : s.served); });
+    if (pending->entry != nullptr) {
+      // The version pinned at admission, not whatever is live now.
+      response.model_id = pending->entry->model_id();
+      response.model_version = pending->entry->version();
+    }
+    response.tenant = tenant.config.name;
+    UpdateStats(tenant, [degraded](ServerStats& g, TenantStats& t) {
+      ++(degraded ? g.degraded : g.served);
+      ++(degraded ? t.degraded : t.served);
+    });
     (degraded ? metrics.degraded : metrics.served)->Add(1);
+    (degraded ? tenant.m_degraded : tenant.m_served)->Add(1);
     metrics.queue_wait->Record(response.queue_ms);
-    RecordLatency(response.total_ms);
+    RecordLatency(tenant, response.total_ms);
     pending->promise.set_value(std::move(response));
   }
 }
 
-void Server::FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch,
+void Server::FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch, Tenant& tenant,
                        const Status& status) {
   const ServeMetrics& metrics = GetServeMetrics();
   const bool is_deadline = status.code() == StatusCode::kDeadlineExceeded;
   const int64_t n = static_cast<int64_t>(batch.size());
-  UpdateStats([is_deadline, n](ServerStats& s) { (is_deadline ? s.expired : s.failed) += n; });
+  UpdateStats(tenant, [is_deadline, n](ServerStats& g, TenantStats& t) {
+    (is_deadline ? g.expired : g.failed) += n;
+    (is_deadline ? t.expired : t.failed) += n;
+  });
   (is_deadline ? metrics.expired : metrics.failed)->Add(n);
+  (is_deadline ? tenant.m_expired : tenant.m_failed)->Add(n);
   FlightRecorder::Get().Record("serve", is_deadline ? "batch expired" : "batch failed", n,
                                static_cast<int64_t>(status.code()));
   for (std::unique_ptr<PendingRequest>& pending : batch) {
@@ -460,14 +751,23 @@ void Server::FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch,
 
 void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
   const ServeMetrics& metrics = GetServeMetrics();
+  // The batch key pins (entry, tenant), so the whole batch shares both.
+  Tenant& tenant = *tenants_[batch.front()->tenant_index];
+  const std::shared_ptr<const ModelEntry> entry = batch.front()->entry;
+  CircuitBreaker& breaker = *tenant.breaker;
+
   // Drop requests that expired while queued before spending a forward (or a
   // degraded gather) on them.
   std::vector<std::unique_ptr<PendingRequest>> live;
   live.reserve(batch.size());
   for (std::unique_ptr<PendingRequest>& pending : batch) {
     if (pending->deadline.armed() && pending->deadline.expired()) {
-      UpdateStats([](ServerStats& s) { ++s.expired; });
+      UpdateStats(tenant, [](ServerStats& g, TenantStats& t) {
+        ++g.expired;
+        ++t.expired;
+      });
       metrics.expired->Add(1);
+      tenant.m_expired->Add(1);
       FlightRecorder::Get().Record("serve", "request expired while queued", pending->id);
       pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
                                  << "deadline expired while queued");
@@ -482,25 +782,26 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
 
   ProfileScope batch_scope(profiler_, "batch", "serve");
 
-  if (!breaker_.AllowExecution()) {
-    // Breaker open: answer from the last-known-good cache, never touch the
-    // failing execution path.
+  if (!breaker.AllowExecution()) {
+    // Breaker open: answer from this tenant's last-known-good cache, never
+    // touch the failing execution path.
     Tensor lkg;
     {
       std::lock_guard<std::mutex> lock(lkg_mutex_);
-      lkg = lkg_logits_;
+      lkg = tenant.lkg;
     }
     if (config_.degraded_fallback && lkg.defined()) {
       ProfileScope degraded_scope(profiler_, "degraded", "serve");
-      FulfillFromLogits(lkg, live, /*degraded=*/true, /*retries_paid=*/0);
+      FulfillFromLogits(lkg, live, tenant, /*degraded=*/true, /*retries_paid=*/0);
     } else {
-      FailBatch(live, ErrorStatus(StatusCode::kUnavailable)
-                          << "circuit breaker open (" << breaker_.last_trip_reason()
-                          << ") and no cached predictions available");
+      FailBatch(live, tenant,
+                ErrorStatus(StatusCode::kUnavailable)
+                    << "circuit breaker open (" << breaker.last_trip_reason()
+                    << ") and no cached predictions available");
     }
     return;
   }
-  const bool is_probe = breaker_.state() == BreakerState::kHalfOpen;
+  const bool is_probe = breaker.state() == BreakerState::kHalfOpen;
   ProfileScope probe_scope(is_probe ? profiler_ : nullptr, "probe", "serve");
 
   // Execute under the *most patient* deadline in the batch: abort only once
@@ -521,14 +822,38 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     exec_deadline = Deadline::At(latest);
   }
 
+  // A misbehaving tenant's faults are scoped to *its* forward: armed just
+  // before execution, disarmed before fulfillment (response-tensor gathers
+  // must not inherit them) and before any other tenant's batch runs. The
+  // single serving thread makes this race-free.
+  FaultInjector& faults = FaultInjector::Get();
+  const bool tenant_faults = !tenant.config.fault_spec.empty();
+  if (tenant_faults) {
+    std::string spec_error;
+    if (!faults.ConfigureFromSpec(tenant.config.fault_spec, &spec_error)) {
+      SEASTAR_LOG(Warning) << "tenant '" << tenant.config.name << "': bad fault spec: "
+                           << spec_error;
+    }
+  }
   int retries_paid = 0;
-  AttemptResult result = ExecuteWithRetries(exec_deadline, &retries_paid);
-  UpdateStats([retries_paid](ServerStats& s) { s.retries += retries_paid; });
+  AttemptResult result = ExecuteWithRetries(*entry, exec_deadline, &retries_paid);
+  if (tenant_faults) {
+    faults.DisarmAll();
+  }
+  UpdateStats(tenant, [retries_paid](ServerStats& g, TenantStats& t) {
+    g.retries += retries_paid;
+    t.retries += retries_paid;
+    t.batches += retries_paid + 1;  // Attempts = retries + the final one.
+  });
   metrics.retries->Add(retries_paid);
 
   if (result.status.ok()) {
-    breaker_.RecordSuccess();
-    FulfillFromLogits(result.logits, live, /*degraded=*/false, retries_paid);
+    breaker.RecordSuccess();
+    {
+      std::lock_guard<std::mutex> lock(lkg_mutex_);
+      tenant.lkg = result.logits.Clone();
+    }
+    FulfillFromLogits(result.logits, live, tenant, /*degraded=*/false, retries_paid);
     return;
   }
 
@@ -539,24 +864,29 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     // as success or failure. An aborted probe still has to release the
     // half-open state, though, or no batch would ever probe again.
     if (is_probe) {
-      breaker_.RecordProbeAbandoned();
+      breaker.RecordProbeAbandoned();
     }
-    FailBatch(live, result.status);
+    FailBatch(live, tenant, result.status);
     return;
   }
 
-  breaker_.RecordFailure(result.status.message());
+  breaker.RecordFailure(result.status.message());
   Tensor lkg;
   {
     std::lock_guard<std::mutex> lock(lkg_mutex_);
-    lkg = lkg_logits_;
+    lkg = tenant.lkg;
   }
   if (config_.degraded_fallback && lkg.defined()) {
     ProfileScope degraded_scope(profiler_, "degraded", "serve");
-    FulfillFromLogits(lkg, live, /*degraded=*/true, retries_paid);
+    FulfillFromLogits(lkg, live, tenant, /*degraded=*/true, retries_paid);
   } else {
-    FailBatch(live, result.status);
+    FailBatch(live, tenant, result.status);
   }
+}
+
+uint64_t Server::serving_fingerprint() const {
+  std::shared_ptr<const ModelEntry> entry = registry_->Lookup(tenants_[0]->config.model_id);
+  return entry == nullptr ? 0 : entry->fingerprint();
 }
 
 ServerStats Server::stats() const {
@@ -567,16 +897,54 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats = stats_;
   }
-  // Breaker counters sit outside the identity; the breaker's own mutex keeps
-  // them mutually consistent.
-  stats.breaker_trips = breaker_.trips();
-  stats.breaker_recoveries = breaker_.recoveries();
-  stats.breaker_probes = breaker_.probes();
+  // Breaker counters sit outside the identity; each breaker's own mutex
+  // keeps its counters mutually consistent.
+  for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+    stats.breaker_trips += tenant->breaker->trips();
+    stats.breaker_recoveries += tenant->breaker->recoveries();
+    stats.breaker_probes += tenant->breaker->probes();
+  }
   return stats;
 }
 
-LatencySummary Server::latency_summary() const {
-  const metrics::HistogramSnapshot snapshot = latency_hist_.Snapshot();
+StatusOr<TenantStats> Server::tenant_stats(const std::string& tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return ErrorStatus(StatusCode::kNotFound) << "unknown tenant '" << tenant << "'";
+  }
+  TenantStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = t->stats;
+  }
+  stats.breaker_trips = t->breaker->trips();
+  stats.breaker_recoveries = t->breaker->recoveries();
+  stats.breaker_probes = t->breaker->probes();
+  return stats;
+}
+
+std::vector<std::string> Server::tenant_names() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+    names.push_back(tenant->config.name);
+  }
+  return names;
+}
+
+BreakerState Server::breaker_state() const { return tenants_[0]->breaker->state(); }
+
+StatusOr<BreakerState> Server::tenant_breaker_state(const std::string& tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return ErrorStatus(StatusCode::kNotFound) << "unknown tenant '" << tenant << "'";
+  }
+  return t->breaker->state();
+}
+
+namespace {
+
+LatencySummary SummaryFromSnapshot(const metrics::HistogramSnapshot& snapshot) {
   LatencySummary summary;
   summary.count = snapshot.count;
   summary.p50_ms = snapshot.p50;
@@ -586,8 +954,23 @@ LatencySummary Server::latency_summary() const {
   return summary;
 }
 
-void Server::RecordLatency(double total_ms) {
+}  // namespace
+
+LatencySummary Server::latency_summary() const {
+  return SummaryFromSnapshot(latency_hist_.Snapshot());
+}
+
+StatusOr<LatencySummary> Server::tenant_latency_summary(const std::string& tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return ErrorStatus(StatusCode::kNotFound) << "unknown tenant '" << tenant << "'";
+  }
+  return SummaryFromSnapshot(t->latency_hist.Snapshot());
+}
+
+void Server::RecordLatency(Tenant& tenant, double total_ms) {
   latency_hist_.Record(total_ms);
+  tenant.latency_hist.Record(total_ms);
   GetServeMetrics().request_latency->Record(total_ms);
 }
 

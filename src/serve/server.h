@@ -1,24 +1,44 @@
-// Hardened inference server over a trained GNN model.
+// Hardened multi-tenant inference server over trained GNN models.
 //
-// The pipeline, per docs/INTERNALS.md §11:
+// The pipeline, per docs/INTERNALS.md §11 and §16:
 //
-//   Submit -> [bounded admission queue] -> [micro-batcher] -> execute
-//                    |  full: shed                |             |
-//                    v                            v             v
-//              kResourceExhausted        deadline checks   retry w/ backoff
-//                                        between units     on transient faults
-//                                                               |
-//                                              circuit breaker on repeated
-//                                              failure / NaN -> degraded mode
-//                                              (last-known-good cache) until
-//                                              a probe forward succeeds
+//   Submit -> [per-tenant quota] -> [bounded admission queue] -> [micro-batcher]
+//                 |  over cap           |  full: shed            weighted-fair
+//                 v                     v                        leader pick
+//            kResourceExhausted    kResourceExhausted                |
+//                                                                    v
+//                                              execute against the entry each
+//                                              request *pinned at admission*
+//                                              (RCU hot-swap), retry w/ backoff,
+//                                              per-tenant circuit breaker ->
+//                                              per-tenant degraded LKG cache
 //
-// One serving thread owns execution: it forms batches, runs the forward
-// under the batch's deadline (ScopedDeadline; the executors poll it at unit
-// boundaries and abort expired work), retries transient faults with
-// exponential backoff, asks the circuit breaker before every batch, and
-// fulfills each request's promise. Clients only touch the queue, so client
-// threads never contend on model state.
+// One serving thread owns execution: it applies staged weight swaps between
+// batches, forms batches, runs the forward under the batch's deadline
+// (ScopedDeadline; the executors poll it at unit boundaries and abort
+// expired work), retries transient faults with exponential backoff, asks the
+// owning tenant's circuit breaker before every batch, and fulfills each
+// request's promise. Clients only touch the queue, so client threads never
+// contend on model state.
+//
+// Multi-tenancy: a ModelRegistry holds the (model, graph, version) entries;
+// each tenant names the model id it is served by, carries its own admission
+// quota and fair-share weight (enforced in AdmissionQueue), its own circuit
+// breaker and last-known-good cache, and its own accounting — the identity
+//   submitted == served + degraded + shed + expired + failed
+// holds per tenant, not just globally, with every counter pair updated under
+// one lock.
+//
+// Hot swap (zero downtime): RequestHotSwap stages version N+1 on the calling
+// thread (checkpoint load + weight copy; serving continues unaffected), then
+// the serving thread warms it with one forward — all plans come from the
+// process-wide PlanCache and all tensors from the allocator pool, so a swap
+// of the same architecture compiles nothing — seeds the affected tenants'
+// LKG caches from the warm logits, atomically publishes the new entry, and
+// pokes those tenants' breakers so an OPEN breaker probes the new weights
+// immediately. Requests admitted before the flip pinned the old entry and
+// are served by it; the old generation retires only after the last such
+// request drains.
 //
 // Warm-path guarantees inherited from PR 3: after the first forward, every
 // plan comes from the PlanCache and every tensor from the allocator pool —
@@ -28,7 +48,9 @@
 #define SRC_SERVE_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -41,6 +63,7 @@
 #include "src/serve/admission_queue.h"
 #include "src/serve/batcher.h"
 #include "src/serve/circuit_breaker.h"
+#include "src/serve/model_registry.h"
 #include "src/serve/request.h"
 
 namespace seastar {
@@ -49,10 +72,33 @@ class Profiler;
 
 namespace serve {
 
+// One serving tenant: a named traffic class bound to a registry model id,
+// with its own QoS knobs and failure domain.
+struct TenantConfig {
+  std::string name = "default";
+  std::string model_id = "default";
+  // Weighted-fair share of batch dispatches relative to other tenants.
+  double weight = 1.0;
+  // Cap on this tenant's queued backlog (admission quota); 0 = bounded only
+  // by the shared queue capacity.
+  int max_queued = 0;
+  // Fault-injection spec (src/common/fault.h grammar) armed around *this
+  // tenant's* forward executions only — the "misbehaving tenant" drill knob.
+  // Arms the process FaultInjector for the duration of the tenant's batch,
+  // so it must not be combined with externally armed global faults. "" = off.
+  std::string fault_spec;
+};
+
 struct ServeConfig {
   // ---- Admission ---------------------------------------------------------
   int queue_capacity = 64;  // Requests beyond this are shed at the door.
   double default_deadline_ms = 100.0;  // For requests with deadline_ms == 0.
+
+  // ---- Tenants -----------------------------------------------------------
+  // Empty = one default tenant (weight 1, no quota) bound to the registry's
+  // single entry. Names must be unique; an empty request.tenant routes to
+  // tenants[0].
+  std::vector<TenantConfig> tenants;
 
   // ---- Batching ----------------------------------------------------------
   int max_batch = 8;
@@ -63,7 +109,7 @@ struct ServeConfig {
   int max_retries = 2;                 // Attempts = 1 + max_retries.
   double retry_base_backoff_ms = 0.5;  // Backoff = base * 2^attempt.
 
-  // ---- Circuit breaker ---------------------------------------------------
+  // ---- Circuit breaker (instantiated per tenant) -------------------------
   int breaker_trip_after = 3;              // Consecutive batch failures.
   double breaker_probe_interval_ms = 25.0;  // One probe per interval while open.
   // Serve last-known-good cached predictions while the breaker is open (or
@@ -71,12 +117,13 @@ struct ServeConfig {
   bool degraded_fallback = true;
 
   // ---- Boot --------------------------------------------------------------
-  // Trained snapshot to restore parameters from before serving; "" serves
-  // the model's fresh initialization (useful in tests).
+  // Trained snapshot restored into the *default tenant's* model before
+  // serving; "" serves the registered weights as-is. Multi-model fleets
+  // instead pass per-model checkpoints to ModelRegistry::Register.
   std::string checkpoint_path;
   int boot_retries = 3;  // Retries for transient checkpoint-read faults.
-  // Run one forward at Start() to compile plans, warm the allocator pool,
-  // and seed the last-known-good cache.
+  // Run one forward per distinct model at Start() to compile plans, warm the
+  // allocator pool, and seed the last-known-good caches.
   bool warmup = true;
 
   // ---- Observability -----------------------------------------------------
@@ -88,27 +135,52 @@ struct ServeConfig {
 // Monotone counters; a quiesced server satisfies
 //   submitted == served + degraded + shed + expired + failed.
 // Rejected requests never enter the serving pipeline and sit outside that
-// identity. stats() returns one snapshot taken under a single lock, so the
-// identity holds for the snapshot itself whenever the server is quiesced —
-// readers never see `submitted` without the matching outcome counter. The
-// same increments are mirrored into the process metrics registry
-// (seastar_serve_*_total), so the identity can be checked from a --metrics-out
-// snapshot too.
+// identity; quota_shed is the subset of shed attributed to a tenant's own
+// admission quota (not the shared capacity). stats() returns one snapshot
+// taken under a single lock, so the identity holds for the snapshot itself
+// whenever the server is quiesced — readers never see `submitted` without
+// the matching outcome counter. The same increments are mirrored into the
+// process metrics registry (seastar_serve_*_total), so the identity can be
+// checked from a --metrics-out snapshot too.
 struct ServerStats {
   int64_t submitted = 0;  // Requests admitted or shed (validated, not rejected).
-  int64_t rejected = 0;   // Invalid (bad vertices / fingerprint) or queue closed.
-  int64_t shed = 0;       // Turned away at the full admission queue.
+  int64_t rejected = 0;   // Invalid (bad vertices / fingerprint / tenant) or queue closed.
+  int64_t shed = 0;       // Turned away at the door (capacity or quota).
+  int64_t quota_shed = 0;  // Subset of shed: the tenant's own quota.
   int64_t served = 0;     // Fresh forward-pass answers.
   int64_t degraded = 0;   // Answered from the last-known-good cache.
   int64_t expired = 0;    // Deadline passed (in queue or mid-execution).
   int64_t failed = 0;     // Everything else (retries exhausted, no LKG, ...).
   int64_t retries = 0;        // Transient-fault retry attempts paid.
   int64_t batches = 0;        // Forward passes attempted (incl. retries).
-  int64_t breaker_trips = 0;
+  int64_t breaker_trips = 0;        // Summed over tenants.
   int64_t breaker_recoveries = 0;
   int64_t breaker_probes = 0;
   int64_t deadline_unit_aborts = 0;  // Executions aborted at a unit boundary.
   int64_t boot_retries = 0;          // Checkpoint-read retries during Start().
+  int64_t swaps = 0;           // Hot-swaps flipped live.
+  int64_t swap_failures = 0;   // Staged swaps that failed warmup/publish.
+  int64_t swap_retired = 0;    // Old generations fully drained and retired.
+};
+
+// Per-tenant slice of the identity, plus that tenant's breaker counters.
+// For every tenant, submitted == served + degraded + shed + expired + failed
+// holds exactly (quota_shed ⊆ shed), and the per-tenant counters sum to the
+// global ServerStats identity fields.
+struct TenantStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;
+  int64_t shed = 0;
+  int64_t quota_shed = 0;
+  int64_t served = 0;
+  int64_t degraded = 0;
+  int64_t expired = 0;
+  int64_t failed = 0;
+  int64_t retries = 0;
+  int64_t batches = 0;
+  int64_t breaker_trips = 0;
+  int64_t breaker_recoveries = 0;
+  int64_t breaker_probes = 0;
 };
 
 struct LatencySummary {
@@ -121,41 +193,73 @@ struct LatencySummary {
 
 class Server {
  public:
-  // `model` and `data` must outlive the server; the model must have been
-  // built against `data`'s graph.
+  // Single-tenant compatibility: serves `model` (which, with `data`, must
+  // outlive the server) as model id "default" through an internally owned
+  // registry. Borrowed models cannot hot-swap.
   Server(GnnModel& model, const Dataset& data, ServeConfig config);
+
+  // Multi-tenant: serves the entries of `registry` (pre-populated by the
+  // caller; shared so swap tooling can address it too). Every tenant in
+  // `config.tenants` must resolve to a registered model id by Start().
+  Server(std::shared_ptr<ModelRegistry> registry, ServeConfig config);
+
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Boots (checkpoint restore with transient-fault retries, warmup forward)
-  // and starts the serving thread. Must be called once before Submit.
+  // Boots (checkpoint restore with transient-fault retries, one warmup
+  // forward per distinct model) and starts the serving thread. Must be
+  // called once before Submit.
   Status Start();
 
   // Closes admission, drains queued requests (every outstanding future is
-  // fulfilled), and joins the serving thread. Idempotent.
+  // fulfilled), fails pending swaps, and joins the serving thread. Idempotent.
   void Shutdown();
 
-  // Admits a request. The returned future is always eventually fulfilled —
-  // immediately with a Status for invalid/shed/closed requests, by the
-  // serving thread otherwise.
+  // Admits a request (routing by request.tenant). The returned future is
+  // always eventually fulfilled — immediately with a Status for
+  // invalid/shed/closed requests, by the serving thread otherwise.
   std::future<StatusOr<InferenceResponse>> Submit(InferenceRequest request);
 
   // Blocking convenience wrapper.
   StatusOr<InferenceResponse> Infer(InferenceRequest request);
 
-  // The (model, graph) identity requests may pin via model_fingerprint.
-  uint64_t serving_fingerprint() const { return fingerprint_; }
+  // Zero-downtime weight hot-swap: stages `checkpoint_path` as the next
+  // version of `model_id` on the calling thread (tag-checked load + weight
+  // copy into a fresh factory-built model), then hands it to the serving
+  // thread, which — between batches — runs the warmup forward, seeds the
+  // affected tenants' LKG caches, publishes the entry, and resets their
+  // breakers' backend state. The future resolves with the new version number
+  // after the flip (or the staging/warmup error). Requires Start().
+  std::future<StatusOr<int64_t>> RequestHotSwap(const std::string& model_id,
+                                                const std::string& checkpoint_path);
+
+  // Blocking convenience wrapper around RequestHotSwap.
+  StatusOr<int64_t> HotSwap(const std::string& model_id, const std::string& checkpoint_path);
+
+  // The (model, graph, version) identity requests may pin via
+  // model_fingerprint — the default tenant's *live* entry (changes on swap).
+  uint64_t serving_fingerprint() const;
 
   ServerStats stats() const;
-  BreakerState breaker_state() const { return breaker_.state(); }
+  StatusOr<TenantStats> tenant_stats(const std::string& tenant) const;
+  std::vector<std::string> tenant_names() const;
+
+  // Default tenant's breaker (single-tenant compatibility).
+  BreakerState breaker_state() const;
+  StatusOr<BreakerState> tenant_breaker_state(const std::string& tenant) const;
+
   // Percentiles over end-to-end latency of answered (served or degraded)
-  // requests. Served from this server's log-bucketed histogram: quantiles
-  // carry the bucket's relative error (<= 1/16) instead of being exact, in
-  // exchange for an O(1)-memory record path with no lock and no allocation.
+  // requests, all tenants pooled. Served from a log-bucketed histogram:
+  // quantiles carry the bucket's relative error (<= 1/16) instead of being
+  // exact, in exchange for an O(1)-memory record path with no lock and no
+  // allocation.
   LatencySummary latency_summary() const;
+  StatusOr<LatencySummary> tenant_latency_summary(const std::string& tenant) const;
+
   int queue_depth() const { return queue_.size(); }
+  ModelRegistry& registry() { return *registry_; }
 
  private:
   struct AttemptResult {
@@ -165,63 +269,108 @@ class Server {
     bool unit_abort = false;  // Execution aborted at a deadline check.
   };
 
+  // Per-tenant runtime state. Stats fields are guarded by stats_mutex_, the
+  // LKG tensor by lkg_mutex_; the breaker guards itself.
+  struct Tenant {
+    uint32_t index = 0;
+    TenantConfig config;
+    std::unique_ptr<CircuitBreaker> breaker;
+    Tensor lkg;               // Last-known-good full-graph logits.
+    TenantStats stats;
+    metrics::Histogram latency_hist{"tenant_latency_ms"};
+    // Cached registry handles (label baked into the metric name) so the
+    // per-request path never performs a registry lookup.
+    metrics::Counter* m_submitted = nullptr;
+    metrics::Counter* m_rejected = nullptr;
+    metrics::Counter* m_shed = nullptr;
+    metrics::Counter* m_quota_shed = nullptr;
+    metrics::Counter* m_served = nullptr;
+    metrics::Counter* m_degraded = nullptr;
+    metrics::Counter* m_expired = nullptr;
+    metrics::Counter* m_failed = nullptr;
+  };
+
+  // A staged hot-swap awaiting the serving thread's warm + flip.
+  struct PendingSwap {
+    std::shared_ptr<const ModelEntry> staged;
+    std::promise<StatusOr<int64_t>> promise;
+  };
+
   void ServeLoop();
   void ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch);
-  // One forward pass under `deadline`; classifies failures.
-  AttemptResult RunForwardOnce(const Deadline& deadline);
-  // Execute with retry/backoff; on success updates the LKG cache.
-  AttemptResult ExecuteWithRetries(const Deadline& deadline, int* retries_paid);
+  // One forward pass of `entry` under `deadline`; classifies failures.
+  AttemptResult RunForwardOnce(const ModelEntry& entry, const Deadline& deadline);
+  // Execute with retry/backoff. Callers update LKG caches on success.
+  AttemptResult ExecuteWithRetries(const ModelEntry& entry, const Deadline& deadline,
+                                   int* retries_paid);
   void FulfillFromLogits(const Tensor& logits, std::vector<std::unique_ptr<PendingRequest>>& batch,
-                         bool degraded, int retries_paid);
-  void FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch, const Status& status);
-  Status RestoreFromCheckpoint();
-  void RecordLatency(double total_ms);
+                         Tenant& tenant, bool degraded, int retries_paid);
+  void FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch, Tenant& tenant,
+                 const Status& status);
+  Status RestoreFromCheckpoint(const ModelEntry& entry);
+  // Applies queued swaps: warm forward, LKG seed, publish, breaker reset.
+  void ProcessPendingSwaps();
+  // Emits retire events for drained old generations.
+  void PollRetirements();
+  void RecordLatency(Tenant& tenant, double total_ms);
+  Tenant* FindTenant(const std::string& name) const;
 
-  // Applies `mutate` to the stats under stats_mutex_. All identity counters
-  // move through here, so a concurrent stats() reader always sees a
-  // consistent snapshot (never a request counted as submitted but not yet as
-  // an outcome, or vice versa).
+  // Applies `mutate` to the global stats under stats_mutex_.
   template <typename Fn>
   void UpdateStats(Fn&& mutate) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     mutate(stats_);
   }
 
-  GnnModel& model_;
-  const Dataset& data_;
+  // Applies `mutate` to the global and per-tenant stats in one critical
+  // section. All identity counters move through here, so a concurrent
+  // stats()/tenant_stats() reader always sees a consistent snapshot at both
+  // granularities (never a request counted as submitted but not yet as an
+  // outcome, or counted globally but not for its tenant).
+  template <typename Fn>
+  void UpdateStats(Tenant& tenant, Fn&& mutate) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    mutate(stats_, tenant.stats);
+  }
+
   const ServeConfig config_;
-  const uint64_t fingerprint_;
   Profiler* profiler_;  // Hoisted: non-null only when enabled.
+
+  std::shared_ptr<ModelRegistry> registry_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::map<std::string, uint32_t> tenant_index_;
 
   AdmissionQueue queue_;
   MicroBatcher batcher_;
-  CircuitBreaker breaker_;
 
   std::thread serving_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::mutex shutdown_mutex_;  // Serializes join() across concurrent Shutdowns.
 
-  // Last-known-good full-graph logits, written by the serving thread after
+  // Staged swaps handed from RequestHotSwap callers to the serving thread.
+  std::mutex swap_mutex_;
+  std::deque<PendingSwap> pending_swaps_;
+
+  // Per-tenant last-known-good logits, written by the serving thread after
   // every successful forward, read by it for degraded serving. Guarded for
   // the stats/test readers.
   mutable std::mutex lkg_mutex_;
-  Tensor lkg_logits_;
 
   // All counters that participate in (or ride along with) the accounting
-  // identity live in one struct behind one mutex; increments are a few
-  // nanoseconds under an uncontended lock (client threads at admission, the
-  // serving thread at fulfillment), and stats() copies the whole struct in
-  // one critical section. Breaker counters stay with the breaker — they are
-  // not part of the identity.
+  // identity live behind one mutex; increments are a few nanoseconds under
+  // an uncontended lock (client threads at admission, the serving thread at
+  // fulfillment), and stats() copies everything in one critical section.
+  // Breaker counters stay with each tenant's breaker — they are not part of
+  // the identity.
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
   std::atomic<uint64_t> next_request_id_{1};
 
-  // End-to-end latency of answered requests, for latency_summary(). A
-  // per-server histogram (the registry's seastar_serve_request_latency_ms is
-  // process-wide and would mix servers in tests); Record() is lock-free and
-  // allocation-free, unlike the unbounded vector it replaced.
+  // End-to-end latency of answered requests, all tenants pooled, for
+  // latency_summary(). Per-server (the registry's
+  // seastar_serve_request_latency_ms is process-wide and would mix servers
+  // in tests).
   metrics::Histogram latency_hist_{"latency_ms"};
 };
 

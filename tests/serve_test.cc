@@ -32,6 +32,7 @@ namespace seastar {
 namespace {
 
 using serve::AdmissionQueue;
+using serve::AdmitResult;
 using serve::BreakerState;
 using serve::CircuitBreaker;
 using serve::InferenceRequest;
@@ -118,19 +119,18 @@ TEST(DeadlineTest, CheckThrowsOnlyWhenExpired) {
 
 TEST(AdmissionQueueTest, OverflowShedsWithResourceExhausted) {
   AdmissionQueue queue(2);
-  EXPECT_TRUE(queue.TryPush(std::make_unique<PendingRequest>()).ok());
-  EXPECT_TRUE(queue.TryPush(std::make_unique<PendingRequest>()).ok());
-  Status shed = queue.TryPush(std::make_unique<PendingRequest>());
-  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.TryPush(std::make_unique<PendingRequest>()), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(std::make_unique<PendingRequest>()), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(std::make_unique<PendingRequest>()), AdmitResult::kShedCapacity);
   EXPECT_EQ(queue.shed_count(), 1);
   EXPECT_EQ(queue.size(), 2);
 }
 
 TEST(AdmissionQueueTest, CloseRejectsPushesButAllowsDrain) {
   AdmissionQueue queue(4);
-  EXPECT_TRUE(queue.TryPush(std::make_unique<PendingRequest>()).ok());
+  EXPECT_EQ(queue.TryPush(std::make_unique<PendingRequest>()), AdmitResult::kAdmitted);
   queue.Close();
-  EXPECT_EQ(queue.TryPush(std::make_unique<PendingRequest>()).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(queue.TryPush(std::make_unique<PendingRequest>()), AdmitResult::kClosed);
   // Queued work stays poppable so shutdown can fulfill every promise.
   EXPECT_NE(queue.PopAnyUntil(std::chrono::steady_clock::now()), nullptr);
   EXPECT_EQ(queue.PopAnyUntil(std::chrono::steady_clock::now()), nullptr);
@@ -142,13 +142,65 @@ TEST(AdmissionQueueTest, PopMatchingSkipsOtherKeys) {
   mismatched->batch_key = 1;
   auto matched = std::make_unique<PendingRequest>();
   matched->batch_key = 2;
-  ASSERT_TRUE(queue.TryPush(std::move(mismatched)).ok());
-  ASSERT_TRUE(queue.TryPush(std::move(matched)).ok());
+  ASSERT_EQ(queue.TryPush(std::move(mismatched)), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(std::move(matched)), AdmitResult::kAdmitted);
 
-  auto popped = queue.PopMatchingUntil(2, std::chrono::steady_clock::now());
+  auto popped = queue.PopMatchingUntil(/*tenant_index=*/0, 2, std::chrono::steady_clock::now());
   ASSERT_NE(popped, nullptr);
   EXPECT_EQ(popped->batch_key, 2u);
   EXPECT_EQ(queue.size(), 1);  // The key-1 request is still queued, in order.
+}
+
+TEST(AdmissionQueueTest, QuotaShedsChargeOnlyTheBurstingTenant) {
+  AdmissionQueue queue(8);
+  queue.ConfigureTenant(0, /*weight=*/1.0, /*max_queued=*/0);
+  queue.ConfigureTenant(1, /*weight=*/1.0, /*max_queued=*/2);
+  auto request_for = [](uint32_t tenant) {
+    auto p = std::make_unique<PendingRequest>();
+    p->tenant_index = tenant;
+    return p;
+  };
+  EXPECT_EQ(queue.TryPush(request_for(1)), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(request_for(1)), AdmitResult::kAdmitted);
+  // Tenant 1 is at its own cap; the shared queue still has room.
+  EXPECT_EQ(queue.TryPush(request_for(1)), AdmitResult::kShedQuota);
+  EXPECT_EQ(queue.quota_shed_count(1), 1);
+  EXPECT_EQ(queue.quota_shed_count(0), 0);
+  EXPECT_EQ(queue.shed_count(), 0);  // Capacity sheds only.
+  // The unconstrained tenant is unaffected.
+  EXPECT_EQ(queue.TryPush(request_for(0)), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.size(), 3);
+  EXPECT_EQ(queue.size(1), 2);
+}
+
+TEST(AdmissionQueueTest, WeightedFairDequeueFollowsTheWeightRatio) {
+  AdmissionQueue queue(64);
+  queue.ConfigureTenant(0, /*weight=*/3.0, /*max_queued=*/0);
+  queue.ConfigureTenant(1, /*weight=*/1.0, /*max_queued=*/0);
+  for (int i = 0; i < 16; ++i) {
+    for (uint32_t tenant = 0; tenant < 2; ++tenant) {
+      auto p = std::make_unique<PendingRequest>();
+      p->tenant_index = tenant;
+      ASSERT_EQ(queue.TryPush(std::move(p)), AdmitResult::kAdmitted);
+    }
+  }
+  // First 16 dispatches: the weight-3 tenant should get ~3/4 of them.
+  int dispatched[2] = {0, 0};
+  for (int i = 0; i < 16; ++i) {
+    auto leader = queue.PopAnyUntil(std::chrono::steady_clock::now());
+    ASSERT_NE(leader, nullptr);
+    ++dispatched[leader->tenant_index];
+  }
+  EXPECT_EQ(dispatched[0], 12);
+  EXPECT_EQ(dispatched[1], 4);
+  // Work-conserving: once tenant 0 drains, tenant 1 gets every slot.
+  while (queue.size(0) > 0) {
+    auto leader = queue.PopAnyUntil(std::chrono::steady_clock::now());
+    ASSERT_NE(leader, nullptr);
+  }
+  auto leader = queue.PopAnyUntil(std::chrono::steady_clock::now());
+  ASSERT_NE(leader, nullptr);
+  EXPECT_EQ(leader->tenant_index, 1u);
 }
 
 // ---- Circuit breaker ----------------------------------------------------------------------------

@@ -150,8 +150,45 @@ def check_serve(gate, baseline, fresh, timing_tol, malloc_slack):
         gate.check(where, "accounting_gap",
                    abs(scen["submitted"] - outcomes), 0, 0,
                    f"submitted={scen['submitted']} vs outcome sum={outcomes}")
+        check_serve_tenants(gate, where, base, scen, timing_tol)
     for name in sorted(set(fresh_scen) - set(base_scen)):
         gate.extra(f"serve {name}")
+
+
+def check_serve_tenants(gate, where, base, scen, timing_tol):
+    """Per-tenant QoS gates for scenarios that carry a tenants block.
+
+    Two machine-independent exact gates and one banded one:
+      * each tenant's accounting identity must hold exactly — the rogue's
+        sheds/degradations may never be smeared across the victims;
+      * a victim (non-rogue) tenant must not shed or degrade at all: QoS
+        isolation means the rogue's pressure stays in the rogue's slice;
+      * victim p99 stays inside the timing band of the committed baseline —
+        the rogue may be slow, but it must not make its neighbors slow.
+    """
+    base_tenants = {t["name"]: t for t in base.get("tenants", [])}
+    fresh_tenants = {t["name"]: t for t in scen.get("tenants", [])}
+    for name, base_t in sorted(base_tenants.items()):
+        t_where = f"{where}/{name}"
+        tenant = fresh_tenants.get(name)
+        if tenant is None:
+            gate.missing(t_where)
+            continue
+        outcomes = sum(tenant[k] for k in
+                       ("served", "degraded", "shed", "expired", "failed"))
+        gate.check(t_where, "accounting_gap",
+                   abs(tenant["submitted"] - outcomes), 0, 0,
+                   f"submitted={tenant['submitted']} vs outcome sum={outcomes}")
+        if not tenant.get("rogue", False):
+            gate.check(t_where, "p99_ms", tenant["p99_ms"], base_t["p99_ms"],
+                       base_t["p99_ms"] * timing_tol,
+                       f"{timing_tol:g}x victim-latency band")
+            gate.check(t_where, "victim_shed", tenant["shed"], 0, 0,
+                       "exact: a victim never sheds under a rogue's load")
+            gate.check(t_where, "victim_degraded", tenant["degraded"], 0, 0,
+                       "exact: a victim never degrades under a rogue's faults")
+    for name in sorted(set(fresh_tenants) - set(base_tenants)):
+        gate.extra(f"{where}/{name}")
 
 
 def check_kernels(gate, baseline, fresh, timing_tol, _slack):
@@ -278,6 +315,22 @@ def self_test(args):
             "steady_plan_misses": 0, "steady_fresh_mallocs": 0,
             "submitted": 100, "served": 90, "degraded": 4, "shed": 3,
             "expired": 2, "failed": 1,
+        }, {
+            "name": "multi_tenant", "p50_ms": 3.0, "p99_ms": 10.0,
+            "steady_plan_misses": 0, "steady_fresh_mallocs": 0,
+            "submitted": 300, "served": 200, "degraded": 80, "shed": 20,
+            "expired": 0, "failed": 0,
+            "tenants": [
+                {"name": "tenant-a", "rogue": False, "submitted": 100,
+                 "served": 100, "degraded": 0, "shed": 0, "quota_shed": 0,
+                 "expired": 0, "failed": 0, "p50_ms": 2.0, "p99_ms": 6.0},
+                {"name": "tenant-b", "rogue": True, "submitted": 100,
+                 "served": 0, "degraded": 80, "shed": 20, "quota_shed": 20,
+                 "expired": 0, "failed": 0, "p50_ms": 4.0, "p99_ms": 30.0},
+                {"name": "tenant-c", "rogue": False, "submitted": 100,
+                 "served": 100, "degraded": 0, "shed": 0, "quota_shed": 0,
+                 "expired": 0, "failed": 0, "p50_ms": 2.0, "p99_ms": 6.5},
+            ],
         }],
     }
 
@@ -355,6 +408,45 @@ def self_test(args):
     check_serve(g, serve_base, leaky, 3.0, 5.0)
     expect("serve-identity", g, want_fail=True)
 
+    # 5b. A broken *per-tenant* identity fails even when the global identity
+    # still balances (a rogue shed mis-attributed to a victim's slice).
+    smeared = copy.deepcopy(serve_base)
+    smeared["scenarios"][1]["tenants"][0]["shed"] = 1
+    smeared["scenarios"][1]["tenants"][0]["submitted"] = 100  # unchanged
+    g = Gate()
+    check_serve(g, serve_base, smeared, 3.0, 5.0)
+    expect("tenant-identity", g, want_fail=True)
+
+    # 5c. A victim's p99 blowing past the band fails — QoS isolation lost —
+    # while the rogue's own p99 is not gated (it may be arbitrarily slow).
+    noisy_neighbor = copy.deepcopy(serve_base)
+    noisy_neighbor["scenarios"][1]["tenants"][2]["p99_ms"] = 100.0
+    g = Gate()
+    check_serve(g, serve_base, noisy_neighbor, 3.0, 5.0)
+    expect("victim-p99", g, want_fail=True)
+
+    slow_rogue = copy.deepcopy(serve_base)
+    slow_rogue["scenarios"][1]["tenants"][1]["p99_ms"] = 500.0
+    g = Gate()
+    check_serve(g, serve_base, slow_rogue, 3.0, 5.0)
+    expect("rogue-p99-ungated", g, want_fail=False)
+
+    # 5d. A victim that shed or degraded at all fails exactly: the rogue's
+    # pressure leaked out of its own slice.
+    leaked = copy.deepcopy(serve_base)
+    leaked["scenarios"][1]["tenants"][2]["shed"] = 2
+    leaked["scenarios"][1]["tenants"][2]["served"] = 98
+    g = Gate()
+    check_serve(g, serve_base, leaked, 3.0, 5.0)
+    expect("victim-shed", g, want_fail=True)
+
+    # 5e. A tenant missing from the fresh report fails (dropped coverage).
+    shrunk = copy.deepcopy(serve_base)
+    del shrunk["scenarios"][1]["tenants"][1]
+    g = Gate()
+    check_serve(g, serve_base, shrunk, 3.0, 5.0)
+    expect("dropped-tenant", g, want_fail=True)
+
     # 6. A dropped benchmark fails; a new one passes with a note.
     g = Gate()
     check_serve(g, serve_base, {"scenarios": []}, 3.0, 5.0)
@@ -420,7 +512,7 @@ def self_test(args):
     for line in failures:
         print(line, file=sys.stderr)
     print(f"bench_check --self-test: {'FAIL' if failures else 'ok'} "
-          f"(15 cases)")
+          f"(20 cases)")
     return 1 if failures else 0
 
 
