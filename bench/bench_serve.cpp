@@ -1,16 +1,21 @@
 // Serving-path bench: latency percentiles and steady-state allocation
 // behaviour of the inference Server under a paced request stream.
 //
-// Three scenarios per run:
-//   clean         steady load, no faults — measures the warm serving path.
-//                 The steady window (everything after the warm phase) must
-//                 show zero plan-cache misses and ~zero fresh mallocs: a warm
-//                 request is plan-cached and pool-served end to end (ISSUE
-//                 3's invariant, now load-bearing for the micro-batcher's
-//                 cost model).
-//   faulty        same load with probabilistic allocation faults — measures
-//                 what the retry/backoff layer costs when transient faults
-//                 are real.
+// Four scenarios per run:
+//   clean         steady load, no faults, tracing off — measures the warm
+//                 serving path. The steady window (everything after the warm
+//                 phase) must show zero plan-cache misses and ~zero fresh
+//                 mallocs: a warm request is plan-cached and pool-served end
+//                 to end (ISSUE 3's invariant, now load-bearing for the
+//                 micro-batcher's cost model).
+//   traced        the clean scenario with per-request tracing at production
+//                 defaults (1% head sampling + tail reservoir). The report
+//                 carries tracing_overhead_pct = p50 delta vs clean, which
+//                 CI bands at <= 5%; the steady window must stay at zero
+//                 plan misses and zero fresh mallocs with tracing on.
+//   faulty        clean's load with probabilistic allocation faults —
+//                 measures what the retry/backoff layer costs when
+//                 transient faults are real.
 //   multi_tenant  three tenants through one server: two well-behaved tenants
 //                 on model m0 and a rogue on its own m1 with a small
 //                 admission quota and probabilistic allocation faults scoped
@@ -114,7 +119,7 @@ void Drive(serve::Server& server, const Dataset& data, int64_t count, double qps
 
 ScenarioReport RunScenario(const std::string& name, const Dataset& data, int64_t warm,
                            int64_t requests, double qps, double deadline_ms, double flaky_p,
-                           uint64_t seed) {
+                           uint64_t seed, bool tracing_enabled) {
   GcnConfig gcn;
   gcn.hidden_dim = 16;
   Gcn model(data, gcn, std::move(*ExecutorFactory::Create("seastar")));
@@ -122,6 +127,8 @@ ScenarioReport RunScenario(const std::string& name, const Dataset& data, int64_t
   serve::ServeConfig config;
   config.queue_capacity = 128;
   config.default_deadline_ms = deadline_ms;
+  config.tracing.enabled = tracing_enabled;  // Defaults otherwise: 1% head + tail.
+  config.tracing.seed = seed;
   serve::Server server(model, data, config);
   Status started = server.Start();
   SEASTAR_CHECK(started.ok()) << started.ToString();
@@ -237,11 +244,15 @@ ScenarioReport RunMultiTenantScenario(const Dataset& data, int64_t warm, int64_t
 }
 
 void WriteReport(const std::string& path, const std::string& dataset,
-                 const std::vector<ScenarioReport>& reports) {
+                 const std::vector<ScenarioReport>& reports, double tracing_overhead_pct) {
   JsonWriter json;
   json.BeginObject();
   json.Field("bench", "serve");
   json.Field("dataset", dataset);
+  // p50 delta of the traced scenario over the clean one, in percent. Gated
+  // on the median, not p99: the tail is scheduler noise at bench scale, the
+  // median is the per-request cost tracing actually adds.
+  json.FieldDouble("tracing_overhead_pct", tracing_overhead_pct, 2);
   json.Key("scenarios");
   json.BeginArray();
   for (const ScenarioReport& r : reports) {
@@ -267,6 +278,10 @@ void WriteReport(const std::string& path, const std::string& dataset,
     json.Field("steady_plan_misses", static_cast<uint64_t>(r.steady_plan_misses));
     json.Field("steady_fresh_mallocs", static_cast<uint64_t>(r.steady_fresh_mallocs));
     json.Field("steady_alloc_requests", static_cast<uint64_t>(r.steady_alloc_requests));
+    json.Field("traces_started", r.stats.trace.started);
+    json.Field("traces_retained", r.stats.trace.retained_anomaly + r.stats.trace.retained_sampled +
+                                      r.stats.trace.retained_tail);
+    json.Field("trace_spans_dropped", r.stats.trace.spans_dropped);
     if (!r.tenants.empty()) {
       json.Key("tenants");
       json.BeginArray();
@@ -328,10 +343,14 @@ int Main(int argc, char** argv) {
               static_cast<long long>(requests), qps);
 
   std::vector<ScenarioReport> reports;
-  reports.push_back(
-      RunScenario("clean", data, warm, requests, qps, deadline_ms, /*flaky_p=*/0.0, 17));
-  reports.push_back(
-      RunScenario("faulty", data, warm, requests, qps, deadline_ms, flaky_p, 23));
+  reports.push_back(RunScenario("clean", data, warm, requests, qps, deadline_ms, /*flaky_p=*/0.0,
+                                17, /*tracing_enabled=*/false));
+  // Same load, same seed, tracing at production defaults: the pair isolates
+  // what always-on tracing costs the warm path.
+  reports.push_back(RunScenario("traced", data, warm, requests, qps, deadline_ms, /*flaky_p=*/0.0,
+                                17, /*tracing_enabled=*/true));
+  reports.push_back(RunScenario("faulty", data, warm, requests, qps, deadline_ms, flaky_p, 23,
+                                /*tracing_enabled=*/true));
   reports.push_back(
       RunMultiTenantScenario(data, warm, requests, qps, deadline_ms, flaky_p, 29));
 
@@ -353,7 +372,15 @@ int Main(int argc, char** argv) {
     }
   }
 
-  WriteReport(out_path, data.spec.name, reports);
+  double tracing_overhead_pct = 0.0;
+  if (reports.size() >= 2 && reports[0].latency.p50_ms > 0.0) {
+    tracing_overhead_pct =
+        (reports[1].latency.p50_ms - reports[0].latency.p50_ms) / reports[0].latency.p50_ms * 100.0;
+  }
+  std::printf("\ntracing overhead: %+.2f%% on p50 (clean %.3f ms -> traced %.3f ms)\n",
+              tracing_overhead_pct, reports[0].latency.p50_ms, reports[1].latency.p50_ms);
+
+  WriteReport(out_path, data.spec.name, reports, tracing_overhead_pct);
   if (!metrics_out.empty() &&
       !metrics::MetricsRegistry::Get().WriteJsonFile(metrics_out)) {
     std::fprintf(stderr, "metrics: failed to write %s\n", metrics_out.c_str());
@@ -402,6 +429,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "STEADY-STATE VIOLATION: clean scenario compiled %llu plans after warmup\n",
                  static_cast<unsigned long long>(reports[0].steady_plan_misses));
+    return 2;
+  }
+  // Tracing must not disturb the warm path: the traced scenario is the same
+  // load as clean and has to hit the same steady-state zeros — no plan
+  // recompiles and no fresh tensor mallocs once warm.
+  if (reports[1].steady_plan_misses != 0 || reports[1].steady_fresh_mallocs != 0) {
+    std::fprintf(stderr,
+                 "STEADY-STATE VIOLATION: traced scenario saw %llu plan misses, "
+                 "%llu fresh mallocs after warmup (must be 0 with tracing on)\n",
+                 static_cast<unsigned long long>(reports[1].steady_plan_misses),
+                 static_cast<unsigned long long>(reports[1].steady_fresh_mallocs));
     return 2;
   }
   return 0;

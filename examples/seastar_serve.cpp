@@ -31,6 +31,11 @@
 //   --metrics-out=<p>    write the metrics-registry JSON snapshot on exit
 //   --metrics-text=<p>   same data, Prometheus text exposition
 //   --events-out=<p>     write the flight-recorder event dump on exit
+//   --trace-out=<p>      write retained request traces (Chrome-trace JSON:
+//                        one pid per tenant, one tid per request) on exit
+//   --trace-sample=<r>   head sampling rate for clean requests (default
+//                        0.01; anomalous and slowest requests are retained
+//                        regardless, even at 0)
 //
 // Multi-tenant drill (--tenants > 1 activates it):
 //   --tenants=<n>        serve n tenants ("tenant-0".."tenant-n-1"); tenants
@@ -51,6 +56,7 @@
 // (global or any tenant), 4 victim p99 bound exceeded, 5 hot-swap violation
 // (swap failed, or the post-flip steady state compiled plans / touched fresh
 // memory).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -67,6 +73,7 @@
 #include "src/common/profiler.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
+#include "src/common/tracing.h"
 #include "src/core/checkpoint.h"
 #include "src/core/executor_factory.h"
 #include "src/core/models/appnp.h"
@@ -131,6 +138,8 @@ int Run(int argc, char** argv) {
   const std::string metrics_out = FlagValue(argc, argv, "metrics-out", "");
   const std::string metrics_text = FlagValue(argc, argv, "metrics-text", "");
   const std::string events_out = FlagValue(argc, argv, "events-out", "");
+  const std::string trace_out = FlagValue(argc, argv, "trace-out", "");
+  const double trace_sample = FlagDouble(argc, argv, "trace-sample", 0.01);
   const int64_t num_tenants = FlagInt(argc, argv, "tenants", 1);
   const int64_t rogue_index = FlagInt(argc, argv, "rogue", num_tenants >= 2 ? 1 : -1);
   const int64_t rogue_quota = FlagInt(argc, argv, "rogue-quota", 8);
@@ -216,6 +225,15 @@ int Run(int argc, char** argv) {
   config.breaker_probe_interval_ms = probe_ms;
   config.checkpoint_path = checkpoint_path;
   config.profiler = profile_path.empty() ? nullptr : &profiler;
+  config.tracing.head_sample_rate = trace_sample;
+  config.tracing.seed = seed;
+  // The drill's verdicts quote "every anomalous request is in the export":
+  // size the anomaly ring to the worst case (every submission anomalous,
+  // including the rogue's burst copies) so nothing is ring-evicted.
+  const int64_t max_submissions =
+      requests * std::max<int64_t>(1, static_cast<int64_t>(rogue_mult) + 1);
+  config.tracing.anomaly_keep =
+      static_cast<int>(std::max<int64_t>(config.tracing.anomaly_keep, max_submissions));
 
   // Multi-tenant drill topology: every tenant is served by model id "m0"
   // except the rogue, which runs its own "m1" generation of the same
@@ -345,6 +363,9 @@ int Run(int argc, char** argv) {
 
   int64_t ok = 0, degraded = 0, shed = 0, expired = 0, unavailable = 0, other = 0;
   int64_t retried_requests = 0;
+  double worst_ms = -1.0;  // Slowest answered request, for the trace drill.
+  uint64_t worst_trace = 0;
+  bool worst_sampled = false;
   for (auto& future : futures) {
     StatusOr<serve::InferenceResponse> result = future.get();
     if (result.has_value()) {
@@ -355,6 +376,11 @@ int Run(int argc, char** argv) {
       }
       if (result->retries > 0) {
         ++retried_requests;
+      }
+      if (result->total_ms > worst_ms) {
+        worst_ms = result->total_ms;
+        worst_trace = result->trace_id;
+        worst_sampled = result->sampled;
       }
     } else {
       switch (result.status().code()) {
@@ -436,6 +462,14 @@ int Run(int argc, char** argv) {
               static_cast<long long>(shed), static_cast<long long>(expired),
               static_cast<long long>(unavailable), static_cast<long long>(other));
   std::printf("requests that paid retries: %lld\n", static_cast<long long>(retried_requests));
+  if (worst_trace != 0) {
+    // The tail reservoir guarantees this trace is in the export even when
+    // the head sampler skipped it: the slowest-N competition is exactly what
+    // an unsampled-but-slow request wins.
+    std::printf("slowest answered request: %.2f ms, trace %s%s\n", worst_ms,
+                trace::TraceIdHex(worst_trace).c_str(),
+                worst_sampled ? " (head-sampled)" : " (tail-retained)");
+  }
   std::printf("\n--- server view ---\n");
   std::printf("submitted %lld = served %lld + degraded %lld + shed %lld + expired %lld + failed %lld\n",
               static_cast<long long>(stats.submitted), static_cast<long long>(stats.served),
@@ -453,6 +487,15 @@ int Run(int argc, char** argv) {
   std::printf("latency over %lld answers: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms\n",
               static_cast<long long>(latency.count), latency.p50_ms, latency.p95_ms,
               latency.p99_ms, latency.max_ms);
+  std::printf("traces: %lld started, %lld head-sampled, %lld anomalous; retained %lld anomaly + "
+              "%lld sampled + %lld tail (spans dropped %lld)\n",
+              static_cast<long long>(stats.trace.started),
+              static_cast<long long>(stats.trace.head_sampled),
+              static_cast<long long>(stats.trace.anomalies_observed),
+              static_cast<long long>(stats.trace.retained_anomaly),
+              static_cast<long long>(stats.trace.retained_sampled),
+              static_cast<long long>(stats.trace.retained_tail),
+              static_cast<long long>(stats.trace.spans_dropped));
   if (multi_tenant) {
     std::printf("hot-swaps: %lld flipped, %lld failed, %lld old generations retired\n",
                 static_cast<long long>(stats.swaps), static_cast<long long>(stats.swap_failures),
@@ -524,6 +567,13 @@ int Run(int argc, char** argv) {
       std::printf("events: %s\n", events_out.c_str());
     } else {
       std::fprintf(stderr, "events: failed to write %s\n", events_out.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    if (server.DumpTraces(trace_out)) {
+      std::printf("traces: %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "traces: failed to write %s\n", trace_out.c_str());
     }
   }
 

@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/tracing.h"
 
 namespace seastar {
 namespace {
@@ -47,6 +48,7 @@ void FlightRecorder::Record(std::string_view category, std::string_view detail, 
   CopyTruncated(slot.event.detail, sizeof(slot.event.detail), detail);
   slot.event.a = a;
   slot.event.b = b;
+  slot.event.trace_id = trace::CurrentTraceId();
   slot.word.store(2 * seq, std::memory_order_release);
 }
 
@@ -74,12 +76,21 @@ std::string FlightRecorder::Dump() const {
   const std::vector<FlightEvent> events = Snapshot();
   std::string out = "flight recorder: " + std::to_string(events.size()) + " of " +
                     std::to_string(recorded()) + " events retained\n";
-  char line[192];
+  char line[224];
   for (const FlightEvent& event : events) {
-    std::snprintf(line, sizeof(line), "[%12.3fms] #%-6llu %-10s %s (a=%lld b=%lld)\n",
-                  static_cast<double>(event.t_us) / 1000.0,
-                  static_cast<unsigned long long>(event.seq), event.category, event.detail,
-                  static_cast<long long>(event.a), static_cast<long long>(event.b));
+    if (event.trace_id != 0) {
+      std::snprintf(line, sizeof(line),
+                    "[%12.3fms] #%-6llu %-10s %s (a=%lld b=%lld trace=%016llx)\n",
+                    static_cast<double>(event.t_us) / 1000.0,
+                    static_cast<unsigned long long>(event.seq), event.category, event.detail,
+                    static_cast<long long>(event.a), static_cast<long long>(event.b),
+                    static_cast<unsigned long long>(event.trace_id));
+    } else {
+      std::snprintf(line, sizeof(line), "[%12.3fms] #%-6llu %-10s %s (a=%lld b=%lld)\n",
+                    static_cast<double>(event.t_us) / 1000.0,
+                    static_cast<unsigned long long>(event.seq), event.category, event.detail,
+                    static_cast<long long>(event.a), static_cast<long long>(event.b));
+    }
     out += line;
   }
   return out;

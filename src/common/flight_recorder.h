@@ -34,6 +34,10 @@ struct FlightEvent {
   char detail[88] = {};    // Truncated human-readable specifics.
   int64_t a = 0;        // Category-defined payload (request id, epoch, hit #).
   int64_t b = 0;
+  // The ambient trace id (tracing.h) at record time; 0 = no active trace.
+  // Crash correlation: a post-mortem dump names the exact requests that were
+  // in flight, joinable against the exported trace JSON.
+  uint64_t trace_id = 0;
 };
 
 class FlightRecorder {

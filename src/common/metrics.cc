@@ -10,6 +10,28 @@
 
 namespace seastar {
 namespace metrics {
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 namespace internal {
 
 int ThisThreadShard() {
@@ -67,6 +89,53 @@ void Histogram::Record(double value) {
   while (value > max &&
          !shard.max.compare_exchange_weak(max, value, std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::RecordWithExemplar(double value, uint64_t trace_id) {
+  Record(value);
+  if (trace_id == 0) {
+    return;
+  }
+  // Steady-state fast path: once the slots are full, anything at or below
+  // the floor cannot displace an exemplar — skip the lock on one relaxed
+  // load. Only tail-grade values (by definition rare) fall through.
+  if (!(value > exemplar_floor_.load(std::memory_order_relaxed))) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  int slot;
+  if (exemplar_count_ < kExemplarSlots) {
+    slot = exemplar_count_++;
+  } else {
+    slot = 0;
+    for (int i = 1; i < kExemplarSlots; ++i) {
+      if (exemplars_[i].value < exemplars_[slot].value) {
+        slot = i;
+      }
+    }
+    if (value <= exemplars_[slot].value) {
+      return;  // Raced: another thread already claimed the floor slot.
+    }
+  }
+  exemplars_[slot] = Exemplar{value, trace_id};
+  if (exemplar_count_ == kExemplarSlots) {
+    double floor = exemplars_[0].value;
+    for (int i = 1; i < kExemplarSlots; ++i) {
+      floor = std::min(floor, exemplars_[i].value);
+    }
+    exemplar_floor_.store(floor, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Exemplar> Histogram::Exemplars() const {
+  std::vector<Exemplar> out;
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    out.assign(exemplars_, exemplars_ + exemplar_count_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Exemplar& x, const Exemplar& y) { return x.value > y.value; });
+  return out;
 }
 
 int64_t Histogram::count() const {
@@ -197,6 +266,12 @@ std::string BareName(const std::string& name) {
   return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
+std::string TraceIdHex(uint64_t trace_id) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::TextExposition() const {
@@ -231,7 +306,15 @@ std::string MetricsRegistry::TextExposition() const {
     out += WithSuffix(name, "_count") + " " +
            SampleValue(static_cast<double>(snapshot.count)) + "\n";
     out += WithSuffix(name, "_sum") + " " + SampleValue(snapshot.sum) + "\n";
-    out += WithSuffix(name, "_max") + " " + SampleValue(snapshot.max) + "\n";
+    out += WithSuffix(name, "_max") + " " + SampleValue(snapshot.max);
+    // OpenMetrics-style exemplar on the _max sample: the trace id of the
+    // largest observation, so a scrape links the tail straight to a trace.
+    const std::vector<Exemplar> exemplars = histogram->Exemplars();
+    if (!exemplars.empty()) {
+      out += " # {trace_id=\"" + TraceIdHex(exemplars.front().trace_id) + "\"} " +
+             SampleValue(exemplars.front().value);
+    }
+    out += "\n";
   }
   return out;
 }
@@ -276,6 +359,18 @@ void MetricsRegistry::WriteJson(JsonWriter& writer) const {
     writer.FieldDouble("p95", snapshot.p95);
     writer.FieldDouble("p99", snapshot.p99);
     writer.FieldDouble("max", snapshot.max);
+    const std::vector<Exemplar> exemplars = histogram->Exemplars();
+    if (!exemplars.empty()) {
+      writer.Key("exemplars");
+      writer.BeginArray();
+      for (const Exemplar& exemplar : exemplars) {
+        writer.BeginObject();
+        writer.FieldDouble("value", exemplar.value);
+        writer.Field("trace_id", TraceIdHex(exemplar.trace_id));
+        writer.EndObject();
+      }
+      writer.EndArray();
+    }
     writer.EndObject();
   }
   writer.EndObject();

@@ -38,6 +38,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,12 @@ namespace metrics {
 // shards round-robin, so any pool size up to kShards is fully uncontended
 // and larger pools degrade gracefully to 1/kShards expected collisions.
 inline constexpr int kShards = 16;
+
+// Escapes a Prometheus label *value* per the exposition format: backslash,
+// double-quote, and newline must become \\, \", and \n or the sample line is
+// malformed and the whole scrape fails to parse. Use this wherever a label
+// value is baked into a metric name (tenant names, model ids).
+std::string EscapeLabelValue(std::string_view value);
 
 namespace internal {
 
@@ -121,6 +128,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// A tail observation worth keeping by name: the largest values a histogram
+// has seen, each linked to the trace id of the request that produced it —
+// the bridge from "p99 moved" to "this is the trace of the request that
+// moved it". Exported OpenMetrics-style in the text exposition and as an
+// `exemplars` array in the JSON snapshot.
+struct Exemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+};
+
 // Summary of a histogram at one instant.
 struct HistogramSnapshot {
   int64_t count = 0;
@@ -164,6 +181,17 @@ class Histogram {
   // so count stays consistent with calls.
   void Record(double value);
 
+  // Records `value` and, when `trace_id` is nonzero and the value ranks
+  // among the kExemplarSlots largest seen so far, retains (value, trace_id)
+  // as a tail exemplar. Fast path: once the slots are full, values at or
+  // below the current floor skip the exemplar lock entirely (one relaxed
+  // load) — only genuine tail observations pay the mutex.
+  void RecordWithExemplar(double value, uint64_t trace_id);
+
+  // Retained tail exemplars, sorted descending by value.
+  static constexpr int kExemplarSlots = 8;
+  std::vector<Exemplar> Exemplars() const;
+
   // Index of the bucket `value` lands in (exposed for the bucket-math tests).
   static int BucketIndex(double value);
   // Inclusive upper bound of `bucket` (the value quantiles report).
@@ -184,6 +212,14 @@ class Histogram {
 
   const std::string name_;
   Shard shards_[kShards];
+
+  // Smallest value currently holding an exemplar slot once all slots are
+  // full; -inf while slots remain. Read relaxed on the record path so
+  // non-tail observations never touch exemplar_mutex_.
+  std::atomic<double> exemplar_floor_{-std::numeric_limits<double>::infinity()};
+  mutable std::mutex exemplar_mutex_;
+  Exemplar exemplars_[kExemplarSlots];  // Guarded by exemplar_mutex_.
+  int exemplar_count_ = 0;              // Guarded by exemplar_mutex_.
 };
 
 // A metric whose value lives elsewhere (TensorAllocator's atomics, the

@@ -1,0 +1,417 @@
+#include "src/common/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+
+namespace seastar {
+namespace trace {
+
+namespace trace_internal {
+thread_local RequestTrace* tls_trace = nullptr;
+}  // namespace trace_internal
+
+namespace {
+
+// SplitMix64: the id generator and the sampler hash. Chosen because it is a
+// bijection on 64-bit ints (distinct requests can never collide on trace id
+// within a tracer) and fully deterministic in the seed.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void CopyTruncated(char* dst, size_t dst_size, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+struct FlagName {
+  uint32_t flag;
+  const char* name;
+};
+
+constexpr FlagName kFlagNames[] = {
+    {kShed, "shed"},       {kExpired, "expired"}, {kDegraded, "degraded"},
+    {kRetried, "retried"}, {kBreaker, "breaker"}, {kFailed, "failed"},
+};
+
+}  // namespace
+
+std::string FlagNames(uint32_t flags) {
+  if (flags == 0) {
+    return "clean";
+  }
+  std::string out;
+  for (const FlagName& entry : kFlagNames) {
+    if ((flags & entry.flag) == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += '|';
+    }
+    out += entry.name;
+  }
+  return out;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
+
+// ---- RequestTrace -----------------------------------------------------------
+
+void RequestTrace::Reset(uint64_t trace_id, bool sampled, uint32_t tenant_index,
+                         uint64_t request_id, Clock::time_point epoch, int max_spans) {
+  trace_id_ = trace_id;
+  request_id_ = request_id;
+  tenant_index_ = tenant_index;
+  flags_ = 0;
+  sampled_ = sampled;
+  open_ = -1;
+  max_spans_ = max_spans;
+  dropped_spans_ = 0;
+  total_ms_ = 0.0;
+  std::strcpy(outcome_, "open");
+  epoch_ = epoch;
+  spans_.clear();  // Keeps capacity: recycled traces record without allocating.
+}
+
+int64_t RequestTrace::RelMicros(Clock::time_point tp) const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_).count();
+}
+
+int RequestTrace::Append(const char* name, int64_t start_us, int64_t dur_us) {
+  if (static_cast<int>(spans_.size()) >= max_spans_) {
+    ++dropped_spans_;
+    return -1;
+  }
+  Span span;
+  span.name = name;
+  span.parent = open_;
+  span.start_us = start_us;
+  span.dur_us = dur_us;
+  spans_.push_back(span);
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+int RequestTrace::BeginSpan(const char* name) {
+  return BeginSpanAt(name, Clock::now());
+}
+
+int RequestTrace::BeginSpanAt(const char* name, Clock::time_point start) {
+  const int token = Append(name, RelMicros(start), -1);
+  if (token >= 0) {
+    open_ = token;
+  }
+  return token;
+}
+
+void RequestTrace::EndSpan(int token) {
+  if (token < 0 || token >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  Span& span = spans_[static_cast<size_t>(token)];
+  if (span.dur_us < 0) {
+    span.dur_us = std::max<int64_t>(0, RelMicros(Clock::now()) - span.start_us);
+  }
+  if (open_ == token) {
+    open_ = span.parent;
+  }
+}
+
+int RequestTrace::AddSpan(const char* name, Clock::time_point start, Clock::time_point end) {
+  const int64_t start_us = RelMicros(start);
+  return Append(name, start_us, std::max<int64_t>(0, RelMicros(end) - start_us));
+}
+
+void RequestTrace::SetDetail(int token, std::string_view detail) {
+  if (token < 0 || token >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  CopyTruncated(spans_[static_cast<size_t>(token)].detail,
+                sizeof(spans_[static_cast<size_t>(token)].detail), detail);
+}
+
+void RequestTrace::SetArg(int token, const char* a_name, int64_t a) {
+  if (token < 0 || token >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  Span& span = spans_[static_cast<size_t>(token)];
+  span.a_name = a_name;
+  span.a = a;
+}
+
+void RequestTrace::SetArgs(int token, const char* a_name, int64_t a, const char* b_name,
+                           int64_t b) {
+  if (token < 0 || token >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  Span& span = spans_[static_cast<size_t>(token)];
+  span.a_name = a_name;
+  span.a = a;
+  span.b_name = b_name;
+  span.b = b;
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+Tracer::Tracer(TracerConfig config) : config_(std::move(config)), epoch_(Clock::now()) {
+  SEASTAR_CHECK_GT(config_.tail_keep, 0);
+  SEASTAR_CHECK_GT(config_.sampled_keep, 0);
+  SEASTAR_CHECK_GT(config_.anomaly_keep, 0);
+  SEASTAR_CHECK_GT(config_.max_spans_per_trace, 0);
+}
+
+Tracer::~Tracer() = default;
+
+bool Tracer::HeadSampled(uint64_t trace_id, double rate) {
+  if (rate <= 0.0) {
+    return false;
+  }
+  if (rate >= 1.0) {
+    return true;
+  }
+  // Top 53 bits of a second mix -> uniform double in [0, 1). A pure function
+  // of the id: replaying the same seed replays the same admitted subset.
+  const double u =
+      static_cast<double>(SplitMix64(trace_id ^ 0xda3e39cb94b95bdbull) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+std::unique_ptr<RequestTrace> Tracer::Acquire() {
+  if (!pool_.empty()) {
+    std::unique_ptr<RequestTrace> trace = std::move(pool_.back());
+    pool_.pop_back();
+    return trace;
+  }
+  ++stats_.pool_misses;
+  return std::unique_ptr<RequestTrace>(new RequestTrace());
+}
+
+void Tracer::Recycle(std::unique_ptr<RequestTrace> trace) { pool_.push_back(std::move(trace)); }
+
+RequestTrace* Tracer::StartTrace(uint32_t tenant_index, uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t raw = SplitMix64(config_.seed ^ 0x6c62272e07bb0142ull) + next_trace_++;
+  uint64_t trace_id = SplitMix64(raw);
+  if (trace_id == 0) {
+    trace_id = 1;  // 0 means "no trace" everywhere downstream.
+  }
+  const bool sampled = HeadSampled(trace_id, config_.head_sample_rate);
+  std::unique_ptr<RequestTrace> trace = Acquire();
+  trace->Reset(trace_id, sampled, tenant_index, request_id, epoch_, config_.max_spans_per_trace);
+  ++stats_.started;
+  if (sampled) {
+    ++stats_.head_sampled;
+  }
+  // Ownership parks in the pool vector's slot conceptually; the raw pointer
+  // travels with the request and comes back through FinishTrace.
+  return trace.release();
+}
+
+void Tracer::OfferTail(std::unique_ptr<RequestTrace> trace) {
+  const auto slower = [](const std::unique_ptr<RequestTrace>& x,
+                         const std::unique_ptr<RequestTrace>& y) {
+    return x->total_ms() > y->total_ms();  // Min-heap on total_ms.
+  };
+  if (static_cast<int>(tail_.size()) < config_.tail_keep) {
+    tail_.push_back(std::move(trace));
+    std::push_heap(tail_.begin(), tail_.end(), slower);
+    return;
+  }
+  if (trace->total_ms() <= tail_.front()->total_ms()) {
+    ++stats_.evicted;
+    Recycle(std::move(trace));
+    return;
+  }
+  std::pop_heap(tail_.begin(), tail_.end(), slower);
+  ++stats_.evicted;
+  Recycle(std::move(tail_.back()));
+  tail_.back() = std::move(trace);
+  std::push_heap(tail_.begin(), tail_.end(), slower);
+}
+
+void Tracer::FinishTrace(RequestTrace* trace, double total_ms, const char* outcome) {
+  if (trace == nullptr) {
+    return;
+  }
+  // Close anything still open (normally just the root "request" span).
+  while (trace->open_ >= 0) {
+    trace->EndSpan(trace->open_);
+  }
+  trace->total_ms_ = total_ms;
+  CopyTruncated(trace->outcome_, sizeof(trace->outcome_), outcome);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<RequestTrace> owned(trace);
+  ++stats_.finished;
+  stats_.spans_dropped += trace->dropped_spans();
+  if (trace->flags() != 0) {
+    ++stats_.anomalies_observed;
+    anomalies_.push_back(std::move(owned));
+    if (static_cast<int>(anomalies_.size()) > config_.anomaly_keep) {
+      // Keep the newest anomalies, but give the overflow a shot at the tail
+      // heap first — a slow anomalous request should not vanish just because
+      // a flood of cheap sheds aged it out of the ring.
+      std::unique_ptr<RequestTrace> oldest = std::move(anomalies_.front());
+      anomalies_.pop_front();
+      OfferTail(std::move(oldest));
+    }
+    return;
+  }
+  if (trace->sampled()) {
+    sampled_.push_back(std::move(owned));
+    if (static_cast<int>(sampled_.size()) > config_.sampled_keep) {
+      std::unique_ptr<RequestTrace> oldest = std::move(sampled_.front());
+      sampled_.pop_front();
+      OfferTail(std::move(oldest));
+    }
+    return;
+  }
+  OfferTail(std::move(owned));
+}
+
+void Tracer::SetTenantName(uint32_t index, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_names_[index] = std::move(name);
+}
+
+TracerStats Tracer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TracerStats stats = stats_;
+  stats.retained_sampled = static_cast<int64_t>(sampled_.size());
+  stats.retained_anomaly = static_cast<int64_t>(anomalies_.size());
+  stats.retained_tail = static_cast<int64_t>(tail_.size());
+  return stats;
+}
+
+void Tracer::ForEachRetained(const std::function<void(const RequestTrace&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<RequestTrace>& trace : anomalies_) {
+    fn(*trace);
+  }
+  for (const std::unique_ptr<RequestTrace>& trace : sampled_) {
+    fn(*trace);
+  }
+  for (const std::unique_ptr<RequestTrace>& trace : tail_) {
+    fn(*trace);
+  }
+}
+
+namespace {
+
+void WriteTraceEvents(JsonWriter& writer, const RequestTrace& trace, const char* retained_by) {
+  const int64_t tid = static_cast<int64_t>(trace.request_id());
+  const int64_t pid = static_cast<int64_t>(trace.tenant_index());
+  for (int i = 0; i < trace.num_spans(); ++i) {
+    const Span& span = trace.span(i);
+    writer.BeginObject();
+    writer.Field("name", span.name);
+    writer.Field("cat", "serve");
+    writer.Field("ph", "X");
+    writer.Field("pid", pid);
+    writer.Field("tid", tid);
+    writer.FieldDouble("ts", static_cast<double>(span.start_us));
+    writer.FieldDouble("dur", static_cast<double>(std::max<int64_t>(0, span.dur_us)));
+    writer.Key("args");
+    writer.BeginObject();
+    writer.Field("idx", static_cast<int64_t>(i));
+    writer.Field("parent", static_cast<int64_t>(span.parent));
+    writer.Field("trace_id", TraceIdHex(trace.trace_id()));
+    if (span.detail[0] != '\0') {
+      writer.Field("detail", span.detail);
+    }
+    if (span.a_name != nullptr) {
+      writer.Field(span.a_name, span.a);
+    }
+    if (span.b_name != nullptr) {
+      writer.Field(span.b_name, span.b);
+    }
+    if (span.parent < 0) {
+      // Trace-level facts ride on the root span, where trace viewers (and
+      // tools/trace_check.py) look for them.
+      writer.Field("request_id", static_cast<int64_t>(trace.request_id()));
+      writer.Field("flags", FlagNames(trace.flags()));
+      writer.Field("sampled", trace.sampled());
+      writer.Field("outcome", trace.outcome());
+      writer.Field("retained_by", retained_by);
+      writer.FieldDouble("total_ms", trace.total_ms());
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+}
+
+}  // namespace
+
+void Tracer::WriteChromeTrace(JsonWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.BeginObject();
+  writer.Field("displayTimeUnit", "ms");
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  // Metadata: name each tenant's pid row.
+  for (const auto& [index, name] : tenant_names_) {
+    writer.BeginObject();
+    writer.Field("name", "process_name");
+    writer.Field("ph", "M");
+    writer.Field("pid", static_cast<int64_t>(index));
+    writer.Field("tid", static_cast<int64_t>(0));
+    writer.Key("args");
+    writer.BeginObject();
+    writer.Field("name", "tenant:" + name);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  for (const std::unique_ptr<RequestTrace>& trace : anomalies_) {
+    WriteTraceEvents(writer, *trace, "anomaly");
+  }
+  for (const std::unique_ptr<RequestTrace>& trace : sampled_) {
+    WriteTraceEvents(writer, *trace, "sampled");
+  }
+  for (const std::unique_ptr<RequestTrace>& trace : tail_) {
+    WriteTraceEvents(writer, *trace, "tail");
+  }
+  writer.EndArray();
+  writer.Key("traceStats");
+  writer.BeginObject();
+  writer.Field("started", stats_.started);
+  writer.Field("finished", stats_.finished);
+  writer.Field("head_sampled", stats_.head_sampled);
+  writer.Field("anomalies_observed", stats_.anomalies_observed);
+  writer.Field("retained_sampled", static_cast<int64_t>(sampled_.size()));
+  writer.Field("retained_anomaly", static_cast<int64_t>(anomalies_.size()));
+  writer.Field("retained_tail", static_cast<int64_t>(tail_.size()));
+  writer.Field("evicted", stats_.evicted);
+  writer.Field("spans_dropped", stats_.spans_dropped);
+  writer.Field("pool_misses", stats_.pool_misses);
+  writer.Field("tail_keep", static_cast<int64_t>(config_.tail_keep));
+  writer.Field("anomaly_keep", static_cast<int64_t>(config_.anomaly_keep));
+  writer.FieldDouble("head_sample_rate", config_.head_sample_rate);
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  JsonWriter writer;
+  WriteChromeTrace(writer);
+  return writer.str();
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  JsonWriter writer;
+  WriteChromeTrace(writer);
+  return writer.WriteToFile(path);
+}
+
+}  // namespace trace
+}  // namespace seastar

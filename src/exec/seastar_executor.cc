@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
+#include "src/common/tracing.h"
 #include "src/exec/compiled_program.h"
 #include "src/exec/kernel_counter.h"
 #include "src/exec/plan_cache.h"
@@ -325,6 +326,10 @@ RunResult SeastarExecutor::Run(const GirGraph& gir, const Graph& graph,
     ProfileScope unit_span(
         profiler, profiler != nullptr ? program->unit_labels[unit_index] : std::string(),
         "unit");
+    // Per-unit launch span on the ambient request trace: the finest grain of
+    // tail-latency attribution ("which fused kernel ate the budget").
+    trace::AmbientSpan trace_unit_span("unit");
+    trace_unit_span.Detail(program->unit_labels[unit_index]);
     AddKernelLaunches(1);
 
     CompiledUnit unit = program->units[unit_index];  // Copy the template...

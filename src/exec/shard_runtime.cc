@@ -16,6 +16,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
+#include "src/common/tracing.h"
 #include "src/parallel/channel.h"
 
 namespace seastar {
@@ -312,6 +313,8 @@ RunResult ShardRuntime::Execute(const GirGraph& gir, const GraphView& view,
 
   Counters().runs->Add(1);
   ProfileScope span(ctx.profiler, "shard_runtime/execute", "program");
+  trace::AmbientSpan trace_span("shard_runtime");
+  trace_span.Arg("shards", options_.num_shards);
   return ExecuteSharded(gir, graph, *sharded, features);
 }
 
@@ -716,9 +719,28 @@ RunResult ShardRuntime::ExecuteSharded(const GirGraph& gir, const Graph& graph,
     }
   };
 
-  run_pass(pass_features);
-  run_pass(pass_run);
-  run_pass(pass_combine);
+  // Pass-level spans on the ambient request trace (the serving thread calls
+  // run_pass and blocks until the shard workers join, so each span brackets
+  // its whole pass). The shard workers themselves have no ambient trace —
+  // attribution is at pass granularity by design.
+  {
+    trace::AmbientSpan pass_span("shard_pass");
+    pass_span.Detail("features");
+    pass_span.Arg("shards", num_shards);
+    run_pass(pass_features);
+  }
+  {
+    trace::AmbientSpan pass_span("shard_pass");
+    pass_span.Detail("run");
+    pass_span.Arg("shards", num_shards);
+    run_pass(pass_run);
+  }
+  {
+    trace::AmbientSpan pass_span("shard_pass");
+    pass_span.Detail("combine");
+    pass_span.Arg("shards", num_shards);
+    run_pass(pass_combine);
+  }
   if (std::exception_ptr error = cancel.error()) {
     // Every worker has joined: the unwind is complete, the channels are
     // closed and drained of influence, and the (persistent) slice pools are

@@ -162,6 +162,17 @@ int64_t AdmissionQueue::shed_count() const {
   return shed_count_;
 }
 
+AdmissionQueue::StridePosition AdmissionQueue::stride_position(uint32_t tenant_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SEASTAR_CHECK_LT(tenant_index, tenants_.size());
+  const SubQueue& sub = tenants_[tenant_index];
+  StridePosition position;
+  position.pass = sub.pass;
+  position.virtual_time = virtual_time_;
+  position.queued = static_cast<int>(sub.queue.size());
+  return position;
+}
+
 int64_t AdmissionQueue::quota_shed_count(uint32_t tenant_index) const {
   std::lock_guard<std::mutex> lock(mutex_);
   SEASTAR_CHECK_LT(tenant_index, tenants_.size());

@@ -106,6 +106,19 @@ class AdmissionQueue {
   // Requests rejected at the door by `tenant_index`'s own quota.
   int64_t quota_shed_count(uint32_t tenant_index) const;
 
+  // The stride scheduler's view of one tenant at this instant, read under a
+  // single lock acquisition so the pair is consistent: the tenant's pass and
+  // the queue's virtual time. `pass - virtual_time` is how far behind the
+  // dispatch frontier the tenant is (≤ 0 means it goes next among non-empty
+  // subqueues) — the admission span records both so a trace shows *why* a
+  // request waited: a large gap is fair-share debt, not server slowness.
+  struct StridePosition {
+    double pass = 0.0;
+    double virtual_time = 0.0;
+    int queued = 0;  // This tenant's backlog, same instant.
+  };
+  StridePosition stride_position(uint32_t tenant_index) const;
+
  private:
   struct SubQueue {
     SubQueue() = default;

@@ -3,6 +3,7 @@
 #include "src/common/flight_recorder.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/tracing.h"
 
 namespace seastar {
 namespace serve {
@@ -95,6 +96,11 @@ void CircuitBreaker::RecordFailure(const std::string& reason) {
     ++trips_;
     last_trip_reason_ = reason;
     PublishState(state_);
+    // The request whose batch tripped the breaker is tail-worthy by
+    // definition; flag the ambient trace so it is retained even unsampled.
+    if (trace::RequestTrace* trace = trace::CurrentTrace()) {
+      trace->AddFlag(trace::kBreaker);
+    }
     FlightRecorder::Get().Record("breaker", "closed -> open (trip)", trips_,
                                  consecutive_failures_);
     SEASTAR_LOG(Warning) << "circuit breaker: tripped after " << consecutive_failures_

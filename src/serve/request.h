@@ -20,6 +20,11 @@
 #include "src/tensor/tensor.h"
 
 namespace seastar {
+
+namespace trace {
+class RequestTrace;
+}  // namespace trace
+
 namespace serve {
 
 class ModelEntry;
@@ -67,6 +72,14 @@ struct InferenceResponse {
   std::string model_id;
   int64_t model_version = 0;
   std::string tenant;
+
+  // Trace id assigned at admission (tracing.h). Always nonzero when the
+  // server traces; quote it when reporting a slow request — the server's
+  // trace export (--trace-out) indexes span trees by this id. `sampled` says
+  // whether the head sampler picked this request (anomalous and slowest-N
+  // requests are retained regardless).
+  uint64_t trace_id = 0;
+  bool sampled = false;
 };
 
 // A request in flight inside the server: admission metadata plus the promise
@@ -86,6 +99,11 @@ struct PendingRequest {
   std::shared_ptr<const ModelEntry> entry;
   std::chrono::steady_clock::time_point admitted_at{};
   std::chrono::steady_clock::time_point dequeued_at{};
+  // Per-request span tree, owned by the server's Tracer pool (never by this
+  // struct). Single-owner mutation: the client thread writes spans before
+  // TryPush, the serving thread after the pop; the queue mutex orders the
+  // handoff. Null when tracing is disabled.
+  trace::RequestTrace* trace = nullptr;
   std::promise<StatusOr<InferenceResponse>> promise;
 };
 

@@ -83,9 +83,12 @@ double MillisBetween(Clock::time_point from, Clock::time_point to) {
 }
 
 // Per-tenant registry name with the Prometheus label baked in, e.g.
-// seastar_serve_tenant_served_total{tenant="analytics"}.
+// seastar_serve_tenant_served_total{tenant="analytics"}. The tenant name is
+// client-supplied configuration — escape it, or a name containing `"` or a
+// newline corrupts the whole text exposition.
 std::string TenantMetricName(const char* base, const std::string& tenant) {
-  return std::string("seastar_serve_tenant_") + base + "_total{tenant=\"" + tenant + "\"}";
+  return std::string("seastar_serve_tenant_") + base + "_total{tenant=\"" +
+         metrics::EscapeLabelValue(tenant) + "\"}";
 }
 
 // Batch key = entry fingerprint (model id, weights version, architecture,
@@ -144,6 +147,9 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, ServeConfig config)
       queue_(config_.queue_capacity),
       batcher_(queue_, BatcherOptions{config_.max_batch, config_.max_batch_delay_ms,
                                       /*idle_poll_ms=*/5.0}) {
+  if (config_.tracing.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(config_.tracing);
+  }
   metrics::MetricsRegistry& registry_metrics = metrics::MetricsRegistry::Get();
   tenants_.reserve(config_.tenants.size());
   for (size_t i = 0; i < config_.tenants.size(); ++i) {
@@ -168,6 +174,9 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, ServeConfig config)
         tenant_index_.emplace(tc.name, static_cast<uint32_t>(i)).second;
     SEASTAR_CHECK(inserted) << "duplicate tenant name '" << tc.name << "'";
     queue_.ConfigureTenant(static_cast<uint32_t>(i), tc.weight, tc.max_queued);
+    if (tracer_ != nullptr) {
+      tracer_->SetTenantName(static_cast<uint32_t>(i), tc.name);
+    }
     tenants_.push_back(std::move(tenant));
   }
 }
@@ -383,7 +392,29 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
   pending->entry = std::move(entry);
   pending->admitted_at = Clock::now();
   const uint64_t id = pending->id;
+  const Clock::time_point admitted_at = pending->admitted_at;
   std::future<StatusOr<InferenceResponse>> future = pending->promise.get_future();
+
+  // Trace the request from the admission decision on. Held locally as well as
+  // on the pending request: TryPush consumes the PendingRequest even when it
+  // sheds, so the shed/closed paths finish the trace through this pointer.
+  // The admission span closes *before* the push — once the request is queued
+  // the serving thread may own the trace immediately.
+  trace::RequestTrace* rtrace = nullptr;
+  if (tracer_ != nullptr) {
+    rtrace = tracer_->StartTrace(tenant->index, id);
+    rtrace->BeginSpanAt("request", admitted_at);
+    const AdmissionQueue::StridePosition stride = queue_.stride_position(tenant->index);
+    const int admission = rtrace->AddSpan("admission", admitted_at, Clock::now());
+    rtrace->SetDetail(admission, tenant->config.name);
+    // stride_lag > 0: this tenant is behind the dispatch frontier (fair-share
+    // debt); queued_ahead: its own backlog at admission. Together they say
+    // whether a long queue span was scheduling or load.
+    rtrace->SetArgs(admission, "stride_lag_x1000",
+                    static_cast<int64_t>((stride.pass - stride.virtual_time) * 1000.0),
+                    "queued_ahead", static_cast<int64_t>(stride.queued));
+    pending->trace = rtrace;
+  }
 
   const AdmitResult admitted = queue_.TryPush(std::move(pending));
   switch (admitted) {
@@ -405,6 +436,9 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
       });
       metrics.rejected->Add(1);
       tenant->m_rejected->Add(1);
+      if (rtrace != nullptr) {
+        tracer_->FinishTrace(rtrace, MillisBetween(admitted_at, Clock::now()), "closed");
+      }
       rejected.set_value(ErrorStatus(StatusCode::kUnavailable)
                          << "admission queue closed (shutting down)");
       return rejected_future;
@@ -428,6 +462,12 @@ std::future<StatusOr<InferenceResponse>> Server::Submit(InferenceRequest request
       tenant->m_submitted->Add(1);
       metrics.shed->Add(1);
       tenant->m_shed->Add(1);
+      if (rtrace != nullptr) {
+        // Sheds are anomalies: retained by the tracer regardless of head
+        // sampling, so overload drills can name every turned-away request.
+        rtrace->AddFlag(trace::kShed);
+        tracer_->FinishTrace(rtrace, MillisBetween(admitted_at, Clock::now()), "shed");
+      }
       if (quota) {
         metrics.quota_shed->Add(1);
         tenant->m_quota_shed->Add(1);
@@ -650,7 +690,18 @@ Server::AttemptResult Server::ExecuteWithRetries(const ModelEntry& entry, const 
                                                  int* retries_paid) {
   AttemptResult result;
   for (int attempt = 0;; ++attempt) {
-    result = RunForwardOnce(entry, deadline);
+    {
+      // One span per attempt on the ambient trace (no-op during warmup and
+      // swap warming, which run without one): a retried request's trace
+      // shows each attempt's duration, with the backoff gaps between them.
+      trace::AmbientSpan attempt_span("attempt");
+      attempt_span.Arg("attempt", attempt);
+      result = RunForwardOnce(entry, deadline);
+      if (!result.status.ok()) {
+        attempt_span.Args("attempt", attempt, "status",
+                          static_cast<int64_t>(result.status.code()));
+      }
+    }
     if (result.status.ok()) {
       return result;
     }
@@ -695,6 +746,11 @@ void Server::FulfillFromLogits(const Tensor& logits,
       metrics.expired->Add(1);
       tenant.m_expired->Add(1);
       FlightRecorder::Get().Record("serve", "request expired before fulfillment", pending->id);
+      if (pending->trace != nullptr) {
+        pending->trace->AddFlag(trace::kExpired);
+        tracer_->FinishTrace(pending->trace, MillisBetween(pending->admitted_at, now), "expired");
+        pending->trace = nullptr;
+      }
       pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
                                  << "deadline expired before fulfillment");
       continue;
@@ -706,6 +762,10 @@ void Server::FulfillFromLogits(const Tensor& logits,
     for (size_t i = 0; i < vertices.size(); ++i) {
       const float* src = logits.Row(vertices[i]);
       std::copy(src, src + num_classes, response.logits.Row(static_cast<int64_t>(i)));
+    }
+    if (pending->trace != nullptr) {
+      const int fulfill = pending->trace->AddSpan("fulfill", now, Clock::now());
+      pending->trace->SetArg(fulfill, "vertices", static_cast<int64_t>(vertices.size()));
     }
     response.degraded = degraded;
     response.retries = retries_paid;
@@ -719,6 +779,17 @@ void Server::FulfillFromLogits(const Tensor& logits,
       response.model_version = pending->entry->version();
     }
     response.tenant = tenant.config.name;
+    if (pending->trace != nullptr) {
+      // Capture id/sampled before FinishTrace: the trace recycles into the
+      // pool and a concurrent Submit may reuse it immediately.
+      response.trace_id = pending->trace->trace_id();
+      response.sampled = pending->trace->sampled();
+      if (degraded) {
+        pending->trace->AddFlag(trace::kDegraded);
+      }
+      tracer_->FinishTrace(pending->trace, response.total_ms, degraded ? "degraded" : "served");
+      pending->trace = nullptr;
+    }
     UpdateStats(tenant, [degraded](ServerStats& g, TenantStats& t) {
       ++(degraded ? g.degraded : g.served);
       ++(degraded ? t.degraded : t.served);
@@ -726,7 +797,7 @@ void Server::FulfillFromLogits(const Tensor& logits,
     (degraded ? metrics.degraded : metrics.served)->Add(1);
     (degraded ? tenant.m_degraded : tenant.m_served)->Add(1);
     metrics.queue_wait->Record(response.queue_ms);
-    RecordLatency(tenant, response.total_ms);
+    RecordLatency(tenant, response.total_ms, response.trace_id);
     pending->promise.set_value(std::move(response));
   }
 }
@@ -744,7 +815,14 @@ void Server::FailBatch(std::vector<std::unique_ptr<PendingRequest>>& batch, Tena
   (is_deadline ? tenant.m_expired : tenant.m_failed)->Add(n);
   FlightRecorder::Get().Record("serve", is_deadline ? "batch expired" : "batch failed", n,
                                static_cast<int64_t>(status.code()));
+  const Clock::time_point now = Clock::now();
   for (std::unique_ptr<PendingRequest>& pending : batch) {
+    if (pending->trace != nullptr) {
+      pending->trace->AddFlag(is_deadline ? trace::kExpired : trace::kFailed);
+      tracer_->FinishTrace(pending->trace, MillisBetween(pending->admitted_at, now),
+                           is_deadline ? "expired" : "failed");
+      pending->trace = nullptr;
+    }
     pending->promise.set_value(status);
   }
 }
@@ -755,6 +833,8 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
   Tenant& tenant = *tenants_[batch.front()->tenant_index];
   const std::shared_ptr<const ModelEntry> entry = batch.front()->entry;
   CircuitBreaker& breaker = *tenant.breaker;
+  // Batch formation ended when the batcher handed the batch over (== now).
+  const Clock::time_point formed_at = Clock::now();
 
   // Drop requests that expired while queued before spending a forward (or a
   // degraded gather) on them.
@@ -769,6 +849,13 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
       metrics.expired->Add(1);
       tenant.m_expired->Add(1);
       FlightRecorder::Get().Record("serve", "request expired while queued", pending->id);
+      if (pending->trace != nullptr) {
+        pending->trace->AddSpan("queue", pending->admitted_at, pending->dequeued_at);
+        pending->trace->AddFlag(trace::kExpired);
+        tracer_->FinishTrace(pending->trace, MillisBetween(pending->admitted_at, Clock::now()),
+                             "expired");
+        pending->trace = nullptr;
+      }
       pending->promise.set_value(ErrorStatus(StatusCode::kDeadlineExceeded)
                                  << "deadline expired while queued");
     } else {
@@ -780,6 +867,30 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
   }
   metrics.batch_occupancy->Record(static_cast<double>(live.size()));
 
+  // Queue-wait and batch-formation attribution, per request: the serving
+  // thread owns every trace in the batch from here on (the queue handoff is
+  // the synchronization point), so it back-fills the spans the client thread
+  // could not close. live.front() rode PopAnyUntil and paid the fairness
+  // charge; the rest coalesced behind it.
+  trace::RequestTrace* leader_trace = live.front()->trace;
+  const uint64_t leader_trace_id = leader_trace != nullptr ? leader_trace->trace_id() : 0;
+  for (const std::unique_ptr<PendingRequest>& pending : live) {
+    if (pending->trace == nullptr) {
+      continue;
+    }
+    pending->trace->AddSpan("queue", pending->admitted_at, pending->dequeued_at);
+    const int batch_span = pending->trace->AddSpan("batch", pending->dequeued_at, formed_at);
+    pending->trace->SetDetail(batch_span,
+                              pending->trace == leader_trace ? "leader" : "follower");
+    pending->trace->SetArgs(batch_span, "occupancy", static_cast<int64_t>(live.size()),
+                            "batch_key", static_cast<int64_t>(pending->batch_key));
+  }
+  // Ambient trace for everything downstream — breaker decisions, executor
+  // unit spans, shard-runtime spans, flight-recorder events — without
+  // touching their signatures. The batch shares one forward, so its shared
+  // work lands on the leader's span tree; followers link to it by trace id.
+  trace::ScopedTraceContext trace_ctx(leader_trace);
+
   ProfileScope batch_scope(profiler_, "batch", "serve");
 
   if (!breaker.AllowExecution()) {
@@ -789,6 +900,11 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     {
       std::lock_guard<std::mutex> lock(lkg_mutex_);
       lkg = tenant.lkg;
+    }
+    for (const std::unique_ptr<PendingRequest>& pending : live) {
+      if (pending->trace != nullptr) {
+        pending->trace->AddFlag(trace::kBreaker);
+      }
     }
     if (config_.degraded_fallback && lkg.defined()) {
       ProfileScope degraded_scope(profiler_, "degraded", "serve");
@@ -836,7 +952,34 @@ void Server::ServeBatch(std::vector<std::unique_ptr<PendingRequest>> batch) {
     }
   }
   int retries_paid = 0;
+  const Clock::time_point exec_start = Clock::now();
+  int exec_span = -1;
+  if (leader_trace != nullptr) {
+    exec_span = leader_trace->BeginSpan("execute");
+  }
   AttemptResult result = ExecuteWithRetries(*entry, exec_deadline, &retries_paid);
+  if (leader_trace != nullptr) {
+    leader_trace->SetArgs(exec_span, "retries", retries_paid, "status",
+                          static_cast<int64_t>(result.status.code()));
+    leader_trace->EndSpan(exec_span);
+  }
+  const Clock::time_point exec_end = Clock::now();
+  for (const std::unique_ptr<PendingRequest>& pending : live) {
+    if (pending->trace == nullptr || pending->trace == leader_trace) {
+      continue;
+    }
+    // Followers did not run the forward — they rode the leader's. A closed
+    // mirror span carries the leader's trace id so the shared execution is
+    // one hop away in the export.
+    const int span = pending->trace->AddSpan("execute", exec_start, exec_end);
+    pending->trace->SetArg(span, "leader_trace", static_cast<int64_t>(leader_trace_id));
+    if (retries_paid > 0) {
+      pending->trace->AddFlag(trace::kRetried);
+    }
+  }
+  if (leader_trace != nullptr && retries_paid > 0) {
+    leader_trace->AddFlag(trace::kRetried);
+  }
   if (tenant_faults) {
     faults.DisarmAll();
   }
@@ -904,6 +1047,9 @@ ServerStats Server::stats() const {
     stats.breaker_recoveries += tenant->breaker->recoveries();
     stats.breaker_probes += tenant->breaker->probes();
   }
+  if (tracer_ != nullptr) {
+    stats.trace = tracer_->stats();
+  }
   return stats;
 }
 
@@ -968,10 +1114,24 @@ StatusOr<LatencySummary> Server::tenant_latency_summary(const std::string& tenan
   return SummaryFromSnapshot(t->latency_hist.Snapshot());
 }
 
-void Server::RecordLatency(Tenant& tenant, double total_ms) {
-  latency_hist_.Record(total_ms);
+void Server::RecordLatency(Tenant& tenant, double total_ms, uint64_t trace_id) {
+  // Exemplars on the pooled histograms link tail buckets to the trace that
+  // filled them; the per-tenant histogram stays plain (its tail is a subset
+  // of the pooled ones).
+  latency_hist_.RecordWithExemplar(total_ms, trace_id);
   tenant.latency_hist.Record(total_ms);
-  GetServeMetrics().request_latency->Record(total_ms);
+  GetServeMetrics().request_latency->RecordWithExemplar(total_ms, trace_id);
+}
+
+std::string Server::TracesJson() const {
+  if (tracer_ == nullptr) {
+    return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+  }
+  return tracer_->ChromeTraceJson();
+}
+
+bool Server::DumpTraces(const std::string& path) const {
+  return tracer_ != nullptr && tracer_->WriteChromeTraceFile(path);
 }
 
 }  // namespace serve

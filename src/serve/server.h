@@ -58,6 +58,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/common/tracing.h"
 #include "src/core/models/model.h"
 #include "src/graph/datasets.h"
 #include "src/serve/admission_queue.h"
@@ -130,6 +131,14 @@ struct ServeConfig {
   // Span sink, driven from the serving thread (plus boot-time spans before
   // the thread starts). Null = off.
   Profiler* profiler = nullptr;
+
+  // Per-request distributed tracing (tracing.h). On by default: every
+  // request gets a span tree; *retention* is what sampling decides. The head
+  // sampler keeps ~1% of clean traffic and the tail reservoir keeps the
+  // slowest-N plus every anomalous request (shed / expired / degraded /
+  // retried / breaker-tripped / failed), so the requests worth debugging are
+  // always exportable even at head_sample_rate = 0.
+  trace::TracerConfig tracing;
 };
 
 // Monotone counters; a quiesced server satisfies
@@ -161,6 +170,9 @@ struct ServerStats {
   int64_t swaps = 0;           // Hot-swaps flipped live.
   int64_t swap_failures = 0;   // Staged swaps that failed warmup/publish.
   int64_t swap_retired = 0;    // Old generations fully drained and retired.
+  // Tracer counters (started/finished/retained/evicted/...); zeroed when
+  // tracing is disabled.
+  trace::TracerStats trace;
 };
 
 // Per-tenant slice of the identity, plus that tenant's breaker counters.
@@ -261,6 +273,17 @@ class Server {
   int queue_depth() const { return queue_.size(); }
   ModelRegistry& registry() { return *registry_; }
 
+  // ---- Tracing ------------------------------------------------------------
+  // The retained traces (tail reservoir + anomalies + head-sampled) as
+  // Chrome-trace JSON (chrome://tracing / Perfetto loadable): one pid per
+  // tenant, one tid per request, spans as complete events. Empty-but-valid
+  // JSON when tracing is disabled.
+  std::string TracesJson() const;
+  // Writes TracesJson() to `path`; false on I/O error or tracing disabled.
+  bool DumpTraces(const std::string& path) const;
+  // Null when config.tracing.enabled is false.
+  const trace::Tracer* tracer() const { return tracer_.get(); }
+
  private:
   struct AttemptResult {
     Status status;       // OK on success.
@@ -312,7 +335,7 @@ class Server {
   void ProcessPendingSwaps();
   // Emits retire events for drained old generations.
   void PollRetirements();
-  void RecordLatency(Tenant& tenant, double total_ms);
+  void RecordLatency(Tenant& tenant, double total_ms, uint64_t trace_id);
   Tenant* FindTenant(const std::string& name) const;
 
   // Applies `mutate` to the global stats under stats_mutex_.
@@ -335,6 +358,9 @@ class Server {
 
   const ServeConfig config_;
   Profiler* profiler_;  // Hoisted: non-null only when enabled.
+  // Owns every RequestTrace (pooled); null when tracing is disabled, so the
+  // per-request cost with tracing off is one pointer test.
+  std::unique_ptr<trace::Tracer> tracer_;
 
   std::shared_ptr<ModelRegistry> registry_;
   std::vector<std::unique_ptr<Tenant>> tenants_;

@@ -251,6 +251,84 @@ TEST(MetricsRegistryTest, JsonSnapshotCarriesAllSections) {
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
 }
 
+// ---- Label escaping -----------------------------------------------------------------------------
+
+TEST(EscapeLabelValueTest, PassesCleanValuesThrough) {
+  EXPECT_EQ(metrics::EscapeLabelValue("tenant-a"), "tenant-a");
+  EXPECT_EQ(metrics::EscapeLabelValue(""), "");
+}
+
+TEST(EscapeLabelValueTest, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(metrics::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(metrics::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(metrics::EscapeLabelValue("a\nb"), "a\\nb");
+  // A hostile tenant name cannot break out of its label: the escaped form
+  // contains no raw quote or newline, so the series stays one sample line.
+  const std::string escaped = metrics::EscapeLabelValue("evil\"} 1\ninjected_total 9{x=\"");
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '"') {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(escaped[i - 1], '\\') << "raw quote at " << i;
+    }
+  }
+}
+
+TEST(EscapeLabelValueTest, EscapedTenantSeriesStaysParseable) {
+  MetricsRegistry registry;
+  const std::string name =
+      "test_tenant_total{tenant=\"" + metrics::EscapeLabelValue("a\"b\\c") + "\"}";
+  registry.GetCounter(name)->Add(1);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("test_tenant_total{tenant=\"a\\\"b\\\\c\"} 1\n"), std::string::npos)
+      << text;
+}
+
+// ---- Histogram exemplars ------------------------------------------------------------------------
+
+TEST(HistogramExemplarTest, KeepsTheLargestObservationsWithTheirTraceIds) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test_exemplar_ms");
+  // 2 * kExemplarSlots observations; only the largest kExemplarSlots survive.
+  for (int i = 1; i <= 2 * Histogram::kExemplarSlots; ++i) {
+    hist->RecordWithExemplar(static_cast<double>(i), 0x1000u + static_cast<uint64_t>(i));
+  }
+  const std::vector<metrics::Exemplar> exemplars = hist->Exemplars();
+  ASSERT_EQ(exemplars.size(), static_cast<size_t>(Histogram::kExemplarSlots));
+  for (int i = 0; i < Histogram::kExemplarSlots; ++i) {
+    const double want_value = static_cast<double>(2 * Histogram::kExemplarSlots - i);
+    EXPECT_EQ(exemplars[static_cast<size_t>(i)].value, want_value) << "sorted descending";
+    EXPECT_EQ(exemplars[static_cast<size_t>(i)].trace_id,
+              0x1000u + static_cast<uint64_t>(want_value));
+  }
+  EXPECT_EQ(hist->count(), 2 * Histogram::kExemplarSlots)
+      << "RecordWithExemplar must still feed the histogram";
+}
+
+TEST(HistogramExemplarTest, ZeroTraceIdRecordsValueButNoExemplar) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test_exemplar_zero_ms");
+  hist->RecordWithExemplar(5.0, 0);
+  EXPECT_EQ(hist->count(), 1);
+  EXPECT_TRUE(hist->Exemplars().empty());
+}
+
+TEST(HistogramExemplarTest, ExportersCarryTheTopExemplar) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test_exemplar_export_ms");
+  hist->RecordWithExemplar(2.0, 0xaaULL);
+  hist->RecordWithExemplar(9.0, 0xbeefULL);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("test_exemplar_export_ms_max 9 "
+                      "# {trace_id=\"000000000000beef\"} 9\n"),
+            std::string::npos)
+      << text;
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"000000000000beef\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"00000000000000aa\""), std::string::npos);
+}
+
 // ---- Zero-lookup steady state -------------------------------------------------------------------
 
 TEST(MetricsSteadyStateTest, InstrumentedHotPathsDoNoRegistryLookups) {

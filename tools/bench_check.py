@@ -20,6 +20,12 @@ Two kinds of gate:
     mallocs may exceed the baseline by at most --malloc-slack (default 5,
     matching the steady-state bound the CI smoke already asserts).
 
+The serve report additionally carries a top-level tracing_overhead_pct
+(p50 delta of the traced scenario over the identical untraced one), gated
+at an absolute ceiling (--tracing-overhead-max, default 5%): always-on
+request tracing is only acceptable while it stays within noise of the
+warm path. Negative overhead is runner noise and passes.
+
 Scenarios/runs are matched by identity keys (model+dataset for training,
 scenario name for serving). A baseline entry with no fresh counterpart is a
 failure (a benchmark silently dropped is itself a regression); a fresh entry
@@ -124,7 +130,21 @@ def check_train(gate, baseline, fresh, timing_tol, malloc_slack):
         gate.extra(f"train {key[0]}/{key[1]}")
 
 
-def check_serve(gate, baseline, fresh, timing_tol, malloc_slack):
+TRACING_OVERHEAD_MAX_PCT = 5.0
+
+
+def check_serve(gate, baseline, fresh, timing_tol, malloc_slack,
+                tracing_overhead_max=TRACING_OVERHEAD_MAX_PCT):
+    if "tracing_overhead_pct" in fresh:
+        # Absolute ceiling, not baseline-relative: the requirement is "tracing
+        # is near-free", which does not loosen just because a past run was
+        # also slow. Negative deltas are runner noise; clamp to zero.
+        gate.check("serve", "tracing_overhead_pct",
+                   max(0.0, fresh["tracing_overhead_pct"]),
+                   max(0.0, baseline.get("tracing_overhead_pct", 0.0)),
+                   tracing_overhead_max,
+                   f"absolute ceiling: traced p50 within "
+                   f"{tracing_overhead_max:g}% of clean p50")
     base_scen = {s["name"]: s for s in baseline.get("scenarios", [])}
     fresh_scen = {s["name"]: s for s in fresh.get("scenarios", [])}
     for name, base in sorted(base_scen.items()):
@@ -273,9 +293,13 @@ def run_gate(args):
     def shard_checker(g, base, fresh_report, timing_tol, _slack):
         check_shard(g, base, fresh_report, timing_tol, args.shard_speedup_floor)
 
+    def serve_checker(g, base, fresh_report, timing_tol, slack):
+        check_serve(g, base, fresh_report, timing_tol, slack,
+                    args.tracing_overhead_max)
+
     pairs = (
         (args.train, os.path.join(args.baseline_dir, TRAIN_BASELINE), check_train),
-        (args.serve, os.path.join(args.baseline_dir, SERVE_BASELINE), check_serve),
+        (args.serve, os.path.join(args.baseline_dir, SERVE_BASELINE), serve_checker),
         (args.shard, os.path.join(args.baseline_dir, SHARD_BASELINE), shard_checker),
         (args.kernels, os.path.join(args.baseline_dir, KERNELS_BASELINE),
          check_kernels),
@@ -447,6 +471,20 @@ def self_test(args):
     check_serve(g, serve_base, shrunk, 3.0, 5.0)
     expect("dropped-tenant", g, want_fail=True)
 
+    # 5f. Tracing overhead inside the ceiling passes (negative deltas are
+    # runner noise); past the ceiling it fails even with perfect timings.
+    cheap_tracing = copy.deepcopy(serve_base)
+    cheap_tracing["tracing_overhead_pct"] = -1.3
+    g = Gate()
+    check_serve(g, serve_base, cheap_tracing, 3.0, 5.0)
+    expect("tracing-overhead-in-band", g, want_fail=False)
+
+    costly_tracing = copy.deepcopy(serve_base)
+    costly_tracing["tracing_overhead_pct"] = 11.0
+    g = Gate()
+    check_serve(g, serve_base, costly_tracing, 3.0, 5.0)
+    expect("tracing-overhead-regressed", g, want_fail=True)
+
     # 6. A dropped benchmark fails; a new one passes with a note.
     g = Gate()
     check_serve(g, serve_base, {"scenarios": []}, 3.0, 5.0)
@@ -512,7 +550,7 @@ def self_test(args):
     for line in failures:
         print(line, file=sys.stderr)
     print(f"bench_check --self-test: {'FAIL' if failures else 'ok'} "
-          f"(20 cases)")
+          f"(22 cases)")
     return 1 if failures else 0
 
 
@@ -532,6 +570,10 @@ def main():
                         help="multiplicative band for timing metrics")
     parser.add_argument("--malloc-slack", type=float, default=5.0,
                         help="allowed fresh-malloc increase over baseline")
+    parser.add_argument("--tracing-overhead-max", type=float,
+                        default=TRACING_OVERHEAD_MAX_PCT,
+                        help="max %% p50 overhead of the traced serve "
+                             "scenario over the clean one")
     parser.add_argument("--shard-speedup-floor", type=float, default=1.2,
                         help="minimum speedup_at_max_shards in the fresh "
                              "shard report")
